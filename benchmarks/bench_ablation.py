@@ -1,0 +1,48 @@
+"""Benchmark E11/E12 — EDM ablation and workload robustness.
+
+Run:  pytest benchmarks/bench_ablation.py --benchmark-only -s
+
+DESIGN.md's ablation of the light-weight NLFT design choices: each Table 1
+mechanism is removed in turn under an identical fault list, and the
+coverage taxonomy is re-estimated across three different workloads.
+"""
+
+from repro.experiments import compute_ablation_table, compute_workload_table
+
+
+def test_benchmark_edm_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: compute_ablation_table(experiments=1_000, seed=424_242),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(result.render())
+
+    # The full stack lets nothing escape on this campaign.
+    assert result.escapes("full") == 0
+    # TEM's comparison is the dominant coverage contributor.
+    assert result.tem_contribution_dominates
+    assert result.escapes("no_tem") > 10
+    # Removing ECC costs escapes too (memory faults reach the data).
+    assert result.escapes("no_ecc") > result.escapes("full")
+    # Layering: with the MMU removed, the CPU decoder's own checks
+    # (illegal opcode / bus error) take over as the detection layer.
+    no_mmu = result.stats["no_mmu"].mechanism_counts()
+    assert no_mmu.get("illegal_opcode", 0) + no_mmu.get("bus_error", 0) > 0
+    assert result.stats["full"].mechanism_counts().get("address_error", 0) > 0
+
+
+def test_benchmark_workload_robustness(benchmark):
+    result = benchmark.pedantic(
+        lambda: compute_workload_table(experiments=600, seed=1999),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(result.render())
+
+    assert result.taxonomy_is_robust
+    for stats in result.stats.values():
+        assert stats.coverage is not None and stats.coverage > 0.9
+        assert stats.p_tem is not None and stats.p_tem > 0.5

@@ -1,0 +1,26 @@
+"""Benchmark E13 — availability under maintenance (extension).
+
+Run:  pytest benchmarks/bench_availability.py --benchmark-only -s
+
+Adds garage repair of permanent faults to the generalized wheel-subsystem
+models and reports steady-state availability / yearly downtime, FS vs
+NLFT, across service responsiveness.
+"""
+
+from repro.experiments import compute_availability_table
+
+
+def test_benchmark_availability(benchmark):
+    result = benchmark(compute_availability_table)
+
+    print()
+    print(result.render())
+
+    for hours in result.replacement_hours:
+        # Maintenance keeps both configurations highly available...
+        assert result.availability["fs"][hours] > 0.999
+        # ... but NLFT always saves downtime, and the saving grows as the
+        # service response slows (transients stack on waiting repairs).
+        assert result.nlft_downtime_saving(hours) > 0
+    savings = [result.nlft_downtime_saving(h) for h in result.replacement_hours]
+    assert savings == sorted(savings)

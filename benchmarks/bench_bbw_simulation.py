@@ -1,0 +1,50 @@
+"""Benchmark E8 — discrete-event cross-validation of the analytic models.
+
+Run:  pytest benchmarks/bench_bbw_simulation.py --benchmark-only -s
+
+Two parts:
+
+* Monte-Carlo missions with behavioural nodes: empirical one-year survival
+  must agree with the Markov models within sampling error, and the NLFT
+  gain must reproduce;
+* the functional kernel-backed braking comparison: under an identical
+  fault burst the NLFT system masks faults while the FS system silences
+  nodes.
+"""
+
+from repro.experiments import compare_braking_under_faults, run_simulation_study
+
+REPLICAS = 250
+
+
+def test_benchmark_mission_monte_carlo(benchmark):
+    study = benchmark.pedantic(
+        lambda: run_simulation_study(replicas=REPLICAS, mission_hours=8_760.0, seed=17),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    print(study.render())
+
+    for key, simulated in study.empirical.items():
+        analytical = study.analytical[key]
+        sigma = (max(analytical * (1 - analytical), 0.002) / REPLICAS) ** 0.5
+        assert abs(simulated - analytical) < 4 * sigma + 0.02, (
+            f"{key}: simulated {simulated:.3f} vs analytical {analytical:.3f}"
+        )
+    assert study.empirical["nlft/degraded"] > study.empirical["fs/degraded"]
+
+
+def test_benchmark_braking_comparison(benchmark):
+    comparison = benchmark.pedantic(
+        compare_braking_under_faults, rounds=1, iterations=1
+    )
+
+    print()
+    print(comparison.render())
+
+    fs = comparison.summaries["fs"]
+    nlft = comparison.summaries["nlft"]
+    assert nlft["stopped"] and fs["stopped"]
+    assert nlft["masked_total"] > 0
+    assert fs["fail_silent_total"] >= nlft["fail_silent_total"]

@@ -1,0 +1,28 @@
+"""Benchmark E1 — regenerate Figure 12 (system reliability over one year).
+
+Run:  pytest benchmarks/bench_figure12.py --benchmark-only -s
+
+Prints the same series the paper plots (four R(t) curves) and asserts the
+paper-shape claims: curve ordering, the ~0.45 and ~0.70 one-year anchors
+and the +55% NLFT gain in degraded mode.
+"""
+
+import pytest
+
+from repro.experiments import compute_figure12, series_rows
+
+
+def test_benchmark_figure12(benchmark):
+    result = benchmark(compute_figure12)
+
+    print()
+    print("Figure 12 data (hours, R fs/full, R fs/degraded, R nlft/full, R nlft/degraded):")
+    for row in series_rows(result):
+        print("  " + "  ".join(f"{value:10.4f}" for value in row))
+    print(result.render())
+
+    r = result.r_one_year
+    assert r["fs/degraded"] == pytest.approx(0.45, abs=0.02)
+    assert r["nlft/degraded"] == pytest.approx(0.70, abs=0.02)
+    assert r["nlft/degraded"] > r["fs/degraded"] > r["nlft/full"] > r["fs/full"]
+    assert result.improvement_degraded == pytest.approx(0.55, abs=0.03)

@@ -1,0 +1,26 @@
+"""Benchmark E3 — regenerate Figure 13 (subsystem reliabilities).
+
+Run:  pytest benchmarks/bench_figure13.py --benchmark-only -s
+
+Asserts the paper's finding: "The main reliability bottleneck is the wheel
+node subsystem."
+"""
+
+from repro.experiments import compute_figure13
+
+
+def test_benchmark_figure13(benchmark):
+    result = benchmark(compute_figure13)
+
+    print()
+    print(result.render())
+
+    assert result.bottleneck_is_wheel_subsystem
+    # The duplex CU outlives the simplex wheel subsystem for both node types.
+    assert result.r_one_year["CU fs"] > result.r_one_year["WN fs/degraded"]
+    assert result.r_one_year["CU nlft"] > result.r_one_year["WN nlft/degraded"]
+    # NLFT improves every subsystem.
+    assert result.r_one_year["CU nlft"] > result.r_one_year["CU fs"]
+    assert (
+        result.r_one_year["WN nlft/degraded"] > result.r_one_year["WN fs/degraded"]
+    )

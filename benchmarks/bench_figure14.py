@@ -1,0 +1,41 @@
+"""Benchmark E4 — regenerate Figure 14 (coverage / fault-rate sensitivity).
+
+Run:  pytest benchmarks/bench_figure14.py --benchmark-only -s
+
+Asserts the paper's three findings: coverage dominates, the fault rate is
+negligible while far below the repair rate, and the NLFT advantage grows
+with the fault rate.
+"""
+
+from repro.experiments import compute_figure14
+
+
+def test_benchmark_figure14(benchmark):
+    result = benchmark(compute_figure14)
+
+    print()
+    print(result.render())
+
+    top_scale = max(result.rate_scales)
+    for node_type in ("fs", "nlft"):
+        grid = result.reliability[node_type]
+        # "The coverage has a significant influence on the reliability":
+        # at high fault rates the coverage family separates widely.
+        coverage_spread_high = abs(
+            grid[(max(result.coverages), top_scale)]
+            - grid[(min(result.coverages), top_scale)]
+        )
+        assert coverage_spread_high > 0.2
+        # "The fault rate has a negligible impact as long as the fault rate
+        # is much smaller than the repair rate": x1 -> x10 barely moves R.
+        rate_spread_small = abs(grid[(0.99, 10.0)] - grid[(0.99, 1.0)])
+        assert rate_spread_small < 0.001
+        # R decreases monotonically with the fault rate.
+        values = [grid[(0.99, scale)] for scale in result.rate_scales]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    # "The reliability improvements of using NLFT increase for higher
+    # fault rates."
+    advantages = [result.nlft_advantage(0.99, scale) for scale in result.rate_scales]
+    assert advantages[-1] > advantages[0]
+    assert all(b >= a - 1e-9 for a, b in zip(advantages, advantages[1:]))

@@ -1,0 +1,27 @@
+"""Benchmark E2 — the headline R(1 y) / MTTF table (Section 3.4).
+
+Run:  pytest benchmarks/bench_mttf.py --benchmark-only -s
+
+Paper anchors: degraded mode R(1 y) 0.45 -> 0.70 (+55%); MTTF 1.2 -> 1.9
+years (almost +60%).
+"""
+
+import pytest
+
+from repro.experiments import compute_mttf_table
+
+
+def test_benchmark_mttf_table(benchmark):
+    table = benchmark(compute_mttf_table)
+
+    print()
+    print(table.render())
+    print("subsystem MTTFs (years):")
+    for key, subsystems in sorted(table.subsystem_mttf_years.items()):
+        rendered = ", ".join(f"{name}={value:.2f}" for name, value in subsystems.items())
+        print(f"  {key[0]}/{key[1]}: {rendered}")
+
+    assert table.mttf_years[("fs", "degraded")] == pytest.approx(1.2, abs=0.1)
+    assert table.mttf_years[("nlft", "degraded")] == pytest.approx(1.9, abs=0.1)
+    assert table.reliability_improvement == pytest.approx(0.55, abs=0.03)
+    assert table.mttf_improvement == pytest.approx(0.60, abs=0.05)

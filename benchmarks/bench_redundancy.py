@@ -1,0 +1,39 @@
+"""Benchmark E9/E10 — redundancy dimensioning and importance analysis.
+
+Run:  pytest benchmarks/bench_redundancy.py --benchmark-only -s
+
+Extension experiments (DESIGN.md): the generalized k-out-of-n models
+quantify the paper's "fewer redundant nodes" cost argument, and importance
+measures make the Figure 13 bottleneck statement quantitative.
+"""
+
+from repro.experiments import compute_importance_table, compute_redundancy_table
+
+
+def test_benchmark_redundancy_study(benchmark):
+    result = benchmark.pedantic(compute_redundancy_table, rounds=1, iterations=1)
+
+    print()
+    print(result.render())
+
+    # The paper's cost claim: NLFT reaches the target with one node less.
+    assert result.nodes_needed["fs"] == 5
+    assert result.nodes_needed["nlft"] == 4
+    assert result.nlft_saves_a_node
+    # NLFT dominates FS at every replication level.
+    for point in result.points:
+        if point.node_type != "nlft":
+            continue
+        fs_twin = result.point("fs", point.n, point.required)
+        assert point.reliability_one_year >= fs_twin.reliability_one_year
+
+
+def test_benchmark_importance(benchmark):
+    result = benchmark(compute_importance_table)
+
+    print()
+    print(result.render())
+
+    assert result.wheel_subsystem_is_always_the_bottleneck
+    for report in result.reports.values():
+        assert report.birnbaum["wheel-subsystem-failure"] > 0

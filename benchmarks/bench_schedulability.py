@@ -1,0 +1,29 @@
+"""Benchmark E7 — fault-tolerant schedulability analysis (Section 2.8).
+
+Run:  pytest benchmarks/bench_schedulability.py --benchmark-only -s
+
+Asserts the section's claims on a realistic wheel-node task set: TEM
+roughly doubles critical utilization, the set remains schedulable with
+reserved recovery slack, and the slack bounds how many recoveries can be
+guaranteed.
+"""
+
+from repro.experiments import compute_schedulability
+
+
+def test_benchmark_schedulability(benchmark):
+    result = benchmark(compute_schedulability)
+
+    print()
+    print(result.render())
+
+    assert result.schedulable_plain
+    assert result.schedulable_ft
+    # TEM roughly doubles the critical-task utilization share.
+    assert result.tem_utilization > 1.5 * result.plain_utilization * 0.8
+    # The reserved slack guarantees at least one recovery, and the
+    # guarantee is bounded (not infinite).
+    assert 1 <= result.max_faults_tolerated < 64
+    for row in result.rows:
+        assert row.ft_response is not None
+        assert row.ft_response <= row.deadline

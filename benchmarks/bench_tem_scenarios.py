@@ -1,0 +1,23 @@
+"""Benchmark E6 — the four TEM scenarios of Figure 3 on the real kernel.
+
+Run:  pytest benchmarks/bench_tem_scenarios.py --benchmark-only -s
+
+Asserts the exact copy counts and outcomes of the figure: scenario (i)
+delivers after two copies; (ii)-(iv) run a third copy and mask the error.
+"""
+
+from repro.experiments import render_scenarios, run_tem_scenarios
+
+
+def test_benchmark_tem_scenarios(benchmark):
+    results = benchmark(run_tem_scenarios)
+
+    print()
+    print(render_scenarios(results))
+
+    assert results["i"].copies_run == 2
+    assert results["i"].outcome == "ok" and results["i"].delivered
+    for scenario in ("ii", "iii", "iv"):
+        assert results[scenario].copies_run == 3
+        assert results[scenario].outcome == "masked"
+        assert results[scenario].delivered

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's dependability analysis (Section 3) end to end.
+
+Builds the hierarchical reliability models of Figures 5-11 with the
+Section 3.3 parameters and regenerates:
+
+* Figure 12 — system reliability over one year (4 configurations);
+* the headline numbers — R(1 y) 0.45 -> 0.70 (+55%), MTTF 1.2 -> 1.9 y;
+* Figure 13 — subsystem reliabilities (the wheel nodes are the bottleneck);
+* Figure 14 — coverage / fault-rate sensitivity at t = 5 h.
+
+Run:  python examples/reliability_study.py
+"""
+
+from repro.experiments import (
+    compute_figure12,
+    compute_figure13,
+    compute_figure14,
+    compute_mttf_table,
+)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * len(title))
+    print(title)
+    print("=" * len(title))
+
+
+def main() -> None:
+    banner("Figure 12 - BBW system reliability over one year")
+    print(compute_figure12().render())
+
+    banner("Headline measures - R(1 year) and MTTF")
+    print(compute_mttf_table().render())
+
+    banner("Figure 13 - subsystem reliabilities")
+    print(compute_figure13().render())
+
+    banner("Figure 14 - reliability after 5 h vs coverage and fault rate")
+    print(compute_figure14().render())
+
+
+if __name__ == "__main__":
+    main()

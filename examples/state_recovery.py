@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Partner-state recovery over FlexRay's event-triggered segment.
+
+Demonstrates the paper's future-work proposal (Section 4): a duplex pair
+maintains replicated task state; one replica suffers an omission failure,
+loses confidence in its state data, and recovers a verified snapshot from
+its partner through the dynamic segment — fast, and protected end to end
+by the store's CRC on top of the frame CRC.
+
+Run:  python examples/state_recovery.py
+"""
+
+from repro.core.integrity import ProtectedStore
+from repro.net import FlexRayBus, NetworkInterface, round_robin_schedule
+from repro.node.state_sync import StateRecoveryService
+from repro.sim import Simulator, TraceRecorder
+from repro.units import ms, ticks_to_ms, us
+
+
+def main() -> None:
+    sim = Simulator()
+    trace = TraceRecorder()
+    schedule = round_robin_schedule(
+        ["cu_a", "cu_b"], slot_duration=us(200),
+        minislot_count=4, minislot_duration=us(60),
+    )
+    bus = FlexRayBus(sim, schedule, trace=trace)
+    interfaces = {name: NetworkInterface(name) for name in ("cu_a", "cu_b")}
+    for interface in interfaces.values():
+        bus.attach(interface)
+
+    # Each replica keeps its control state in a CRC-protected store.
+    stores = {name: ProtectedStore() for name in ("cu_a", "cu_b")}
+    stores["cu_a"].commit("control", [0, 0, 0])
+    stores["cu_b"].commit("control", [1480, 212, 9067])  # the live state
+
+    services = {}
+    for name in ("cu_a", "cu_b"):
+        services[name] = StateRecoveryService(
+            sim, interfaces[name], name,
+            get_state=lambda n=name: stores[n].fetch("control"),
+            set_state=lambda words, n=name: stores[n].commit("control", words),
+            poll_period=schedule.cycle_duration,
+            trace=trace,
+        )
+        services[name].start_serving()
+    bus.start()
+
+    print("cu_a state before recovery:", stores["cu_a"].fetch("control"))
+    print("cu_b state (the partner):  ", stores["cu_b"].fetch("control"))
+    print()
+
+    done = []
+    services["cu_a"].begin_recovery(lambda ok: done.append((sim.now, ok)))
+    sim.run(until=ms(20))
+
+    when, ok = done[0]
+    print(f"recovery finished at t={ticks_to_ms(when):.2f} ms, success={ok}")
+    print("cu_a state after recovery: ", stores["cu_a"].fetch("control"))
+    print()
+    print("protocol trace:")
+    for event in trace.select("state_sync"):
+        print(f"  {event}")
+    assert stores["cu_a"].fetch("control") == stores["cu_b"].fetch("control")
+    print()
+    print("Replica state is consistent again — recovered in "
+          f"{ticks_to_ms(when):.2f} ms over the dynamic segment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Reproduction of *A Framework for Node-Level Fault Tolerance in
+Distributed Real-Time Systems* (Aidemark, Folkesson, Karlsson — DSN 2005).
+
+The library has two halves:
+
+* an **execution stack** — discrete-event simulator, COTS-processor model,
+  real-time kernel with temporal error masking (TEM), fault injection,
+  FlexRay-like communication, FS/NLFT node semantics and the brake-by-wire
+  example application;
+* an **analysis stack** — a SHARPE-style reliability engine (CTMCs, RBDs,
+  fault trees, hierarchical composition) and the paper's brake-by-wire
+  dependability models.
+
+Quick orientation:
+
+>>> from repro.models import BbwParameters, build_bbw_system
+>>> model = build_bbw_system(BbwParameters.paper(), "nlft", "degraded")
+>>> round(model.reliability(8760.0), 2)   # one year
+0.71
+
+See README.md, DESIGN.md and the ``examples/`` directory.
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    apps,
+    core,
+    cpu,
+    experiments,
+    faults,
+    kernel,
+    models,
+    net,
+    node,
+    reliability,
+    sim,
+)
+from .errors import ReproError  # noqa: F401
+from .types import Result  # noqa: F401
+
+__all__ = [
+    "ReproError",
+    "Result",
+    "apps",
+    "core",
+    "cpu",
+    "experiments",
+    "faults",
+    "kernel",
+    "models",
+    "net",
+    "node",
+    "reliability",
+    "sim",
+]

@@ -1,0 +1,11 @@
+"""Command-line entry point: regenerate the full experiment report.
+
+Usage::
+
+    python -m repro [--fast]
+"""
+
+from .experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""A catalog of ready-made brake-by-wire fault scenarios.
+
+Examples, tests and demos keep reaching for the same handful of situations
+("clean stop", "transient burst", "dead wheel node", ...).  This module
+names them once, with the fault schedules and the *expected qualitative
+outcome* attached, so a scenario can be executed and checked in one call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..faults.types import FaultType
+from .bbw_system import BbwConfig, BbwSimulation
+from .pedal import PedalProfile, pulse_train, step_brake
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault arrival."""
+
+    at_s: float
+    node: str
+    fault_type: FaultType
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named, runnable BBW situation.
+
+    Attributes
+    ----------
+    expects:
+        Qualitative outcome flags checked by :func:`run_scenario`:
+        ``stops`` (vehicle reaches standstill), ``degraded_ok`` (the
+        degraded-functionality criterion never violated), ``full_ok``.
+    """
+
+    name: str
+    description: str
+    pedal: PedalProfile
+    faults: Tuple[FaultEvent, ...] = ()
+    duration_s: float = 8.0
+    initial_speed_mps: float = 30.0
+    expects: Tuple[Tuple[str, bool], ...] = ()
+
+
+def _scenarios() -> Dict[str, Scenario]:
+    return {
+        scenario.name: scenario
+        for scenario in (
+            Scenario(
+                name="clean_stop",
+                description="fault-free emergency stop from 30 m/s",
+                pedal=step_brake(0.5),
+                expects=(("stops", True), ("full_ok", True), ("degraded_ok", True)),
+            ),
+            Scenario(
+                name="transient_burst",
+                description="four transients strike mid-stop; NLFT masks them",
+                pedal=step_brake(0.5),
+                faults=(
+                    FaultEvent(0.8, "wn1", FaultType.TRANSIENT),
+                    FaultEvent(1.1, "wn4", FaultType.TRANSIENT),
+                    FaultEvent(1.4, "cu_a", FaultType.TRANSIENT),
+                    FaultEvent(1.7, "wn2", FaultType.TRANSIENT),
+                ),
+                expects=(("stops", True), ("degraded_ok", True)),
+            ),
+            Scenario(
+                name="dead_wheel_node",
+                description="permanent fault kills one wheel node mid-stop",
+                pedal=step_brake(0.5),
+                faults=(FaultEvent(1.0, "wn3", FaultType.PERMANENT),),
+                expects=(("stops", True), ("full_ok", False), ("degraded_ok", True)),
+            ),
+            Scenario(
+                name="cu_replica_loss",
+                description="one central-unit replica dies; the duplex partner carries on",
+                pedal=step_brake(0.5),
+                faults=(FaultEvent(0.5, "cu_a", FaultType.PERMANENT),),
+                expects=(("stops", True), ("degraded_ok", True)),
+            ),
+            Scenario(
+                name="stab_braking",
+                description="pulsed braking (traffic) with sporadic transients",
+                pedal=pulse_train([(0.5, 1.5), (2.5, 3.5), (4.5, 6.0)], position=0.6),
+                faults=(
+                    FaultEvent(1.0, "wn2", FaultType.TRANSIENT),
+                    FaultEvent(3.0, "wn4", FaultType.TRANSIENT),
+                ),
+                duration_s=7.0,
+                expects=(("degraded_ok", True),),
+            ),
+            Scenario(
+                name="double_wheel_loss",
+                description="two wheel nodes die: below the degraded threshold",
+                pedal=step_brake(0.5),
+                faults=(
+                    FaultEvent(1.0, "wn1", FaultType.PERMANENT),
+                    FaultEvent(1.5, "wn2", FaultType.PERMANENT),
+                ),
+                expects=(("full_ok", False), ("degraded_ok", False)),
+            ),
+        )
+    }
+
+
+SCENARIOS: Dict[str, Scenario] = _scenarios()
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """Outcome of one executed scenario."""
+
+    scenario: Scenario
+    summary: Dict[str, object]
+    expectation_failures: List[str]
+
+    @property
+    def as_expected(self) -> bool:
+        return not self.expectation_failures
+
+
+def run_scenario(
+    name: str,
+    node_kind: str = "nlft",
+    seed: int = 42,
+    config: Optional[BbwConfig] = None,
+) -> ScenarioResult:
+    """Execute one named scenario and check its expectations.
+
+    Expectation keys map onto the simulation summary: ``stops`` ->
+    ``stopped``, ``full_ok``/``degraded_ok`` -> the monitor flags.
+    """
+    scenario = get_scenario(name)
+    if config is None:
+        config = BbwConfig(
+            node_kind=node_kind,
+            pedal=scenario.pedal,
+            initial_speed_mps=scenario.initial_speed_mps,
+            seed=seed,
+        )
+    simulation = BbwSimulation(config)
+    for event in scenario.faults:
+        simulation.inject_fault(event.node, event.fault_type, event.at_s)
+    simulation.run(scenario.duration_s)
+    summary = simulation.summary()
+    key_map = {"stops": "stopped", "full_ok": "full_ok", "degraded_ok": "degraded_ok"}
+    failures = []
+    for key, expected in scenario.expects:
+        actual = bool(summary[key_map[key]])
+        if actual != expected:
+            failures.append(f"{key}: expected {expected}, got {actual}")
+    return ScenarioResult(
+        scenario=scenario, summary=summary, expectation_failures=failures
+    )

@@ -1,0 +1,67 @@
+"""Wheel-node control law (Section 3.1).
+
+"The control algorithms in the individual wheel nodes then ensure that the
+requested brake force is applied to the respective wheel in the most
+favorable way."  Our wheel controller:
+
+* takes the force command addressed to its wheel from the freshest valid
+  central-unit frame;
+* rate-limits force build-up (actuator slew) and clamps to the tyre's
+  friction limit — a stand-in for slip control;
+* publishes a heartbeat/status word the CU uses for membership.
+
+Integer fixed-point arithmetic keeps replicated executions bit-identical
+for TEM comparison.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .vehicle import VehicleParameters
+
+#: Maximum force slew per control period (N/period) — brake hydraulics /
+#: electro-mechanical actuator build-up limit.
+DEFAULT_SLEW_PER_PERIOD = 4_000
+
+#: Status word the wheel node publishes when healthy.
+STATUS_OK = 0x5A5A
+
+
+def wheel_force_step(
+    commanded_n: int,
+    current_n: int,
+    wheel: int,
+    params: VehicleParameters = VehicleParameters(),
+    slew_per_period: int = DEFAULT_SLEW_PER_PERIOD,
+) -> int:
+    """One control-period update of the applied wheel force.
+
+    Moves the applied force toward the command, bounded by the actuator
+    slew rate and the tyre friction limit.
+    """
+    if slew_per_period <= 0:
+        raise ConfigurationError("slew limit must be positive")
+    limit = int(params.max_wheel_force(wheel))
+    target = min(max(0, int(commanded_n)), limit)
+    delta = target - int(current_n)
+    if delta > slew_per_period:
+        delta = slew_per_period
+    elif delta < -slew_per_period:
+        delta = -slew_per_period
+    return int(current_n) + delta
+
+
+def compute_wheel_output(
+    commanded_n: int,
+    current_n: int,
+    wheel: int,
+    params: VehicleParameters = VehicleParameters(),
+    slew_per_period: int = DEFAULT_SLEW_PER_PERIOD,
+) -> "tuple[int, int]":
+    """The wheel task's full result: (applied force, status word).
+
+    This is the pure *compute* phase of the Figure 2 task model, suitable
+    for wrapping in a :class:`~repro.kernel.task.CallableExecutable`.
+    """
+    force = wheel_force_step(commanded_n, current_n, wheel, params, slew_per_period)
+    return force, STATUS_OK

@@ -1,0 +1,48 @@
+"""Result comparison and majority voting for temporal error masking.
+
+TEM compares the outputs of redundant executions bit-exactly (replica
+determinism is assumed within a node: same inputs, same code, same
+processor).  The majority voter accepts a result when at least two of three
+copies agree (Section 2.5: "If the majority voter detects two matching
+results, these are accepted as a valid result of the task.  Otherwise, no
+result is delivered, which leads to an omission failure.").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..types import Result
+
+
+def results_match(a: Optional[Result], b: Optional[Result]) -> bool:
+    """Bit-exact comparison of two result tuples.
+
+    ``None`` (no result, e.g. from an aborted copy) never matches anything,
+    including another ``None`` — an absent result carries no information.
+    """
+    if a is None or b is None:
+        return False
+    return tuple(a) == tuple(b)
+
+
+def majority_vote(results: Sequence[Optional[Result]]) -> Optional[Result]:
+    """Return the value agreed by at least two results, or None.
+
+    The paper votes over exactly three copies; we accept any number >= 2 to
+    keep the primitive reusable (e.g. for duplex output selection at the
+    system level).
+    """
+    concrete = [r for r in results if r is not None]
+    for index, candidate in enumerate(concrete):
+        matches = sum(1 for other in concrete[index + 1 :] if tuple(other) == tuple(candidate))
+        if matches + 1 >= 2:
+            return tuple(candidate)
+    return None
+
+
+def detects_mismatch(results: Sequence[Optional[Result]]) -> bool:
+    """True if a pairwise comparison over completed results finds any
+    disagreement (the TEM error-detection comparison)."""
+    concrete = [tuple(r) for r in results if r is not None]
+    return any(a != b for a, b in zip(concrete, concrete[1:]))

@@ -1,0 +1,100 @@
+"""Control-flow error detection by signature monitoring (Section 2.7).
+
+A control-flow error — a corrupted PC or branch target — may escape the MMU
+(if it lands inside the task's region) and even TEM (if it jumps straight to
+the output-writing code, bypassing the comparison).  The paper requires
+"specific checks ... to avoid that such control flow errors pass undetected".
+
+We implement assigned-signature monitoring: the task's program embeds ``SIG
+<value>`` checkpoints (see :mod:`repro.cpu.isa`); the machine folds the
+values into a running signature; the kernel compares the accumulated
+signature of a completed copy against the precomputed reference.  A copy
+that skipped or repeated blocks yields a different signature and is treated
+as a detected error — crucially, this check runs *in the kernel, after* the
+copy, so it also guards the path between computation and output commit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..cpu.machine import Machine
+from ..errors import ReproError
+
+#: Multiplier of the folding function — must match Machine's SIG semantics.
+SIGNATURE_MULTIPLIER = 31
+SIGNATURE_MASK = 0xFFFF_FFFF
+
+
+class ControlFlowError(ReproError):
+    """A signature check failed: the copy deviated from its control flow."""
+
+    mechanism = "control_flow"
+
+
+def fold_signature(checkpoints: Sequence[int], initial: int = 0) -> int:
+    """Reference signature for a checkpoint sequence.
+
+    Mirrors the SIG instruction: ``sig = sig * 31 + value`` per checkpoint,
+    truncated to 32 bits.
+    """
+    signature = initial
+    for value in checkpoints:
+        signature = (signature * SIGNATURE_MULTIPLIER + (int(value) & 0xFFFF)) & SIGNATURE_MASK
+    return signature
+
+
+class SignatureMonitor:
+    """Kernel-side verifier of a task's control-flow signature.
+
+    Parameters
+    ----------
+    expected_checkpoints:
+        The checkpoint values in correct execution order (the values of the
+        ``SIG`` instructions along the one legal path; tasks with branches
+        place SIGs only on the common path).
+    """
+
+    def __init__(self, expected_checkpoints: Sequence[int]) -> None:
+        self._expected = fold_signature(expected_checkpoints)
+        self.checks = 0
+        self.failures = 0
+
+    @property
+    def expected_signature(self) -> int:
+        return self._expected
+
+    def verify_value(self, signature: int) -> None:
+        """Check an accumulated signature value; raise on mismatch."""
+        self.checks += 1
+        if signature != self._expected:
+            self.failures += 1
+            raise ControlFlowError(
+                f"control-flow signature {signature:#010x} != expected "
+                f"{self._expected:#010x}"
+            )
+
+    def verify_machine(self, machine: Machine) -> None:
+        """Check the signature a machine accumulated during the last copy."""
+        self.verify_value(machine.signature)
+
+
+def instrument_assembly(source: str, checkpoints: Sequence[int]) -> str:
+    """Prepend/append SIG checkpoints around an assembly body.
+
+    A convenience for tests and examples: emits ``SIG c0`` before the body
+    and one ``SIG`` per remaining checkpoint immediately before every HALT.
+    For precise placement write the SIGs in the source directly.
+    """
+    if not checkpoints:
+        return source
+    head = f"    SIG {checkpoints[0]}\n"
+    tail_lines: List[str] = [f"    SIG {value}" for value in checkpoints[1:]]
+    tail = "\n".join(tail_lines)
+    out_lines: List[str] = []
+    for line in source.splitlines():
+        stripped = line.split(";")[0].strip().upper()
+        if stripped == "HALT" and tail:
+            out_lines.append(tail)
+        out_lines.append(line)
+    return head + "\n".join(out_lines)

@@ -1,0 +1,167 @@
+"""Data integrity checks and end-to-end error detection (Section 2.6).
+
+Data must be protected not only *during* computation (TEM covers that) but
+also before and after it.  The paper lists two software techniques on top of
+ECC memory:
+
+* **duplication with comparison** for small items — store two copies, compare
+  before use;
+* **CRC checksums** for larger structures.
+
+Both are provided here as guarded containers, plus an end-to-end message
+wrapper used by the communication layer.  All check failures raise
+:class:`IntegrityError`, which the kernel treats as a detected error (on a
+duplex node: omission failure + re-acquisition from the partner; Section
+2.6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from ..errors import ReproError
+
+T = TypeVar("T")
+
+#: CRC-16/CCITT-FALSE parameters (poly 0x1021, init 0xFFFF) — a standard
+#: choice in automotive/embedded protocols.
+_CRC16_POLY = 0x1021
+_CRC16_INIT = 0xFFFF
+
+
+class IntegrityError(ReproError):
+    """A data integrity check failed (duplication mismatch or bad CRC)."""
+
+    mechanism = "data_integrity"
+
+
+def crc16(data: bytes, initial: int = _CRC16_INIT) -> int:
+    """CRC-16/CCITT-FALSE over *data* (bitwise reference implementation)."""
+    crc = initial
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _CRC16_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def words_to_bytes(words: Sequence[int]) -> bytes:
+    """Serialise 32-bit words big-endian for checksumming."""
+    out = bytearray()
+    for word in words:
+        out.extend(int(word & 0xFFFF_FFFF).to_bytes(4, "big"))
+    return bytes(out)
+
+
+class DuplicatedValue(Generic[T]):
+    """A value stored twice; reads compare the copies (Section 2.6:
+    "The simplest is to duplicate the data and conduct a comparison before
+    it is used to reveal discrepancies").
+
+    The two copies are independent attributes so a fault injector can
+    corrupt one of them (:meth:`corrupt_primary` / :meth:`corrupt_shadow`).
+    """
+
+    def __init__(self, value: T) -> None:
+        self._primary = value
+        self._shadow = value
+
+    def read(self) -> T:
+        """Return the value after comparing the copies."""
+        if self._primary != self._shadow:
+            raise IntegrityError(
+                f"duplication mismatch: {self._primary!r} != {self._shadow!r}"
+            )
+        return self._primary
+
+    def write(self, value: T) -> None:
+        """Update both copies atomically."""
+        self._primary = value
+        self._shadow = value
+
+    # Fault-injection hooks ------------------------------------------------
+    def corrupt_primary(self, value: T) -> None:
+        self._primary = value
+
+    def corrupt_shadow(self, value: T) -> None:
+        self._shadow = value
+
+
+@dataclasses.dataclass
+class ChecksummedBlock:
+    """A list of words protected by a CRC-16 (for larger structures).
+
+    Typical use: a task's state data between jobs, or an output message
+    buffer awaiting transmission.
+    """
+
+    words: List[int]
+    checksum: int
+
+    @classmethod
+    def seal(cls, words: Sequence[int]) -> "ChecksummedBlock":
+        """Create a block with a freshly computed checksum."""
+        words = [int(w) & 0xFFFF_FFFF for w in words]
+        return cls(words=words, checksum=crc16(words_to_bytes(words)))
+
+    def verify(self) -> List[int]:
+        """Return the words after checking the CRC; raises on mismatch."""
+        actual = crc16(words_to_bytes(self.words))
+        if actual != self.checksum:
+            raise IntegrityError(
+                f"CRC mismatch: stored {self.checksum:#06x}, computed {actual:#06x}"
+            )
+        return list(self.words)
+
+    def corrupt_word(self, index: int, new_value: int) -> None:
+        """Fault-injection hook: overwrite one word without re-sealing."""
+        self.words[index] = int(new_value) & 0xFFFF_FFFF
+
+
+class ProtectedStore:
+    """A small key-value store for task *state data* with CRC protection.
+
+    State data is only committed when TEM has produced two matching results
+    (Section 2.5: "The task result is delivered and the state data are only
+    updated when two matching results have been produced"), so the store
+    offers an explicit :meth:`commit` and keeps the previous sealed value
+    until then.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, ChecksummedBlock] = {}
+        self.check_failures = 0
+
+    def commit(self, key: str, words: Sequence[int]) -> None:
+        """Seal and store a new value for *key*."""
+        self._blocks[key] = ChecksummedBlock.seal(words)
+
+    def fetch(self, key: str, default: Optional[Sequence[int]] = None) -> List[int]:
+        """Return the verified value; raises :class:`IntegrityError` on
+        corruption, KeyError for unknown keys without a default."""
+        block = self._blocks.get(key)
+        if block is None:
+            if default is not None:
+                return list(default)
+            raise KeyError(key)
+        try:
+            return block.verify()
+        except IntegrityError:
+            self.check_failures += 1
+            raise
+
+    def invalidate(self, key: str) -> None:
+        """Drop a (possibly corrupt) entry, forcing recovery from defaults
+        or from the partner node."""
+        self._blocks.pop(key, None)
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self._blocks)
+
+    def block(self, key: str) -> ChecksummedBlock:
+        """Raw access for fault injection and tests."""
+        return self._blocks[key]

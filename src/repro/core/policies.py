@@ -1,0 +1,83 @@
+"""Error-handling strategies per execution class (Section 2.2).
+
+The light-weight NLFT framework prescribes one strategy per class of
+execution:
+
+1. **Critical tasks** — tolerate all transient faults via TEM; enforce an
+   omission failure when recovery cannot meet the deadline.
+2. **Non-critical tasks** — shut the task down on the first detected error;
+   the rest of the node keeps running.
+3. **Real-time kernel** — any detected error silences the node; recovery is
+   escalated to the system level.
+
+:class:`NlftPolicy` encodes this decision table so node implementations and
+campaign classifiers share a single source of truth, and so ablation studies
+can swap in alternative policies (e.g. :func:`fail_silent_policy`, which
+models a conventional FS node by escalating *every* detected error).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..kernel.task import Criticality
+
+
+class ExecutionClass(enum.Enum):
+    """Where an error was detected."""
+
+    CRITICAL_TASK = "critical_task"
+    NON_CRITICAL_TASK = "non_critical_task"
+    KERNEL = "kernel"
+
+
+class ErrorResponse(enum.Enum):
+    """What the node does about a detected error."""
+
+    #: Re-execute under TEM; omission if the deadline forbids recovery.
+    MASK_WITH_TEM = "mask_with_tem"
+    #: Stop the offending task, keep the node alive.
+    SHUTDOWN_TASK = "shutdown_task"
+    #: Node becomes silent; system-level redundancy takes over.
+    FAIL_SILENT = "fail_silent"
+    #: Deliver nothing this period, reintegrate quickly.
+    OMISSION = "omission"
+
+
+@dataclasses.dataclass(frozen=True)
+class NlftPolicy:
+    """The strategy table of Section 2.2 (overridable per entry)."""
+
+    critical_task: ErrorResponse = ErrorResponse.MASK_WITH_TEM
+    non_critical_task: ErrorResponse = ErrorResponse.SHUTDOWN_TASK
+    kernel: ErrorResponse = ErrorResponse.FAIL_SILENT
+
+    def response_for(self, execution_class: ExecutionClass) -> ErrorResponse:
+        """Strategy for an error detected in the given execution class."""
+        return {
+            ExecutionClass.CRITICAL_TASK: self.critical_task,
+            ExecutionClass.NON_CRITICAL_TASK: self.non_critical_task,
+            ExecutionClass.KERNEL: self.kernel,
+        }[execution_class]
+
+    def classify(self, criticality: Criticality) -> ExecutionClass:
+        """Map a task's criticality to its execution class."""
+        if criticality is Criticality.CRITICAL:
+            return ExecutionClass.CRITICAL_TASK
+        return ExecutionClass.NON_CRITICAL_TASK
+
+
+def nlft_policy() -> NlftPolicy:
+    """The paper's light-weight NLFT strategy table."""
+    return NlftPolicy()
+
+
+def fail_silent_policy() -> NlftPolicy:
+    """A conventional fail-silent node: every detected error silences the
+    node (the FS baseline of the dependability analysis, Section 3.2.1)."""
+    return NlftPolicy(
+        critical_task=ErrorResponse.FAIL_SILENT,
+        non_critical_task=ErrorResponse.FAIL_SILENT,
+        kernel=ErrorResponse.FAIL_SILENT,
+    )

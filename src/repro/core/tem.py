@@ -1,0 +1,243 @@
+"""Temporal error masking (TEM) — the paper's key mechanism (Section 2.5).
+
+The logic is implemented as a **pure state machine**,
+:class:`TemStateMachine`, decoupled from any notion of time or scheduling.
+Two drivers use it:
+
+* the DES kernel (:mod:`repro.kernel.scheduler`) plays copies out over
+  simulated time with preemption and budget timers;
+* the direct fault-injection harness (:mod:`repro.faults.campaign`) drives
+  it with back-to-back machine runs.
+
+Protocol
+--------
+The driver repeatedly calls :meth:`TemStateMachine.next_action`:
+
+* ``RUN_COPY`` — execute one more copy of the task, then report the outcome
+  with :meth:`copy_completed` (a result was produced) or
+  :meth:`copy_aborted` (an EDM terminated the copy);
+* ``DELIVER`` — two matching results exist; commit the result/state;
+* ``OMIT`` — enforce an omission failure (deadline exhausted, or three
+  disagreeing results).
+
+The *deadline check* is delegated to a driver-supplied predicate
+``can_run_another_copy()``, because only the driver knows the current time,
+remaining slack and pending higher-priority load.  This mirrors the paper:
+"The kernel always checks the deadline of the task after an error is
+detected to determine whether it is possible to execute an additional task
+copy and still meet the deadline."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, List, Optional
+
+from ..errors import ReproError
+from ..types import Result
+from .comparison import majority_vote, results_match
+
+
+class TemAction(enum.Enum):
+    """What the driver must do next."""
+
+    RUN_COPY = "run_copy"
+    DELIVER = "deliver"
+    OMIT = "omit"
+
+
+class TemOutcome(enum.Enum):
+    """Terminal classification of one TEM-protected job."""
+
+    #: Delivered with no error observed anywhere (scenario i).
+    OK = "ok"
+    #: Errors occurred but a correct-by-vote result was delivered
+    #: (scenarios ii-iv).
+    MASKED = "masked"
+    #: No result delivered before the deadline (omission failure).
+    OMISSION = "omission"
+
+
+@dataclasses.dataclass
+class TemReport:
+    """Statistics of one completed TEM job (for coverage accounting)."""
+
+    outcome: TemOutcome
+    delivered_result: Optional[Result]
+    copies_run: int
+    errors_detected: int
+    detection_mechanisms: List[str]
+    omission_reason: Optional[str] = None
+
+
+class TemStateMachine:
+    """Drives one job of one critical task through TEM.
+
+    Parameters
+    ----------
+    can_run_another_copy:
+        Deadline predicate supplied by the driver; consulted before every
+        recovery copy (and before the mandatory second copy, since enforcing
+        an omission beats blowing the deadline mid-copy).
+    max_copies:
+        Hard cap on total executions per job — the fault-tolerant schedule
+        reserves slack for a bounded number of recoveries (Section 2.8);
+        reaching the cap forces an omission.
+    """
+
+    #: TEM needs two matching results; with a single spare that is at most
+    #: two clean copies plus one recovery per anticipated fault.
+    DEFAULT_MAX_COPIES = 5
+
+    def __init__(
+        self,
+        can_run_another_copy: Callable[[], bool],
+        max_copies: int = DEFAULT_MAX_COPIES,
+    ) -> None:
+        self._can_run_another_copy = can_run_another_copy
+        self._max_copies = max_copies
+        self._results: List[Result] = []
+        self._copies_run = 0
+        self._errors_detected = 0
+        self._mechanisms: List[str] = []
+        self._finished: Optional[TemReport] = None
+        self._pending_copy = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once DELIVER or OMIT has been decided."""
+        return self._finished is not None
+
+    @property
+    def report(self) -> TemReport:
+        """The terminal report; raises if the job is still in progress."""
+        if self._finished is None:
+            raise ReproError("TEM job still in progress; no report yet")
+        return self._finished
+
+    @property
+    def copies_run(self) -> int:
+        return self._copies_run
+
+    @property
+    def errors_detected(self) -> int:
+        """Detected errors so far (comparison mismatches and EDM aborts)."""
+        return self._errors_detected
+
+    # ------------------------------------------------------------------
+    # Driver protocol
+    # ------------------------------------------------------------------
+    def next_action(self) -> TemAction:
+        """What should the driver do now?"""
+        if self._finished is not None:
+            return TemAction.DELIVER if self._finished.delivered_result is not None else TemAction.OMIT
+        if self._pending_copy:
+            raise ReproError("previous copy not yet reported; call copy_completed/aborted")
+        # Two completed results: compare (the TEM error-detection comparison).
+        if len(self._results) >= 2:
+            vote = majority_vote(self._results)
+            if vote is not None:
+                self._finish_delivered(vote)
+                return TemAction.DELIVER
+            if len(self._results) >= 3:
+                # Three disagreeing results: no majority -> omission.
+                self._finish_omitted("no_majority")
+                return TemAction.OMIT
+            # Mismatch between the two results counts as a detected error.
+            self._note_error("comparison")
+            return self._try_start_copy(reason="comparison mismatch")
+        return self._try_start_copy(reason="initial copies")
+
+    def copy_completed(self, result: Result) -> None:
+        """Report that the running copy finished and produced *result*."""
+        self._expect_pending()
+        self._results.append(tuple(result))
+
+    def copy_aborted(self, mechanism: str) -> None:
+        """Report that an EDM terminated the running copy.
+
+        Following Section 2.5, the aborted copy yields no result; the state
+        machine will ask for a replacement copy if the deadline allows.
+        """
+        self._expect_pending()
+        self._note_error(mechanism)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _expect_pending(self) -> None:
+        if not self._pending_copy:
+            raise ReproError("no copy is currently running")
+        self._pending_copy = False
+
+    def _note_error(self, mechanism: str) -> None:
+        self._errors_detected += 1
+        self._mechanisms.append(mechanism)
+
+    def _try_start_copy(self, reason: str) -> TemAction:
+        if self._copies_run >= self._max_copies:
+            self._finish_omitted(f"copy budget exhausted ({reason})")
+            return TemAction.OMIT
+        # The first copy always runs (no error handled yet); subsequent
+        # copies are gated by the deadline check.
+        if self._copies_run > 0 and not self._can_run_another_copy():
+            self._finish_omitted(f"deadline does not allow another copy ({reason})")
+            return TemAction.OMIT
+        self._copies_run += 1
+        self._pending_copy = True
+        return TemAction.RUN_COPY
+
+    def _finish_delivered(self, result: Result) -> None:
+        outcome = TemOutcome.OK if self._errors_detected == 0 else TemOutcome.MASKED
+        self._finished = TemReport(
+            outcome=outcome,
+            delivered_result=result,
+            copies_run=self._copies_run,
+            errors_detected=self._errors_detected,
+            detection_mechanisms=list(self._mechanisms),
+        )
+
+    def _finish_omitted(self, reason: str) -> None:
+        self._finished = TemReport(
+            outcome=TemOutcome.OMISSION,
+            delivered_result=None,
+            copies_run=self._copies_run,
+            errors_detected=self._errors_detected,
+            detection_mechanisms=list(self._mechanisms),
+            omission_reason=reason,
+        )
+
+
+def run_tem_direct(
+    execute_copy: Callable[[int], "tuple[Optional[Result], Optional[str]]"],
+    can_run_another_copy: Callable[[], bool] = lambda: True,
+    max_copies: int = TemStateMachine.DEFAULT_MAX_COPIES,
+) -> TemReport:
+    """Convenience driver running TEM to completion without a scheduler.
+
+    Parameters
+    ----------
+    execute_copy:
+        Called with the copy index (0-based); returns ``(result, None)``
+        for a completed copy or ``(None, mechanism)`` when an EDM fired.
+
+    Used by fault-injection campaigns and unit tests.
+    """
+    machine = TemStateMachine(can_run_another_copy, max_copies=max_copies)
+    copy_index = 0
+    while True:
+        action = machine.next_action()
+        if action is not TemAction.RUN_COPY:
+            return machine.report
+        result, mechanism = execute_copy(copy_index)
+        copy_index += 1
+        if mechanism is not None:
+            machine.copy_aborted(mechanism)
+        else:
+            if result is None:
+                raise ReproError("execute_copy returned neither result nor mechanism")
+            machine.copy_completed(result)

@@ -1,0 +1,65 @@
+"""Simulated COTS processor: registers, ECC memory, MMU, mini ISA, EDMs.
+
+This package substitutes the physical Thor / Motorola 68340 targets of the
+paper's prototype studies [7, 8]; see DESIGN.md for the substitution
+rationale.
+"""
+
+from .assembler import AssembledProgram, assemble
+from .exceptions import (
+    AddressError,
+    BusError,
+    DivisionByZeroError,
+    EccUncorrectableError,
+    HardwareException,
+    IllegalOpcodeError,
+    PrivilegeViolationError,
+    WatchdogError,
+)
+from .isa import Instruction, decode, encode
+from .machine import Machine, RunResult
+from .memory import EccStatistics, Memory
+from .mmu import ACCESS_EXECUTE, ACCESS_READ, ACCESS_WRITE, KERNEL_DOMAIN, Mmu, Region
+from .profiles import FaultEffect, ManifestationProfile
+from .registers import (
+    ALL_REGISTERS,
+    DATA_REGISTERS,
+    WORD_BITS,
+    WORD_MASK,
+    Context,
+    RegisterFile,
+)
+
+__all__ = [
+    "ACCESS_EXECUTE",
+    "ACCESS_READ",
+    "ACCESS_WRITE",
+    "ALL_REGISTERS",
+    "AddressError",
+    "AssembledProgram",
+    "BusError",
+    "Context",
+    "DATA_REGISTERS",
+    "DivisionByZeroError",
+    "EccStatistics",
+    "EccUncorrectableError",
+    "FaultEffect",
+    "HardwareException",
+    "IllegalOpcodeError",
+    "Instruction",
+    "KERNEL_DOMAIN",
+    "Machine",
+    "ManifestationProfile",
+    "Memory",
+    "Mmu",
+    "PrivilegeViolationError",
+    "Region",
+    "RegisterFile",
+    "RunResult",
+    "WORD_BITS",
+    "WORD_MASK",
+    "WatchdogError",
+    "assemble",
+    "decode",
+    "encode",
+]

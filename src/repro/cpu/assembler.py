@@ -1,0 +1,192 @@
+"""A two-pass assembler for the mini ISA.
+
+Source syntax (one instruction per line)::
+
+    ; comments start with ';' or '#'
+    start:  MOVEI  D0, 10        ; rd, immediate
+            LOAD   D1, A0, 4     ; rd, base register, offset
+            ADD    D2, D0, D1    ; rd, ra, rb
+            CMPI   D2, 0
+            BEQ    done          ; labels resolve to pc-relative offsets
+            STORE  D2, A1, 0
+    done:   HALT
+
+* Registers: ``D0``-``D7``, ``A0``-``A6``, ``SP``.
+* Immediates: decimal or ``0x`` hexadecimal.
+* ``.word <value>`` emits a literal data word (constants in ROM).
+* Branch targets may be labels (PC-relative) or numeric offsets; ``JSR``/
+  ``JMP``-by-label use absolute addresses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..errors import ProgramError
+from .isa import BRANCHES, OPCODES, REGISTER_INDEX, THREE_REG, TWO_REG_IMM, encode
+
+
+@dataclasses.dataclass(frozen=True)
+class AssembledProgram:
+    """The output of :func:`assemble`.
+
+    Attributes
+    ----------
+    words:
+        Encoded instruction/data words, to be loaded at ``origin``.
+    labels:
+        Label -> absolute word address.
+    origin:
+        Load address of the first word.
+    """
+
+    words: List[int]
+    labels: Dict[str, int]
+    origin: int
+
+    @property
+    def size(self) -> int:
+        return len(self.words)
+
+    def address_of(self, label: str) -> int:
+        """Absolute address of *label*; raises for unknown labels."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise ProgramError(f"unknown label {label!r}") from None
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_operand(token: str) -> Tuple[str, int]:
+    """Classify an operand token: ('reg', index) | ('imm', value) | ('label', _)."""
+    token = token.strip()
+    upper = token.upper()
+    if upper in REGISTER_INDEX:
+        return "reg", REGISTER_INDEX[upper]
+    try:
+        return "imm", int(token, 0)
+    except ValueError:
+        if token and (token[0].isalpha() or token[0] == "_"):
+            return "label", 0
+        raise ProgramError(f"cannot parse operand {token!r}") from None
+
+
+def assemble(source: str, origin: int = 0) -> AssembledProgram:
+    """Assemble *source* into an :class:`AssembledProgram`.
+
+    Two passes: the first assigns addresses to labels, the second encodes
+    instructions with label references resolved.
+    """
+    lines = source.splitlines()
+    # Pass 1: label addresses.
+    labels: Dict[str, int] = {}
+    address = origin
+    parsed: List[Tuple[int, str, List[str]]] = []  # (address, mnemonic, operands)
+    for line_number, raw in enumerate(lines, start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not label:
+                raise ProgramError(f"line {line_number}: empty label")
+            if label in labels:
+                raise ProgramError(f"line {line_number}: duplicate label {label!r}")
+            labels[label] = address
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        mnemonic = parts[0].upper()
+        operands = parts[1:]
+        if mnemonic != ".WORD" and mnemonic not in OPCODES:
+            raise ProgramError(f"line {line_number}: unknown mnemonic {mnemonic!r}")
+        parsed.append((address, mnemonic, operands))
+        address += 1
+    # Pass 2: encoding.
+    words: List[int] = []
+    for address, mnemonic, operands in parsed:
+        words.append(_encode_line(address, mnemonic, operands, labels))
+    return AssembledProgram(words=words, labels=labels, origin=origin)
+
+
+def _encode_line(
+    address: int, mnemonic: str, operands: List[str], labels: Dict[str, int]
+) -> int:
+    def resolve(token: str, relative: bool) -> int:
+        kind, value = _parse_operand(token)
+        if kind == "label":
+            target = labels.get(token)
+            if target is None:
+                raise ProgramError(f"undefined label {token!r}")
+            return target - (address + 1) if relative else target
+        if kind == "imm":
+            return value
+        raise ProgramError(f"{mnemonic}: expected immediate/label, got register {token!r}")
+
+    def reg(token: str) -> int:
+        kind, value = _parse_operand(token)
+        if kind != "reg":
+            raise ProgramError(f"{mnemonic}: expected register, got {token!r}")
+        return value
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise ProgramError(
+                f"{mnemonic} expects {count} operand(s), got {len(operands)}: {operands}"
+            )
+
+    if mnemonic == ".WORD":
+        need(1)
+        return resolve(operands[0], relative=False) & 0xFFFF_FFFF
+    if mnemonic in ("NOP", "HALT", "RTS"):
+        need(0)
+        return encode(mnemonic)
+    if mnemonic == "MOVE":
+        need(2)
+        return encode("MOVE", rd=reg(operands[0]), ra=reg(operands[1]))
+    if mnemonic in ("MOVEI", "MOVEHI"):
+        need(2)
+        return encode(mnemonic, rd=reg(operands[0]), imm=resolve(operands[1], relative=False))
+    if mnemonic in ("PUSH", "POP"):
+        need(1)
+        return encode(mnemonic, rd=reg(operands[0]))
+    if mnemonic in THREE_REG and mnemonic != "CMP":
+        need(3)
+        return encode(mnemonic, rd=reg(operands[0]), ra=reg(operands[1]), rb=reg(operands[2]))
+    if mnemonic == "CMP":
+        need(2)
+        return encode("CMP", ra=reg(operands[0]), rb=reg(operands[1]))
+    if mnemonic == "CMPI":
+        need(2)
+        return encode("CMPI", ra=reg(operands[0]), imm=resolve(operands[1], relative=False))
+    if mnemonic in TWO_REG_IMM:
+        need(3)
+        return encode(
+            mnemonic,
+            rd=reg(operands[0]),
+            ra=reg(operands[1]),
+            imm=resolve(operands[2], relative=False),
+        )
+    if mnemonic in BRANCHES:
+        need(1)
+        return encode(mnemonic, imm=resolve(operands[0], relative=True))
+    if mnemonic == "JMP":
+        need(1)
+        return encode("JMP", ra=reg(operands[0]))
+    if mnemonic == "JSR":
+        need(1)
+        return encode("JSR", imm=resolve(operands[0], relative=False))
+    if mnemonic == "SIG":
+        need(1)
+        return encode("SIG", imm=resolve(operands[0], relative=False))
+    raise ProgramError(f"unhandled mnemonic {mnemonic!r}")  # pragma: no cover

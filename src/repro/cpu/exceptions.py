@@ -1,0 +1,80 @@
+"""Hardware error-detection exceptions of the simulated COTS processor.
+
+The paper (Section 2.4, Table 1) relies on the error-detection mechanisms
+(EDMs) of modern COTS microprocessors: illegal op-code detection, address
+range checking (MMU), bus errors, division traps and ECC on memories.  Each
+mechanism is modelled as a distinct Python exception carrying enough context
+for the kernel's recovery decision (which task, which address, which EDM).
+
+The empirical findings of ref. [8] — *illegal instruction* exceptions
+typically stem from PC corruption, *address/bus* errors from SP corruption —
+emerge naturally here, because flipping PC bits makes the processor fetch
+words that do not decode, and flipping SP bits makes stack accesses leave the
+task's MMU region.
+"""
+
+from __future__ import annotations
+
+from ..errors import MachineError
+
+
+class HardwareException(MachineError):
+    """Base class of all CPU-detected errors.
+
+    Attributes
+    ----------
+    mechanism:
+        Short EDM identifier used by coverage accounting
+        (``"illegal_opcode"``, ``"address_error"``, ...).
+    address:
+        Faulting memory address, when meaningful.
+    """
+
+    mechanism = "hardware"
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+
+
+class IllegalOpcodeError(HardwareException):
+    """Fetched word does not decode to a valid instruction."""
+
+    mechanism = "illegal_opcode"
+
+
+class AddressError(HardwareException):
+    """Memory access outside the current task's MMU regions."""
+
+    mechanism = "address_error"
+
+
+class BusError(HardwareException):
+    """Memory access outside physical memory."""
+
+    mechanism = "bus_error"
+
+
+class DivisionByZeroError(HardwareException):
+    """Integer division trap."""
+
+    mechanism = "divide_by_zero"
+
+
+class EccUncorrectableError(HardwareException):
+    """SEC-DED ECC detected a double-bit (uncorrectable) memory error."""
+
+    mechanism = "ecc_detect"
+
+
+class PrivilegeViolationError(HardwareException):
+    """User-mode code executed a supervisor-only instruction."""
+
+    mechanism = "privilege_violation"
+
+
+class WatchdogError(HardwareException):
+    """Execution budget exhausted (raised by the kernel's budget timer,
+    listed here because it is surfaced through the same EDM accounting)."""
+
+    mechanism = "execution_time"

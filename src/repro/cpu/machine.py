@@ -1,0 +1,377 @@
+"""The simulated COTS processor: fetch/decode/execute with EDM hooks.
+
+The :class:`Machine` ties together the register file, ECC memory and MMU and
+executes mini-ISA programs.  It is deliberately *not* cycle-accurate below
+the instruction level — the paper's analysis needs faithful *error
+semantics*, not micro-architecture:
+
+* every hardware-detectable error raises a
+  :class:`~repro.cpu.exceptions.HardwareException` (the EDMs of Table 1);
+* every instruction advances a cycle counter from which the kernel derives
+  execution times;
+* all architectural state (registers, memory) is open to bit-exact fault
+  injection.
+
+Running a program returns a :class:`RunResult`; the kernel and the TEM
+executor inspect it to drive comparison, voting and recovery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import MachineError, MachineHalted, ProgramError
+from .assembler import AssembledProgram
+from .exceptions import (
+    DivisionByZeroError,
+    HardwareException,
+    IllegalOpcodeError,
+)
+from .isa import Instruction, decode, register_name, sign_extend_16
+from .memory import Memory
+from .mmu import ACCESS_EXECUTE, ACCESS_READ, ACCESS_WRITE, Mmu
+from .registers import (
+    FLAG_NEGATIVE,
+    FLAG_ZERO,
+    WORD_MASK,
+    Context,
+    RegisterFile,
+)
+
+#: Default machine geometry (words).
+DEFAULT_MEMORY_WORDS = 16_384
+DEFAULT_ROM_WORDS = 4_096
+
+#: Default clock: 1 cycle = 1 simulator tick (1 us), i.e. a 1 MHz machine.
+#: Slow by modern standards but keeps numbers easy to read in traces; the
+#: kernel scales task WCETs accordingly.
+DEFAULT_CYCLE_TICKS = 1
+
+
+def _to_signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one :meth:`Machine.run` invocation.
+
+    Attributes
+    ----------
+    halted:
+        True if the program reached HALT normally.
+    exception:
+        The hardware exception that stopped execution, if any.
+    steps / cycles:
+        Instructions executed and cycles consumed.
+    """
+
+    halted: bool
+    exception: Optional[HardwareException]
+    steps: int
+    cycles: int
+
+    @property
+    def ok(self) -> bool:
+        """True for a clean HALT with no exception."""
+        return self.halted and self.exception is None
+
+
+class Machine:
+    """A simulated single-core COTS processor.
+
+    Parameters
+    ----------
+    memory_words / rom_words:
+        Physical memory size and the read-only prefix reserved for code and
+        constants.
+    ecc_enabled / mmu_enabled:
+        Toggle the corresponding EDMs (fault-injection ablations).
+    cycle_ticks:
+        Simulator ticks per CPU cycle (links machine time to DES time).
+    """
+
+    def __init__(
+        self,
+        memory_words: int = DEFAULT_MEMORY_WORDS,
+        rom_words: int = DEFAULT_ROM_WORDS,
+        ecc_enabled: bool = True,
+        mmu_enabled: bool = True,
+        cycle_ticks: int = DEFAULT_CYCLE_TICKS,
+    ) -> None:
+        self.registers = RegisterFile()
+        self.memory = Memory(memory_words, rom_limit=rom_words, ecc_enabled=ecc_enabled)
+        self.mmu = Mmu(enabled=mmu_enabled)
+        self.cycle_ticks = int(cycle_ticks)
+        self.cycle_count = 0
+        self.instruction_count = 0
+        self.signature = 0
+        self._halted = False
+        self._exception_log: List[HardwareException] = []
+
+    # ------------------------------------------------------------------
+    # Program loading
+    # ------------------------------------------------------------------
+    def load_program(self, program: AssembledProgram) -> None:
+        """Copy an assembled program into ROM (does not seal)."""
+        self.memory.load_rom(program.origin, program.words)
+
+    def seal_rom(self) -> None:
+        """Freeze the code/constant region against writes."""
+        self.memory.seal_rom()
+
+    # ------------------------------------------------------------------
+    # State control
+    # ------------------------------------------------------------------
+    @property
+    def halted(self) -> bool:
+        """True after HALT; cleared by :meth:`prepare`."""
+        return self._halted
+
+    def prepare(self, entry: int, stack_top: Optional[int] = None) -> None:
+        """Arm the machine to run from *entry* with a fresh stack.
+
+        The register file is cleared (a job starts from a defined context,
+        which is also what the TCB snapshot captures), PC set to *entry*, SP
+        to *stack_top* (default: top of memory), and the control-flow
+        signature accumulator reset.
+        """
+        self.registers.reset()
+        self.registers["PC"] = entry
+        self.registers["SP"] = stack_top if stack_top is not None else self.memory.size_words
+        self.signature = 0
+        self._halted = False
+
+    def save_context(self) -> Context:
+        """Snapshot the register file (for the task control block)."""
+        return self.registers.save_context()
+
+    def restore_context(self, context: Context) -> None:
+        """Restore a register snapshot (recovery from CPU-detected errors)."""
+        self.registers.restore_context(context)
+        self._halted = False
+
+    @property
+    def exception_log(self) -> List[HardwareException]:
+        """All hardware exceptions raised so far (coverage accounting)."""
+        return self._exception_log
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Fetch, decode and execute one instruction.
+
+        Raises the corresponding :class:`HardwareException` when an EDM
+        fires; the exception is also appended to :attr:`exception_log`.
+        """
+        if self._halted:
+            raise MachineHalted("machine is halted; call prepare() first")
+        try:
+            self._step_inner()
+        except HardwareException as exc:
+            self._exception_log.append(exc)
+            raise
+
+    def _step_inner(self) -> None:
+        pc = self.registers["PC"]
+        self.mmu.check(pc, ACCESS_EXECUTE)
+        word = self.memory.read(pc)
+        instruction = decode(word)
+        if instruction is None:
+            raise IllegalOpcodeError(
+                f"illegal opcode {word >> 24 & 0xFF:#04x} at address {pc:#x}",
+                address=pc,
+            )
+        self.registers["PC"] = (pc + 1) & WORD_MASK
+        self._execute(instruction)
+        self.instruction_count += 1
+        self.cycle_count += instruction.cycles
+
+    def run(
+        self, max_steps: int = 1_000_000, stop_on_exception: bool = True
+    ) -> RunResult:
+        """Run until HALT, a hardware exception, or *max_steps*.
+
+        *max_steps* models the kernel's execution-time budget at machine
+        level; exceeding it returns a result with ``halted=False`` and no
+        exception, which the budget-timer machinery converts into a timing
+        EDM event.
+        """
+        start_steps = self.instruction_count
+        start_cycles = self.cycle_count
+        exception: Optional[HardwareException] = None
+        while not self._halted and self.instruction_count - start_steps < max_steps:
+            try:
+                self.step()
+            except HardwareException as exc:
+                exception = exc
+                if stop_on_exception:
+                    break
+        return RunResult(
+            halted=self._halted,
+            exception=exception,
+            steps=self.instruction_count - start_steps,
+            cycles=self.cycle_count - start_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+    def _execute(self, ins: Instruction) -> None:
+        name = ins.mnemonic
+        regs = self.registers
+        if name == "NOP":
+            return
+        if name == "HALT":
+            self._halted = True
+            return
+        if name == "MOVE":
+            regs[register_name(ins.rd)] = regs[register_name(ins.ra)]
+            return
+        if name == "MOVEI":
+            regs[register_name(ins.rd)] = ins.imm & WORD_MASK
+            return
+        if name == "MOVEHI":
+            low = regs[register_name(ins.rd)] & 0xFFFF
+            regs[register_name(ins.rd)] = ((ins.imm & 0xFFFF) << 16) | low
+            return
+        if name == "LOAD":
+            address = (regs[register_name(ins.ra)] + ins.imm) & WORD_MASK
+            self.mmu.check(address, ACCESS_READ)
+            regs[register_name(ins.rd)] = self.memory.read(address)
+            return
+        if name == "STORE":
+            address = (regs[register_name(ins.ra)] + ins.imm) & WORD_MASK
+            self.mmu.check(address, ACCESS_WRITE)
+            self.memory.write(address, regs[register_name(ins.rd)])
+            return
+        if name == "PUSH":
+            sp = (regs["SP"] - 1) & WORD_MASK
+            self.mmu.check(sp, ACCESS_WRITE)
+            self.memory.write(sp, regs[register_name(ins.rd)])
+            regs["SP"] = sp
+            return
+        if name == "POP":
+            sp = regs["SP"]
+            self.mmu.check(sp, ACCESS_READ)
+            regs[register_name(ins.rd)] = self.memory.read(sp)
+            regs["SP"] = (sp + 1) & WORD_MASK
+            return
+        if name in ("ADD", "SUB", "MUL", "DIV", "AND", "OR", "XOR"):
+            a = regs[register_name(ins.ra)]
+            b = regs[register_name(ins.rb)]
+            regs[register_name(ins.rd)] = self._alu(name, a, b)
+            return
+        if name in ("ADDI", "SUBI", "MULI", "DIVI", "ANDI", "ORI", "XORI"):
+            a = regs[register_name(ins.ra)]
+            regs[register_name(ins.rd)] = self._alu(name[:-1], a, ins.imm & WORD_MASK)
+            return
+        if name == "SHL":
+            a = regs[register_name(ins.ra)]
+            regs[register_name(ins.rd)] = (a << (ins.imm & 31)) & WORD_MASK
+            return
+        if name == "SHR":
+            a = regs[register_name(ins.ra)]
+            regs[register_name(ins.rd)] = (a & WORD_MASK) >> (ins.imm & 31)
+            return
+        if name == "CMP":
+            self._compare(regs[register_name(ins.ra)], regs[register_name(ins.rb)])
+            return
+        if name == "CMPI":
+            self._compare(regs[register_name(ins.ra)], ins.imm & WORD_MASK)
+            return
+        if name in ("BRA", "BEQ", "BNE", "BLT", "BGE"):
+            if self._branch_taken(name):
+                regs["PC"] = (regs["PC"] + ins.imm) & WORD_MASK
+            return
+        if name == "JMP":
+            regs["PC"] = regs[register_name(ins.ra)]
+            return
+        if name == "JSR":
+            sp = (regs["SP"] - 1) & WORD_MASK
+            self.mmu.check(sp, ACCESS_WRITE)
+            self.memory.write(sp, regs["PC"])
+            regs["SP"] = sp
+            regs["PC"] = ins.imm & WORD_MASK
+            return
+        if name == "RTS":
+            sp = regs["SP"]
+            self.mmu.check(sp, ACCESS_READ)
+            regs["PC"] = self.memory.read(sp)
+            regs["SP"] = (sp + 1) & WORD_MASK
+            return
+        if name == "SIG":
+            # Control-flow signature checkpoint (see repro.core.control_flow).
+            self.signature = (self.signature * 31 + (ins.imm & 0xFFFF)) & WORD_MASK
+            return
+        raise ProgramError(f"decoder produced unexecutable instruction {ins}")
+
+    def _alu(self, op: str, a: int, b: int) -> int:
+        if op == "ADD":
+            result = a + b
+        elif op == "SUB":
+            result = a - b
+        elif op == "MUL":
+            result = _to_signed(a) * _to_signed(b)
+        elif op == "DIV":
+            if (b & WORD_MASK) == 0:
+                raise DivisionByZeroError("integer division by zero")
+            result = int(_to_signed(a) / _to_signed(b))  # trunc toward zero
+        elif op == "AND":
+            result = a & b
+        elif op == "OR":
+            result = a | b
+        elif op == "XOR":
+            result = a ^ b
+        else:  # pragma: no cover - exhaustive above
+            raise ProgramError(f"unknown ALU op {op}")
+        self.registers.update_arith_flags(result)
+        return result & WORD_MASK
+
+    def _compare(self, a: int, b: int) -> None:
+        diff = _to_signed(a) - _to_signed(b)
+        self.registers.set_flag(FLAG_ZERO, diff == 0)
+        self.registers.set_flag(FLAG_NEGATIVE, diff < 0)
+
+    def _branch_taken(self, name: str) -> bool:
+        if name == "BRA":
+            return True
+        zero = self.registers.get_flag(FLAG_ZERO)
+        negative = self.registers.get_flag(FLAG_NEGATIVE)
+        return {
+            "BEQ": zero,
+            "BNE": not zero,
+            "BLT": negative,
+            "BGE": not negative,
+        }[name]
+
+    # ------------------------------------------------------------------
+    # I/O convenience (memory-mapped task inputs/outputs)
+    # ------------------------------------------------------------------
+    def write_words(self, base: int, values: Sequence[int]) -> None:
+        """Write a block of words (kernel-mode, bypasses task MMU domain)."""
+        previous = self.mmu.domain
+        self.mmu.enter_kernel()
+        try:
+            for offset, value in enumerate(values):
+                self.memory.write(base + offset, int(value) & WORD_MASK)
+        finally:
+            self.mmu.enter_domain(previous)
+
+    def read_words(self, base: int, count: int) -> List[int]:
+        """Read a block of words in kernel mode (ECC applies)."""
+        previous = self.mmu.domain
+        self.mmu.enter_kernel()
+        try:
+            return [self.memory.read(base + offset) for offset in range(count)]
+        finally:
+            self.mmu.enter_domain(previous)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(pc={self.registers['PC']:#x}, halted={self._halted}, "
+            f"cycles={self.cycle_count})"
+        )

@@ -1,0 +1,108 @@
+"""Fault-manifestation profiles for callable (non-ISA) tasks.
+
+Two task representations coexist in the library:
+
+* **Machine tasks** run real mini-ISA programs on :class:`~repro.cpu.machine.
+  Machine`; injected bit flips produce emergent behaviour.  They are the
+  high-fidelity path used to *estimate* coverage parameters (experiment E5).
+* **Callable tasks** are plain Python functions.  They are orders of
+  magnitude faster — the right choice for long distributed simulations — but
+  a bit flip cannot act on Python state directly.  For them, a
+  :class:`ManifestationProfile` maps an injected fault to its architectural
+  *effect*, with probabilities calibrated against the machine-level
+  campaigns (and ultimately against the fault-injection literature the paper
+  cites [7, 8]).
+
+The effect taxonomy follows Section 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class FaultEffect(enum.Enum):
+    """How an activated fault manifests during a task execution."""
+
+    #: Fault overwritten or latent — no observable effect.
+    NO_EFFECT = "no_effect"
+    #: Wrong computation result; only comparison/voting can catch it.
+    WRONG_RESULT = "wrong_result"
+    #: CPU hardware exception (illegal opcode, address/bus error, trap).
+    HARDWARE_EXCEPTION = "hardware_exception"
+    #: Runaway/slow execution; caught by the budget timer.
+    TIMING_OVERRUN = "timing_overrun"
+    #: Control flow skips the comparison/vote and emits an unchecked result
+    #: (the dangerous rare case of Section 2.7).
+    UNDETECTED_WRONG_OUTPUT = "undetected_wrong_output"
+    #: Fault hits the kernel's own execution (Section 2.2 strategy 3).
+    KERNEL_CORRUPTION = "kernel_corruption"
+
+
+@dataclasses.dataclass(frozen=True)
+class ManifestationProfile:
+    """A categorical distribution over :class:`FaultEffect`.
+
+    The default numbers follow the experimental findings the paper builds
+    on: most activated transients either vanish (overwritten/latent) or
+    corrupt data (caught by TEM comparison); a substantial fraction raise
+    hardware exceptions; timing overruns and vote-bypassing control-flow
+    errors are rare; about 5% of CPU time — and hence of uniformly arriving
+    faults — hits the kernel [10].
+    """
+
+    probabilities: Dict[FaultEffect, float] = dataclasses.field(
+        default_factory=lambda: {
+            FaultEffect.NO_EFFECT: 0.40,
+            FaultEffect.WRONG_RESULT: 0.30,
+            FaultEffect.HARDWARE_EXCEPTION: 0.20,
+            FaultEffect.TIMING_OVERRUN: 0.02,
+            FaultEffect.UNDETECTED_WRONG_OUTPUT: 0.01,
+            FaultEffect.KERNEL_CORRUPTION: 0.07,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        total = sum(self.probabilities.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"manifestation probabilities sum to {total}, expected 1"
+            )
+        if any(p < 0 for p in self.probabilities.values()):
+            raise ConfigurationError("manifestation probabilities must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> FaultEffect:
+        """Draw one effect according to the profile."""
+        effects = list(self.probabilities)
+        weights = np.array([self.probabilities[e] for e in effects])
+        index = rng.choice(len(effects), p=weights / weights.sum())
+        return effects[int(index)]
+
+    @classmethod
+    def benign(cls) -> "ManifestationProfile":
+        """All faults vanish — useful as a test baseline."""
+        probabilities = {effect: 0.0 for effect in FaultEffect}
+        probabilities[FaultEffect.NO_EFFECT] = 1.0
+        return cls(probabilities=probabilities)
+
+    @classmethod
+    def data_only(cls) -> "ManifestationProfile":
+        """Every fault corrupts data (exercises TEM comparison paths)."""
+        probabilities = {effect: 0.0 for effect in FaultEffect}
+        probabilities[FaultEffect.WRONG_RESULT] = 1.0
+        return cls(probabilities=probabilities)
+
+    @classmethod
+    def from_campaign(cls, counts: Dict[FaultEffect, int]) -> "ManifestationProfile":
+        """Build a profile from observed machine-level campaign counts."""
+        total = sum(counts.values())
+        if total <= 0:
+            raise ConfigurationError("campaign counts are empty")
+        probabilities = {effect: counts.get(effect, 0) / total for effect in FaultEffect}
+        return cls(probabilities=probabilities)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the NLFT reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class SchedulingError(ReproError):
+    """Raised for invalid task sets or scheduler misuse."""
+
+
+class DeadlineMissedError(SchedulingError):
+    """Raised when a job overruns its deadline and no recovery is possible.
+
+    The NLFT kernel normally converts deadline overruns into *omission
+    failures* rather than raising; this exception signals an internal
+    inconsistency (e.g. a job observed past its deadline without the budget
+    timer having fired).
+    """
+
+
+class MachineError(ReproError):
+    """Base class for errors of the simulated COTS processor."""
+
+
+class MachineHalted(MachineError):
+    """Raised when an operation is attempted on a halted processor."""
+
+
+class ProgramError(MachineError):
+    """Raised for malformed mini-ISA programs (assembler or loader errors)."""
+
+
+class ModelError(ReproError):
+    """Raised for structurally invalid reliability models."""
+
+
+class NotAbsorbingError(ModelError):
+    """Raised when an absorbing-chain analysis is applied to a CTMC
+    without absorbing states reachable from the initial distribution."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid parameter values or inconsistent configurations."""
+
+
+class NetworkError(ReproError):
+    """Raised for communication-schedule violations on the simulated bus."""

@@ -1,0 +1,94 @@
+"""Minimal ASCII line-chart rendering for experiment output.
+
+The benchmark harness prints the same series the paper plots; a small
+terminal chart makes curve *shapes* (who wins, where curves cross) visible
+directly in CI logs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+Series = Sequence[Tuple[float, float]]
+
+_MARKERS = "*o+x#@%&"
+
+
+def render_chart(
+    series: Dict[str, Series],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Values are linearly binned onto a width x height grid; each series gets
+    a marker character, later series overwrite earlier ones on collisions.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    points = [p for s in series.values() for p in s]
+    if not points:
+        raise ConfigurationError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(ys) if y_min is None else y_min
+    y_hi = max(ys) if y_max is None else y_max
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return max(0, min(height - 1, row)), max(0, min(width - 1, col))
+
+    legend: List[str] = []
+    for index, (name, data) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"  {marker} {name}")
+        for x, y in data:
+            row, col = to_cell(x, y)
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_label} ({y_lo:.3g} .. {y_hi:.3g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width text table (the benchmark harness's row output)."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ConfigurationError(f"row {row} does not match headers {headers}")
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(cells[0])))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells[1:]:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

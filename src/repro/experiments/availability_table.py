@@ -1,0 +1,101 @@
+"""Experiment E13 (extension) — availability under maintenance.
+
+The paper analyses pure reliability (no repair of permanent faults), the
+right measure for a single mission.  Over a vehicle's service life the
+relevant measure is *availability*: permanently failed nodes are replaced
+at garage visits, and a failed system is towed and repaired.  This
+experiment adds those repairs to the generalized models and reports:
+
+* steady-state availability of the wheel subsystem (3-out-of-4) for FS vs
+  NLFT nodes across service responsiveness (mean node-replacement time);
+* expected downtime hours per year;
+* the NLFT downtime reduction — the operational-cost version of the
+  paper's dependability argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..models import BbwParameters
+from ..models.generalized import build_redundant_subsystem, up_states
+from ..reliability.availability import (
+    expected_downtime_hours,
+    steady_state_availability,
+)
+from ..units import HOURS_PER_YEAR
+from .asciiplot import render_table
+
+#: Mean node-replacement times swept (hours): same-day .. two weeks.
+DEFAULT_REPLACEMENT_HOURS = (24.0, 72.0, 168.0, 336.0)
+
+#: A failed system is towed and repaired within a day on average.
+SYSTEM_REPAIR_HOURS = 24.0
+
+
+@dataclasses.dataclass
+class AvailabilityResult:
+    """Steady-state availability grid for the 3oo4 wheel subsystem."""
+
+    replacement_hours: List[float]
+    #: availability[node_type][replacement_hours] -> A(inf)
+    availability: Dict[str, Dict[float, float]]
+    downtime_per_year: Dict[str, Dict[float, float]]
+
+    def nlft_downtime_saving(self, replacement_hours: float) -> float:
+        """Hours of downtime per year NLFT saves over FS."""
+        return (
+            self.downtime_per_year["fs"][replacement_hours]
+            - self.downtime_per_year["nlft"][replacement_hours]
+        )
+
+    def render(self) -> str:
+        rows: List[Tuple] = []
+        for hours in self.replacement_hours:
+            rows.append(
+                (
+                    f"{hours:.0f} h",
+                    self.availability["fs"][hours],
+                    self.availability["nlft"][hours],
+                    f"{self.downtime_per_year['fs'][hours]:.2f}",
+                    f"{self.downtime_per_year['nlft'][hours]:.2f}",
+                    f"{self.nlft_downtime_saving(hours):.2f}",
+                )
+            )
+        return render_table(
+            ["node replacement", "A_fs", "A_nlft",
+             "downtime_fs (h/y)", "downtime_nlft (h/y)", "NLFT saving (h/y)"],
+            rows,
+            title=(
+                "Wheel subsystem (3oo4) availability under maintenance "
+                f"(system repair {SYSTEM_REPAIR_HOURS:.0f} h)"
+            ),
+        )
+
+
+def compute_availability_table(
+    params: Optional[BbwParameters] = None,
+    replacement_hours: Tuple[float, ...] = DEFAULT_REPLACEMENT_HOURS,
+) -> AvailabilityResult:
+    """Run the E13 availability study."""
+    params = params if params is not None else BbwParameters.paper()
+    availability: Dict[str, Dict[float, float]] = {"fs": {}, "nlft": {}}
+    downtime: Dict[str, Dict[float, float]] = {"fs": {}, "nlft": {}}
+    for node_type in ("fs", "nlft"):
+        for hours in replacement_hours:
+            chain = build_redundant_subsystem(
+                params, node_type, 4, 3,
+                permanent_repair_rate=1.0 / hours,
+                system_repair_rate=1.0 / SYSTEM_REPAIR_HOURS,
+            )
+            ups = up_states(chain)
+            availability[node_type][hours] = steady_state_availability(chain, ups)
+            downtime[node_type][hours] = expected_downtime_hours(
+                chain, HOURS_PER_YEAR, ups
+            )
+    return AvailabilityResult(
+        replacement_hours=list(replacement_hours),
+        availability=availability,
+        downtime_per_year=downtime,
+    )

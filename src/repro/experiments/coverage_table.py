@@ -1,0 +1,201 @@
+"""Experiment E5 — Table 1 mechanisms and coverage-parameter estimation.
+
+Reruns the *methodology* of the fault-injection studies behind the paper's
+parameter assignment [7, 8]: single bit flips into a simulated processor
+executing a brake-control-like task under TEM.  Outputs:
+
+* the per-mechanism detection counts — an empirical rendering of Table 1
+  (every listed mechanism should fire: CPU exceptions, ECC, MMU/address
+  checking, TEM comparison, execution-time monitoring, control-flow
+  checks);
+* estimates of C_D, P_T, P_OM with confidence intervals.
+
+P_FS is handled as in the paper itself: faults striking during *kernel*
+execution (about 5% of CPU time [10]) silence the node.  The mini-ISA
+machine runs no kernel code, so a configurable ``kernel_share`` of
+experiments is drawn as kernel hits and classified fail-silent directly —
+the identical modelling assumption the paper uses for P_FS.
+
+The absolute numbers need not equal the paper's (different processor); the
+claims under test are the *taxonomy and ordering*: most detected errors are
+masked, omissions and fail-silent failures are small minorities, coverage
+is high.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cpu.machine import Machine
+from ..cpu.assembler import assemble
+from ..faults.campaign import TemInjectionHarness, TemWorkload
+from ..faults.generators import random_fault_list
+from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
+from ..kernel.task import MachineExecutable
+from .asciiplot import render_table
+
+#: A brake-controller-like workload: scaling, saturation, accumulation —
+#: integer arithmetic with loops, loads/stores and control flow, annotated
+#: with control-flow signature checkpoints.
+BRAKE_TASK_SOURCE = """
+; inputs:  0x1800 = pedal sample (0..1000), 0x1801 = wheel load share
+; output:  0x1900 = commanded force
+start:  SIG 17
+        LOAD  D0, A0, 0x1800      ; pedal
+        LOAD  D1, A0, 0x1801      ; share (per-mille)
+        MOVEI D2, 14126           ; max total force (N)
+        MUL   D3, D0, D2          ; pedal * max
+        DIVI  D3, D3, 1000        ; .. / PEDAL_SCALE
+        MUL   D4, D3, D1          ; demand * share
+        DIVI  D4, D4, 1000        ; .. / SHARE_SCALE
+        MOVEI D5, 4238            ; per-wheel friction limit
+        CMP   D4, D5
+        BLT   apply
+        MOVE  D4, D5              ; saturate at the tyre limit
+apply:  SIG 23
+        MOVEI D6, 0
+        MOVEI D7, 4               ; 4-step actuator ramp accumulator
+ramp:   ADD   D6, D6, D4
+        SUBI  D7, D7, 1
+        CMPI  D7, 0
+        BNE   ramp
+        DIVI  D6, D6, 4
+        SIG 29
+        STORE D6, A0, 0x1900
+        HALT
+"""
+
+#: Checkpoints embedded above, in execution order.
+BRAKE_TASK_CHECKPOINTS = (17, 23, 29)
+
+#: Paper anchors for the parameter comparison.
+PAPER_PARAMETERS = {"C_D": 0.99, "P_T": 0.90, "P_OM": 0.05, "P_FS": 0.05}
+
+
+def make_brake_workload(
+    max_copies: int = 3,
+    ecc_enabled: bool = True,
+    mmu_enabled: bool = True,
+    control_flow_checking: bool = True,
+) -> TemWorkload:
+    """The canonical E5 workload (fresh machine per experiment).
+
+    The three keyword toggles disable individual Table 1 mechanisms for
+    ablation studies (experiment E11).
+    """
+    program = assemble(BRAKE_TASK_SOURCE)
+
+    def factory() -> MachineExecutable:
+        return MachineExecutable(
+            Machine(ecc_enabled=ecc_enabled, mmu_enabled=mmu_enabled),
+            program,
+            input_count=2,
+            output_count=1,
+            confine_with_mmu=mmu_enabled,
+        )
+
+    return TemWorkload(
+        executable_factory=factory,
+        inputs=(800, 300),
+        signature_checkpoints=(
+            BRAKE_TASK_CHECKPOINTS if control_flow_checking else None
+        ),
+        max_copies=max_copies,
+    )
+
+
+@dataclasses.dataclass
+class CoverageTableResult:
+    """Campaign statistics plus the derived parameter estimates."""
+
+    stats: CampaignStatistics
+    estimates: Dict[str, float]
+    intervals: Dict[str, "tuple[float, float]"]
+
+    def render(self) -> str:
+        mechanism_rows = sorted(
+            self.stats.mechanism_counts().items(), key=lambda kv: -kv[1]
+        )
+        mech_table = render_table(
+            ["EDM mechanism (Table 1)", "detections"],
+            mechanism_rows,
+            title="Empirical Table 1: which mechanism caught the injected faults",
+        )
+        outcome_rows = list(self.stats.outcome_counts().items())
+        outcome_table = render_table(["outcome", "count"], outcome_rows)
+        param_rows = [
+            (name, self.estimates.get(name, float("nan")), PAPER_PARAMETERS[name])
+            for name in ("C_D", "P_T", "P_OM", "P_FS")
+        ]
+        param_table = render_table(
+            ["parameter", "estimated", "paper"],
+            param_rows,
+            title="Coverage parameters (estimate vs paper's assignment)",
+        )
+        return "\n\n".join([mech_table, outcome_table, param_table])
+
+
+def run_coverage_campaign(
+    experiments: int = 2_000,
+    seed: int = 2005,
+    kernel_share: float = 0.05,
+    max_copies: int = 3,
+) -> CoverageTableResult:
+    """Run the E5 campaign and estimate the paper's parameters.
+
+    Parameters
+    ----------
+    experiments:
+        Number of injected faults.
+    kernel_share:
+        Fraction of fault arrivals that strike during kernel execution
+        (classified fail-silent, per Section 2.2 strategy 3 and the 5%
+        kernel CPU share of [10]).
+    max_copies:
+        TEM copy cap per job — the schedule's reserved recovery slack; a
+        tight cap is what produces omission failures.
+    """
+    rng = np.random.default_rng(seed)
+    workload = make_brake_workload(max_copies=max_copies)
+    harness = TemInjectionHarness(workload)
+    program_words = assemble(BRAKE_TASK_SOURCE).size
+    stats = CampaignStatistics()
+    kernel_hits = int(np.random.default_rng(seed + 1).binomial(experiments, kernel_share))
+    faults = random_fault_list(
+        rng,
+        experiments - kernel_hits,
+        max_step=max(harness.golden_steps * 2, 2),
+        code_range=(0, program_words),
+        data_range=(0x1800, 0x1902),
+    )
+    for fault in faults:
+        stats.add(harness.run_experiment(fault))
+    # Kernel-execution hits: the mini-ISA machine runs no kernel code, so
+    # these are modelled directly (the paper does the same when deriving
+    # P_FS from the 5% kernel CPU share [10]).  A kernel hit is *effective*
+    # with the same empirical probability as an application hit; effective
+    # kernel errors are detected by the kernel's internal checks and end
+    # fail-silent (Section 2.2, strategy 3).
+    effectiveness = stats.effective / stats.total if stats.total else 0.0
+    kernel_rng = np.random.default_rng(seed + 2)
+    for index in range(kernel_hits):
+        effective = bool(kernel_rng.random() < effectiveness)
+        stats.add(
+            ExperimentRecord(
+                outcome=OutcomeClass.FAIL_SILENT if effective else OutcomeClass.NO_EFFECT,
+                fault_description=f"kernel hit #{index}",
+                detection_mechanisms=("kernel_check",) if effective else (),
+            )
+        )
+    estimates: Dict[str, float] = {}
+    intervals: Dict[str, "tuple[float, float]"] = {}
+    if stats.coverage is not None:
+        estimates["C_D"] = stats.coverage
+        intervals["C_D"] = stats.coverage_interval()
+    for name, value in (("P_T", stats.p_tem), ("P_OM", stats.p_omission), ("P_FS", stats.p_fail_silent)):
+        if value is not None:
+            estimates[name] = value
+    return CoverageTableResult(stats=stats, estimates=estimates, intervals=intervals)

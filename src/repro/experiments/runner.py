@@ -1,0 +1,88 @@
+"""Run every experiment and print the paper-comparable output.
+
+``python -m repro.experiments.runner`` regenerates all tables and figures;
+each benchmark in ``benchmarks/`` drives exactly one of these entries (see
+DESIGN.md's per-experiment index).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from .ablation_table import compute_ablation_table
+from .availability_table import compute_availability_table
+from .coverage_table import run_coverage_campaign
+from .importance_table import compute_importance_table
+from .redundancy_table import compute_redundancy_table
+from .workload_table import compute_workload_table
+from .figure12 import compute_figure12
+from .figure13 import compute_figure13
+from .figure14 import compute_figure14
+from .mttf_table import compute_mttf_table
+from .schedulability_table import compute_schedulability
+from .simulation_study import compare_braking_under_faults, run_simulation_study
+from .tem_timeline import render_scenarios, run_tem_scenarios
+
+
+def _banner(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{bar}\n{title}\n{bar}\n"
+
+
+def run_all(fast: bool = False) -> str:
+    """Run E1-E8 and return the combined report text."""
+    sections: Dict[str, Callable[[], str]] = {
+        "E1  Figure 12 - system reliability over one year":
+            lambda: compute_figure12().render(),
+        "E2  Headline table - R(1y) and MTTF":
+            lambda: compute_mttf_table().render(),
+        "E3  Figure 13 - subsystem reliabilities":
+            lambda: compute_figure13().render(),
+        "E4  Figure 14 - coverage / fault-rate sensitivity":
+            lambda: compute_figure14().render(),
+        "E5  Table 1 - EDM campaign and coverage parameters":
+            lambda: run_coverage_campaign(
+                experiments=300 if fast else 2_000
+            ).render(),
+        "E6  Figure 3 - TEM scenarios":
+            lambda: render_scenarios(run_tem_scenarios()),
+        "E7  Fault-tolerant schedulability":
+            lambda: compute_schedulability().render(),
+        "E8a Monte-Carlo vs Markov models":
+            lambda: run_simulation_study(
+                replicas=60 if fast else 300
+            ).render(),
+        "E8b Functional braking comparison":
+            lambda: compare_braking_under_faults().render(),
+        "E9  Redundancy dimensioning (extension)":
+            lambda: compute_redundancy_table().render(),
+        "E10 Subsystem importance (extension)":
+            lambda: compute_importance_table().render(),
+        "E11 EDM ablation (extension)":
+            lambda: compute_ablation_table(
+                experiments=300 if fast else 1_200
+            ).render(),
+        "E12 Coverage across workloads (extension)":
+            lambda: compute_workload_table(
+                experiments=200 if fast else 800
+            ).render(),
+        "E13 Availability under maintenance (extension)":
+            lambda: compute_availability_table().render(),
+    }
+    parts = []
+    for title, runner in sections.items():
+        parts.append(_banner(title))
+        parts.append(runner())
+    return "\n".join(parts)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    fast = "--fast" in argv
+    print(run_all(fast=fast))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Fault injection: fault models, injectors, campaigns, coverage statistics.
+
+Substitutes the heavy-ion / software-implemented fault-injection campaigns
+of refs [7, 8, 16]; see DESIGN.md.
+"""
+
+from .campaign import BUDGET_STEP_FACTOR, TemInjectionHarness, TemWorkload
+from .generators import (
+    DEFAULT_TARGET_WEIGHTS,
+    memory_scan,
+    random_fault,
+    random_fault_list,
+    register_scan,
+)
+from .injector import FaultArrival, MachineFaultInjector, PoissonInjector
+from .outcomes import (
+    DETECTED_OUTCOMES,
+    CampaignStatistics,
+    ExperimentRecord,
+    OutcomeClass,
+    classify_tem_report,
+    wilson_interval,
+)
+from .types import (
+    MEMORY_TARGETS,
+    REGISTER_TARGETS,
+    Fault,
+    FaultTarget,
+    FaultType,
+)
+
+__all__ = [
+    "BUDGET_STEP_FACTOR",
+    "CampaignStatistics",
+    "DEFAULT_TARGET_WEIGHTS",
+    "DETECTED_OUTCOMES",
+    "ExperimentRecord",
+    "Fault",
+    "FaultArrival",
+    "FaultTarget",
+    "FaultType",
+    "MEMORY_TARGETS",
+    "MachineFaultInjector",
+    "OutcomeClass",
+    "PoissonInjector",
+    "REGISTER_TARGETS",
+    "TemInjectionHarness",
+    "TemWorkload",
+    "classify_tem_report",
+    "memory_scan",
+    "random_fault",
+    "random_fault_list",
+    "register_scan",
+    "wilson_interval",
+]

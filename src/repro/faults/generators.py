@@ -1,0 +1,153 @@
+"""Fault-list generation for injection campaigns.
+
+Campaigns either sample faults *randomly* (statistical coverage estimation,
+as in the heavy-ion and SWIFI studies the paper builds on [7, 8, 16]) or
+*scan* a location/time cross-product exhaustively (for small targeted
+studies and for tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..cpu.registers import ADDRESS_REGISTERS, DATA_REGISTERS
+from ..errors import ConfigurationError
+from .types import Fault, FaultTarget, FaultType
+
+#: Default sampling weights over targets for random campaigns.  Roughly
+#: area-proportional for a microcontroller-class device: most flips land in
+#: registers/data during computation; the PC/SP are small but consequential.
+DEFAULT_TARGET_WEIGHTS = {
+    FaultTarget.DATA_REGISTER: 0.35,
+    FaultTarget.ADDRESS_REGISTER: 0.15,
+    FaultTarget.PC: 0.08,
+    FaultTarget.SP: 0.07,
+    FaultTarget.STATUS_REGISTER: 0.05,
+    FaultTarget.CODE_MEMORY: 0.10,
+    FaultTarget.DATA_MEMORY: 0.20,
+}
+
+
+def random_fault(
+    rng: np.random.Generator,
+    max_step: int,
+    code_range: "tuple[int, int]",
+    data_range: "tuple[int, int]",
+    weights: Optional[dict] = None,
+    fault_type: FaultType = FaultType.TRANSIENT,
+) -> Fault:
+    """Draw one random fault.
+
+    Parameters
+    ----------
+    max_step:
+        Injection step is uniform over [0, max_step).
+    code_range / data_range:
+        Half-open word-address ranges for memory targets.
+    weights:
+        Target-class weights (defaults to :data:`DEFAULT_TARGET_WEIGHTS`).
+    """
+    if max_step <= 0:
+        raise ConfigurationError("max_step must be positive")
+    table = weights if weights is not None else DEFAULT_TARGET_WEIGHTS
+    targets = list(table)
+    probabilities = np.array([table[t] for t in targets], dtype=float)
+    probabilities /= probabilities.sum()
+    target = targets[int(rng.choice(len(targets), p=probabilities))]
+    bit = int(rng.integers(0, 32))
+    step = int(rng.integers(0, max_step))
+    register: Optional[str] = None
+    address: Optional[int] = None
+    if target is FaultTarget.DATA_REGISTER:
+        register = str(rng.choice(DATA_REGISTERS))
+    elif target is FaultTarget.ADDRESS_REGISTER:
+        register = str(rng.choice(ADDRESS_REGISTERS))
+    elif target is FaultTarget.PC:
+        register = "PC"
+        # High PC bits almost always leave memory entirely; restrict to the
+        # low bits so a mix of in-range and out-of-range jumps occurs.
+        bit = int(rng.integers(0, 16))
+    elif target is FaultTarget.SP:
+        register = "SP"
+        bit = int(rng.integers(0, 16))
+    elif target is FaultTarget.STATUS_REGISTER:
+        register = "SR"
+        bit = int(rng.integers(0, 4))
+    elif target is FaultTarget.CODE_MEMORY:
+        address = int(rng.integers(code_range[0], max(code_range[0] + 1, code_range[1])))
+    elif target is FaultTarget.DATA_MEMORY:
+        address = int(rng.integers(data_range[0], max(data_range[0] + 1, data_range[1])))
+    return Fault(
+        fault_type=fault_type,
+        target=target,
+        register=register,
+        address=address,
+        bit=bit,
+        at_step=step,
+    )
+
+
+def random_fault_list(
+    rng: np.random.Generator,
+    count: int,
+    max_step: int,
+    code_range: "tuple[int, int]",
+    data_range: "tuple[int, int]",
+    weights: Optional[dict] = None,
+) -> List[Fault]:
+    """Draw *count* independent random transient faults."""
+    return [
+        random_fault(rng, max_step, code_range, data_range, weights)
+        for _ in range(count)
+    ]
+
+
+def register_scan(
+    registers: Sequence[str],
+    bits: Sequence[int],
+    steps: Sequence[int],
+    fault_type: FaultType = FaultType.TRANSIENT,
+) -> Iterator[Fault]:
+    """Exhaustive register x bit x step cross-product (targeted studies)."""
+
+    def target_for(register: str) -> FaultTarget:
+        if register == "PC":
+            return FaultTarget.PC
+        if register == "SP":
+            return FaultTarget.SP
+        if register == "SR":
+            return FaultTarget.STATUS_REGISTER
+        return FaultTarget.ADDRESS_REGISTER if register.startswith("A") else FaultTarget.DATA_REGISTER
+
+    for register in registers:
+        for bit in bits:
+            for step in steps:
+                yield Fault(
+                    fault_type=fault_type,
+                    target=target_for(register),
+                    register=register,
+                    bit=bit,
+                    at_step=step,
+                )
+
+
+def memory_scan(
+    addresses: Sequence[int],
+    bits: Sequence[int],
+    steps: Sequence[int],
+    code_limit: int,
+) -> Iterator[Fault]:
+    """Exhaustive memory-word scan; classifies code vs data by address."""
+    for address in addresses:
+        target = FaultTarget.CODE_MEMORY if address < code_limit else FaultTarget.DATA_MEMORY
+        for bit in bits:
+            for step in steps:
+                yield Fault(
+                    fault_type=FaultType.TRANSIENT,
+                    target=target,
+                    address=address,
+                    bit=bit,
+                    at_step=step,
+                )

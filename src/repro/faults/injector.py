@@ -1,0 +1,175 @@
+"""Fault injectors.
+
+Two injection paths mirror the two execution paths of the library:
+
+* :class:`MachineFaultInjector` applies :class:`~repro.faults.types.Fault`
+  records to a live :class:`~repro.cpu.machine.Machine` — flipping register
+  or memory bits at a chosen instruction step, optionally re-asserting them
+  (permanent stuck-at faults).  Used by the coverage-estimation campaigns
+  (experiment E5).
+
+* :class:`PoissonInjector` generates fault *arrivals* over simulated time on
+  the discrete-event simulator with exponentially distributed inter-arrival
+  times (the paper's constant-rate assumption, Section 3.2.2), delivering
+  them to victim callbacks (the node layer).  Used by the distributed
+  brake-by-wire simulation (experiment E8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..cpu.machine import Machine
+from ..errors import ConfigurationError
+from ..sim import PRIORITY_FAULT, Simulator, TraceRecorder
+from ..units import US_PER_SECOND
+from .types import MEMORY_TARGETS, REGISTER_TARGETS, Fault, FaultType
+
+_TICKS_PER_HOUR = 3_600 * US_PER_SECOND
+
+
+class MachineFaultInjector:
+    """Applies faults to a live machine and re-asserts stuck-at faults."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._stuck: List[Fault] = []
+        self.injected: List[Fault] = []
+
+    def apply(self, fault: Fault) -> None:
+        """Inject *fault* now (flip the targeted bit)."""
+        if fault.target in REGISTER_TARGETS:
+            assert fault.register is not None
+            self.machine.registers.flip_bit(fault.register, fault.bit)
+        elif fault.target in MEMORY_TARGETS:
+            assert fault.address is not None
+            self.machine.memory.flip_bit(fault.address, fault.bit)
+        else:
+            raise ConfigurationError(
+                f"machine injector cannot apply abstract target {fault.target}"
+            )
+        self.injected.append(fault)
+        if fault.fault_type is FaultType.PERMANENT:
+            self._stuck.append(fault)
+
+    def reassert_permanent(self) -> None:
+        """Force stuck-at bits back to their stuck value (call per step)."""
+        for fault in self._stuck:
+            if fault.target in REGISTER_TARGETS:
+                assert fault.register is not None
+                value = self.machine.registers.read(fault.register)
+                bit_mask = 1 << fault.bit
+                desired = bit_mask if fault.stuck_value else 0
+                if (value & bit_mask) != desired:
+                    self.machine.registers.write(fault.register, value ^ bit_mask)
+            else:
+                assert fault.address is not None
+                value = self.machine.memory.peek(fault.address)
+                bit_mask = 1 << fault.bit
+                desired = bit_mask if fault.stuck_value else 0
+                if (value & bit_mask) != desired:
+                    self.machine.memory.flip_bit(fault.address, fault.bit)
+
+    @property
+    def has_permanent(self) -> bool:
+        """True when at least one stuck-at fault is active."""
+        return bool(self._stuck)
+
+    def clear(self) -> None:
+        """Forget all injected faults (new experiment)."""
+        self._stuck.clear()
+        self.injected.clear()
+
+
+@dataclasses.dataclass
+class FaultArrival:
+    """One delivered fault arrival (DES path)."""
+
+    time: int
+    fault_type: FaultType
+    victim_index: int
+
+
+class PoissonInjector:
+    """Poisson fault-arrival process over simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule arrivals on.
+    rng:
+        Random stream (dedicated to this process for reproducibility).
+    rate_per_hour:
+        Arrival rate of activated faults *per victim*.
+    victims:
+        Callables invoked as ``victim(fault_type)``; one is picked uniformly
+        per arrival (all nodes share the same fault rate — Section 3.2.2:
+        "All nodes are assumed to have ... the same fault rate").
+    fault_type:
+        The type this process generates; build two processes for the
+        paper's split into permanent and transient rates.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        rate_per_hour: float,
+        victims: Sequence[Callable[[FaultType], None]],
+        fault_type: FaultType = FaultType.TRANSIENT,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if rate_per_hour < 0:
+            raise ConfigurationError("fault rate must be non-negative")
+        if not victims:
+            raise ConfigurationError("need at least one victim")
+        self.sim = sim
+        self.rng = rng
+        self.rate_per_hour = rate_per_hour
+        self.victims = list(victims)
+        self.fault_type = fault_type
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.arrivals: List[FaultArrival] = []
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin generating arrivals (idempotent)."""
+        if self._active or self.rate_per_hour == 0:
+            return
+        self._active = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop after the currently scheduled arrival (it will be skipped)."""
+        self._active = False
+
+    def _schedule_next(self) -> None:
+        # Total rate over all victims; each arrival picks a victim uniformly.
+        total_rate = self.rate_per_hour * len(self.victims)
+        mean_hours = 1.0 / total_rate
+        delay_ticks = max(1, int(self.rng.exponential(mean_hours) * _TICKS_PER_HOUR))
+        self.sim.schedule_after(
+            delay_ticks,
+            self._arrive,
+            priority=PRIORITY_FAULT,
+            label=f"fault:{self.fault_type.value}",
+        )
+
+    def _arrive(self) -> None:
+        if not self._active:
+            return
+        self._schedule_next()
+        victim_index = int(self.rng.integers(0, len(self.victims)))
+        arrival = FaultArrival(
+            time=self.sim.now, fault_type=self.fault_type, victim_index=victim_index
+        )
+        self.arrivals.append(arrival)
+        self.trace.emit(
+            self.sim.now, "fault.inject", f"injector:{self.fault_type.value}",
+            victim=victim_index,
+        )
+        self.victims[victim_index](self.fault_type)

@@ -1,0 +1,189 @@
+"""Outcome classification and coverage statistics for campaigns.
+
+Each injection experiment is classified against a *golden* (fault-free)
+reference run, following the taxonomy of the paper's Section 3.2.1:
+
+========================  ====================================================
+outcome                    meaning
+========================  ====================================================
+``NO_EFFECT``              correct result delivered, no error ever detected
+                           (fault overwritten/latent)
+``MASKED``                 errors detected, correct result still delivered
+                           (TEM masked the fault — probability P_T)
+``OMISSION``               no result delivered for the job (P_OM)
+``FAIL_SILENT``            node went silent (kernel error or suspected
+                           permanent fault — P_FS)
+``UNDETECTED_WRONG``       a wrong result was delivered (non-covered error;
+                           contributes to 1 - C_D)
+``HUNG``                   the experiment never terminated within its step
+                           budget at harness level (counted as detected via
+                           the execution-time monitor in coverage terms)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from collections import Counter
+from typing import Dict, List, Optional
+
+from ..core.tem import TemOutcome, TemReport
+from ..types import Result
+
+
+class OutcomeClass(enum.Enum):
+    NO_EFFECT = "no_effect"
+    MASKED = "masked"
+    OMISSION = "omission"
+    FAIL_SILENT = "fail_silent"
+    UNDETECTED_WRONG = "undetected_wrong"
+    HUNG = "hung"
+
+
+#: Outcomes in which an error was *activated and detected* (the denominator
+#: of the paper's conditional probabilities P_T / P_OM / P_FS).
+DETECTED_OUTCOMES = (
+    OutcomeClass.MASKED,
+    OutcomeClass.OMISSION,
+    OutcomeClass.FAIL_SILENT,
+)
+
+
+def classify_tem_report(
+    report: TemReport, golden: Result, node_went_silent: bool = False
+) -> OutcomeClass:
+    """Classify a finished TEM job against the golden result."""
+    if node_went_silent:
+        return OutcomeClass.FAIL_SILENT
+    if report.outcome is TemOutcome.OMISSION:
+        return OutcomeClass.OMISSION
+    assert report.delivered_result is not None
+    if tuple(report.delivered_result) != tuple(golden):
+        return OutcomeClass.UNDETECTED_WRONG
+    if report.errors_detected > 0:
+        return OutcomeClass.MASKED
+    return OutcomeClass.NO_EFFECT
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentRecord:
+    """One classified injection experiment."""
+
+    outcome: OutcomeClass
+    fault_description: str
+    detection_mechanisms: "tuple[str, ...]" = ()
+    copies_run: int = 0
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> "tuple[float, float]":
+    """Wilson score interval for a binomial proportion (95% by default).
+
+    The standard way to report coverage estimates from fault-injection
+    campaigns; robust for proportions near 0 or 1.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+@dataclasses.dataclass
+class CampaignStatistics:
+    """Aggregated campaign results with paper-style derived measures."""
+
+    records: List[ExperimentRecord] = dataclasses.field(default_factory=list)
+
+    def add(self, record: ExperimentRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def count(self, outcome: OutcomeClass) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    @property
+    def effective(self) -> int:
+        """Experiments in which the fault had *any* observable effect."""
+        return self.total - self.count(OutcomeClass.NO_EFFECT)
+
+    @property
+    def detected(self) -> int:
+        """Experiments with a detected error (masked/omission/fail-silent)."""
+        return sum(self.count(o) for o in DETECTED_OUTCOMES) + self.count(OutcomeClass.HUNG)
+
+    # ------------------------------------------------------------------
+    # The paper's parameters, estimated from the campaign
+    # ------------------------------------------------------------------
+    @property
+    def coverage(self) -> Optional[float]:
+        """C_D estimate: detected / effective (None without effective runs)."""
+        if self.effective == 0:
+            return None
+        return self.detected / self.effective
+
+    def conditional_probability(self, outcome: OutcomeClass) -> Optional[float]:
+        """P(outcome | error detected): the paper's P_T, P_OM, P_FS."""
+        if self.detected == 0:
+            return None
+        numerator = self.count(outcome)
+        if outcome is OutcomeClass.OMISSION:
+            numerator += self.count(OutcomeClass.HUNG)
+        return numerator / self.detected
+
+    @property
+    def p_tem(self) -> Optional[float]:
+        return self.conditional_probability(OutcomeClass.MASKED)
+
+    @property
+    def p_omission(self) -> Optional[float]:
+        return self.conditional_probability(OutcomeClass.OMISSION)
+
+    @property
+    def p_fail_silent(self) -> Optional[float]:
+        return self.conditional_probability(OutcomeClass.FAIL_SILENT)
+
+    def coverage_interval(self) -> "tuple[float, float]":
+        """95% Wilson interval for the coverage estimate."""
+        return wilson_interval(self.detected, max(self.effective, 1))
+
+    # ------------------------------------------------------------------
+    def mechanism_counts(self) -> Dict[str, int]:
+        """Detections per EDM mechanism (reproduces Table 1 empirically)."""
+        counter: Counter[str] = Counter()
+        for record in self.records:
+            counter.update(record.detection_mechanisms)
+        return dict(counter)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Raw outcome histogram."""
+        return {outcome.value: self.count(outcome) for outcome in OutcomeClass}
+
+    def summary(self) -> str:
+        """Multi-line human-readable campaign summary."""
+        lines = [f"experiments: {self.total} (effective: {self.effective})"]
+        for outcome in OutcomeClass:
+            lines.append(f"  {outcome.value:<18s} {self.count(outcome)}")
+        if self.coverage is not None:
+            low, high = self.coverage_interval()
+            lines.append(f"coverage C_D ~= {self.coverage:.4f} [{low:.4f}, {high:.4f}]")
+        for label, value in (
+            ("P_T", self.p_tem),
+            ("P_OM", self.p_omission),
+            ("P_FS", self.p_fail_silent),
+        ):
+            if value is not None:
+                lines.append(f"  {label} ~= {value:.4f}")
+        mechanisms = self.mechanism_counts()
+        if mechanisms:
+            lines.append("detections by mechanism:")
+            for name, count in sorted(mechanisms.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {name:<18s} {count}")
+        return "\n".join(lines)

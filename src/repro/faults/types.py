@@ -1,0 +1,111 @@
+"""Fault model taxonomy (Section 3.2.1).
+
+* A **transient** fault occurs at a specific time and exists only for a
+  limited period — modelled as a single bit flip in architectural state.
+* A **permanent** fault occurs and *remains* — modelled as a stuck-at bit
+  that is re-asserted for the rest of the run.
+
+Targets span the architectural state the paper's EDM inventory protects:
+data/address registers, the PC and SP (whose corruption typically triggers
+illegal-opcode and address/bus exceptions respectively [8]), instruction and
+data memory, and — for the profile-based path — the abstract classes
+"application" and "kernel".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+
+class FaultType(enum.Enum):
+    """Duration class of a fault."""
+
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+
+
+class FaultTarget(enum.Enum):
+    """Which architectural (or abstract) state the fault strikes."""
+
+    DATA_REGISTER = "data_register"
+    ADDRESS_REGISTER = "address_register"
+    PC = "pc"
+    SP = "sp"
+    STATUS_REGISTER = "status_register"
+    CODE_MEMORY = "code_memory"
+    DATA_MEMORY = "data_memory"
+    #: Abstract targets for the profile-based (callable-task) path.
+    APPLICATION = "application"
+    KERNEL = "kernel"
+
+
+#: Targets that name a concrete register.
+REGISTER_TARGETS = (
+    FaultTarget.DATA_REGISTER,
+    FaultTarget.ADDRESS_REGISTER,
+    FaultTarget.PC,
+    FaultTarget.SP,
+    FaultTarget.STATUS_REGISTER,
+)
+
+#: Targets that name a memory word.
+MEMORY_TARGETS = (FaultTarget.CODE_MEMORY, FaultTarget.DATA_MEMORY)
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    """One fault to inject.
+
+    Attributes
+    ----------
+    fault_type:
+        Transient (single flip) or permanent (stuck-at).
+    target:
+        Architectural location class.
+    register:
+        Register name for register targets (e.g. ``"D3"``, ``"PC"``).
+    address:
+        Word address for memory targets.
+    bit:
+        Bit position 0..31.
+    at_step:
+        For machine-level campaigns: the global instruction index (within
+        the whole TEM job) at which the fault strikes.
+    at_time:
+        For DES campaigns: the simulated tick of arrival.
+    stuck_value:
+        For permanent faults: the value (0/1) the bit is stuck at.
+    """
+
+    fault_type: FaultType
+    target: FaultTarget
+    register: Optional[str] = None
+    address: Optional[int] = None
+    bit: int = 0
+    at_step: Optional[int] = None
+    at_time: Optional[int] = None
+    stuck_value: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < 32:
+            raise ConfigurationError(f"bit {self.bit} outside 0..31")
+        if self.target in REGISTER_TARGETS and self.register is None:
+            raise ConfigurationError(f"target {self.target} requires a register name")
+        if self.target in MEMORY_TARGETS and self.address is None:
+            raise ConfigurationError(f"target {self.target} requires an address")
+        if self.stuck_value not in (0, 1):
+            raise ConfigurationError("stuck_value must be 0 or 1")
+
+    def describe(self) -> str:
+        """Compact one-line description for campaign logs."""
+        where = self.register if self.register is not None else (
+            f"mem[{self.address:#x}]" if self.address is not None else self.target.value
+        )
+        when = f"@step {self.at_step}" if self.at_step is not None else (
+            f"@t={self.at_time}" if self.at_time is not None else ""
+        )
+        return f"{self.fault_type.value} {where} bit{self.bit} {when}".strip()

@@ -1,0 +1,80 @@
+"""Real-time kernel: tasks, FP preemptive scheduling, budgets, RTA.
+
+Substitutes the Artk68-FT kernel of ref. [8]; the scheduler runs on the
+discrete-event simulator and drives temporal error masking for critical
+tasks (see :mod:`repro.core.tem`).
+"""
+
+from .analysis import (
+    AnalysisResult,
+    ResponseTimeResult,
+    analyse,
+    higher_priority,
+    response_time,
+    utilization,
+)
+from .budget import DEFAULT_BUDGET_FACTOR, ExecutionBudget, budget_for_wcet
+from .ft_analysis import (
+    FaultHypothesis,
+    analyse_ft,
+    ft_response_time,
+    max_tolerable_faults,
+    recovery_cost,
+    slack_per_period,
+    tem_cost,
+    tem_utilization,
+)
+from .priority import (
+    assign_criticality_monotonic,
+    assign_deadline_monotonic,
+    audsley_assignment,
+    validate_distinct_priorities,
+)
+from .scheduler import Job, JobState, JobStats, KernelConfig, Scheduler
+from .task import (
+    CallableExecutable,
+    CopyPlan,
+    Criticality,
+    Executable,
+    MachineExecutable,
+    Result,
+    TaskSpec,
+    validate_task_set,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "CallableExecutable",
+    "CopyPlan",
+    "Criticality",
+    "DEFAULT_BUDGET_FACTOR",
+    "Executable",
+    "ExecutionBudget",
+    "FaultHypothesis",
+    "Job",
+    "JobState",
+    "JobStats",
+    "KernelConfig",
+    "MachineExecutable",
+    "ResponseTimeResult",
+    "Result",
+    "Scheduler",
+    "TaskSpec",
+    "analyse",
+    "analyse_ft",
+    "assign_criticality_monotonic",
+    "assign_deadline_monotonic",
+    "audsley_assignment",
+    "budget_for_wcet",
+    "ft_response_time",
+    "higher_priority",
+    "max_tolerable_faults",
+    "recovery_cost",
+    "response_time",
+    "slack_per_period",
+    "tem_cost",
+    "tem_utilization",
+    "utilization",
+    "validate_distinct_priorities",
+    "validate_task_set",
+]

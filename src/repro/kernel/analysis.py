@@ -1,0 +1,116 @@
+"""Classic fixed-priority response-time analysis (RTA).
+
+Standard worst-case response-time analysis for preemptive fixed-priority
+scheduling of sporadic/periodic tasks with constrained deadlines
+(Joseph & Pandya / Audsley et al.; the textbook treatment is Burns &
+Wellings [6], which the paper cites for its scheduling framework)::
+
+    R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j
+
+iterated to the least fixed point.  A task set is schedulable when
+R_i <= D_i for every task.
+
+This module analyses *plain* execution (each job runs one copy).  The
+fault-tolerant analysis accounting for TEM's double execution and recovery
+slack lives in :mod:`repro.kernel.ft_analysis`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SchedulingError
+from .task import TaskSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ResponseTimeResult:
+    """Outcome of RTA for one task."""
+
+    task: str
+    response_time: Optional[int]  # None when the iteration diverged
+    deadline: int
+
+    @property
+    def schedulable(self) -> bool:
+        return self.response_time is not None and self.response_time <= self.deadline
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisResult:
+    """RTA outcome for a whole task set."""
+
+    per_task: List[ResponseTimeResult]
+
+    @property
+    def schedulable(self) -> bool:
+        """True iff every task meets its deadline."""
+        return all(r.schedulable for r in self.per_task)
+
+    def response_time(self, task: str) -> Optional[int]:
+        for result in self.per_task:
+            if result.task == task:
+                return result.response_time
+        raise SchedulingError(f"unknown task {task!r} in analysis result")
+
+
+def higher_priority(tasks: Sequence[TaskSpec], task: TaskSpec) -> List[TaskSpec]:
+    """Tasks with strictly higher priority than *task* (lower number)."""
+    return [t for t in tasks if t.priority < task.priority]
+
+
+def response_time(
+    tasks: Sequence[TaskSpec],
+    task: TaskSpec,
+    cost: Optional[Dict[str, int]] = None,
+    limit_factor: int = 100,
+) -> Optional[int]:
+    """Worst-case response time of *task* under the given per-copy costs.
+
+    Parameters
+    ----------
+    cost:
+        Optional override of each task's execution demand (used by the
+        fault-tolerant analysis to inject doubled TEM costs); defaults to
+        each task's WCET.
+    limit_factor:
+        Divergence guard — the iteration aborts (returns None) once the
+        candidate response time exceeds ``limit_factor * deadline``.
+    """
+    demand = cost if cost is not None else {t.name: t.wcet for t in tasks}
+    own_cost = demand[task.name]
+    interference_sources = higher_priority(tasks, task)
+    r = own_cost
+    bound = task.relative_deadline * limit_factor
+    while True:
+        total = own_cost + sum(
+            math.ceil(r / t.period) * demand[t.name] for t in interference_sources
+        )
+        if total == r:
+            return r
+        if total > bound:
+            return None
+        r = total
+
+
+def analyse(tasks: Sequence[TaskSpec], cost: Optional[Dict[str, int]] = None) -> AnalysisResult:
+    """Run RTA for every task; see :func:`response_time`."""
+    if not tasks:
+        raise SchedulingError("cannot analyse an empty task set")
+    results = [
+        ResponseTimeResult(
+            task=t.name,
+            response_time=response_time(tasks, t, cost=cost),
+            deadline=t.relative_deadline,
+        )
+        for t in tasks
+    ]
+    return AnalysisResult(per_task=results)
+
+
+def utilization(tasks: Sequence[TaskSpec], cost: Optional[Dict[str, int]] = None) -> float:
+    """Total processor utilization sum(C_i / T_i)."""
+    demand = cost if cost is not None else {t.name: t.wcet for t in tasks}
+    return sum(demand[t.name] / t.period for t in tasks)

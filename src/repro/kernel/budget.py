@@ -1,0 +1,76 @@
+"""Execution-time monitoring (budget timers).
+
+Section 2.4: "To ensure that a task does not execute for too long, which may
+prevent other tasks from executing, an execution time monitor may be used.
+For example, budget timers [2] may be used to monitor the execution time of
+individual pre-emptive tasks."
+
+A budget is expressed in *consumed CPU time* of one execution copy — it keeps
+counting across preemptions (the monitored quantity is the task's own
+execution time, not elapsed wall-clock time).  When the consumed time reaches
+the budget, the kernel terminates the copy and treats the violation as a
+detected error (EDM mechanism ``"execution_time"``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+
+#: Default slack factor on top of the WCET before the timer fires.  A real
+#: kernel programs the budget slightly above the WCET to absorb measurement
+#: jitter; 1.2 is a conventional engineering margin.
+DEFAULT_BUDGET_FACTOR = 1.2
+
+
+@dataclasses.dataclass
+class ExecutionBudget:
+    """Tracks one copy's CPU-time consumption against its budget.
+
+    Attributes
+    ----------
+    budget:
+        Maximum CPU time (ticks) the copy may consume.
+    consumed:
+        CPU time consumed so far (updated by the scheduler at every
+        preemption and completion point).
+    """
+
+    budget: int
+    consumed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ConfigurationError(f"budget must be positive, got {self.budget}")
+        if self.consumed < 0:
+            raise ConfigurationError("consumed time cannot be negative")
+
+    @property
+    def remaining(self) -> int:
+        """CPU time left before the timer fires (never negative)."""
+        return max(0, self.budget - self.consumed)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once consumption has reached the budget."""
+        return self.consumed >= self.budget
+
+    def consume(self, amount: int) -> None:
+        """Account *amount* ticks of execution."""
+        if amount < 0:
+            raise ConfigurationError(f"cannot consume negative time {amount}")
+        self.consumed += amount
+
+
+def budget_for_wcet(wcet: int, factor: float = DEFAULT_BUDGET_FACTOR) -> int:
+    """Budget for a copy with the given WCET (rounded up, at least WCET+1).
+
+    The +1 guarantees that a copy running exactly its WCET never trips the
+    timer even when the factor rounds down to the WCET itself.
+    """
+    if wcet <= 0:
+        raise ConfigurationError(f"wcet must be positive, got {wcet}")
+    if factor < 1.0:
+        raise ConfigurationError(f"budget factor must be >= 1, got {factor}")
+    return max(int(wcet * factor), wcet + 1)

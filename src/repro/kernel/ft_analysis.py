@@ -1,0 +1,177 @@
+"""Fault-tolerant schedulability analysis with TEM slack reservation.
+
+Section 2.8: "To allow a failed task to re-execute without causing other
+tasks to miss their deadlines, extra time (slack) must be reserved *a
+priori* and be accounted for in a schedulability test.  The amount of extra
+time needed depends on the number and type of faults anticipated."
+
+We implement the established fault-tolerant extension of response-time
+analysis (Punnekkat/Burns-style), adapted to TEM's cost structure:
+
+* every critical task's *fault-free* demand is already doubled —
+  TEM runs two copies plus a comparison:  ``C_i' = 2 C_i + C_cmp``;
+* a *fault hypothesis* bounds the number of recovery executions, F, that
+  may occur in any window of length ``T_F`` (``T_F = infinity`` means "at
+  most F faults per busy period");
+* each recovery re-executes one copy of some critical task at a priority
+  level that can delay task i — the worst case is the largest recovery cost
+  among tasks of equal or higher priority::
+
+      R_i = C_i' + sum_{j in hp(i)} ceil(R_i / T_j) C_j'
+                 + faults(R_i) * max_{k in hep(i), k critical} (C_k + C_cmp)
+
+  where ``faults(w) = F`` for the simple hypothesis or
+  ``faults(w) = ceil(w / T_F) * F`` for the sliding-window hypothesis.
+
+The analysis answers two questions the paper's kernel needs:
+
+* is the task set schedulable under the fault hypothesis (can the kernel
+  *guarantee* recovery)?
+* how much slack per window remains for additional recoveries (drives the
+  run-time deadline check's optimism)?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError, SchedulingError
+from .analysis import AnalysisResult, ResponseTimeResult, higher_priority
+from .task import TaskSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultHypothesis:
+    """Anticipated fault load for slack dimensioning.
+
+    Attributes
+    ----------
+    max_faults:
+        Number of recovery executions (F) to tolerate ...
+    window:
+        ... within any window of this length (ticks); ``None`` means per
+        busy period (the classic "F faults" assumption).
+    """
+
+    max_faults: int = 1
+    window: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_faults < 0:
+            raise ConfigurationError("max_faults must be non-negative")
+        if self.window is not None and self.window <= 0:
+            raise ConfigurationError("fault window must be positive")
+
+    def faults_in(self, interval: int) -> int:
+        """Worst-case recoveries hitting a window of length *interval*."""
+        if self.window is None:
+            return self.max_faults
+        return math.ceil(interval / self.window) * self.max_faults
+
+
+def tem_cost(task: TaskSpec, comparison_cost: int = 0) -> int:
+    """Fault-free TEM demand of one job: two copies plus the comparison."""
+    if task.is_critical:
+        return 2 * task.wcet + comparison_cost
+    return task.wcet
+
+
+def recovery_cost(task: TaskSpec, comparison_cost: int = 0) -> int:
+    """Extra demand of one recovery: one more copy plus a re-comparison."""
+    if task.is_critical:
+        return task.wcet + comparison_cost
+    return 0
+
+
+def ft_response_time(
+    tasks: Sequence[TaskSpec],
+    task: TaskSpec,
+    hypothesis: FaultHypothesis,
+    comparison_cost: int = 0,
+    limit_factor: int = 100,
+) -> Optional[int]:
+    """Worst-case response time of *task* under TEM and the fault hypothesis.
+
+    Returns None when the fixed-point iteration diverges (unschedulable by a
+    wide margin).
+    """
+    base = {t.name: tem_cost(t, comparison_cost) for t in tasks}
+    own = base[task.name]
+    hp = higher_priority(tasks, task)
+    # Worst recovery among tasks at this or higher priority (they can all
+    # delay task i's completion).
+    hep = [t for t in tasks if t.priority <= task.priority]
+    worst_recovery = max((recovery_cost(t, comparison_cost) for t in hep), default=0)
+    r = own
+    bound = task.relative_deadline * limit_factor
+    while True:
+        total = (
+            own
+            + sum(math.ceil(r / t.period) * base[t.name] for t in hp)
+            + hypothesis.faults_in(r) * worst_recovery
+        )
+        if total == r:
+            return r
+        if total > bound:
+            return None
+        r = total
+
+
+def analyse_ft(
+    tasks: Sequence[TaskSpec],
+    hypothesis: FaultHypothesis,
+    comparison_cost: int = 0,
+) -> AnalysisResult:
+    """Fault-tolerant RTA over a whole task set."""
+    if not tasks:
+        raise SchedulingError("cannot analyse an empty task set")
+    results = [
+        ResponseTimeResult(
+            task=t.name,
+            response_time=ft_response_time(tasks, t, hypothesis, comparison_cost),
+            deadline=t.relative_deadline,
+        )
+        for t in tasks
+    ]
+    return AnalysisResult(per_task=results)
+
+
+def max_tolerable_faults(
+    tasks: Sequence[TaskSpec],
+    comparison_cost: int = 0,
+    ceiling: int = 64,
+) -> int:
+    """Largest F such that the set stays schedulable with F recoveries
+    per busy period — how much fault resilience the reserved slack buys.
+
+    Returns -1 when the set is unschedulable even fault-free (F = 0).
+    """
+    best = -1
+    for f in range(ceiling + 1):
+        result = analyse_ft(tasks, FaultHypothesis(max_faults=f), comparison_cost)
+        if result.schedulable:
+            best = f
+        else:
+            break
+    return best
+
+
+def slack_per_period(
+    tasks: Sequence[TaskSpec],
+    task: TaskSpec,
+    hypothesis: FaultHypothesis,
+    comparison_cost: int = 0,
+) -> Optional[int]:
+    """Deadline slack D_i - R_i under the fault hypothesis (None if
+    unschedulable)."""
+    r = ft_response_time(tasks, task, hypothesis, comparison_cost)
+    if r is None:
+        return None
+    return task.relative_deadline - r
+
+
+def tem_utilization(tasks: Sequence[TaskSpec], comparison_cost: int = 0) -> float:
+    """Fault-free utilization with TEM doubling applied."""
+    return sum(tem_cost(t, comparison_cost) / t.period for t in tasks)

@@ -1,0 +1,700 @@
+"""Fixed-priority preemptive scheduler with TEM support.
+
+This is the heart of the simulated real-time kernel (Sections 2.5 and 2.8).
+Responsibilities:
+
+* periodic job release for every registered task;
+* fixed-priority preemptive dispatching (lower priority number wins);
+* playing execution *copies* out over simulated time, including budget
+  timers (execution-time monitoring) and EDM-triggered aborts;
+* driving a :class:`~repro.core.tem.TemStateMachine` per critical job —
+  double execution, comparison, recovery copies, majority vote, deadline
+  checks, omission enforcement;
+* shutting down non-critical tasks on their first detected error
+  (Section 2.2, strategy 2);
+* escalating kernel-level errors to the node (strategy 3: fail-silent).
+
+Fault effects (:class:`~repro.cpu.profiles.FaultEffect`) are applied through
+:meth:`Scheduler.apply_fault_effect`, which the node layer calls when the
+fault injector strikes the host processor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.tem import TemAction, TemOutcome, TemStateMachine
+from ..cpu.profiles import FaultEffect
+from ..errors import ConfigurationError, SchedulingError
+from ..sim import PRIORITY_KERNEL, PRIORITY_OBSERVER, EventHandle, Simulator, TraceRecorder
+from .budget import DEFAULT_BUDGET_FACTOR, ExecutionBudget, budget_for_wcet
+from .task import (
+    CopyPlan,
+    Criticality,
+    Executable,
+    Result,
+    TaskSpec,
+    validate_task_set,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelConfig:
+    """Tunable kernel overheads and policies.
+
+    Attributes
+    ----------
+    budget_factor:
+        Budget-timer margin over the WCET (Section 2.4).
+    comparison_cost:
+        Kernel time added to every copy after the first for the result
+        comparison / vote bookkeeping.
+    tem_max_copies:
+        Hard per-job cap on executions (bounds reserved recovery slack).
+    context_switch_cost:
+        Added once at every dispatch/resume.
+    fail_silent_mode:
+        When True the kernel models a conventional *fail-silent* node
+        (the paper's FS baseline): detection machinery runs unchanged —
+        double execution, comparison, EDMs — but the reaction to ANY
+        detected error is to silence the node instead of recovering.
+    """
+
+    budget_factor: float = DEFAULT_BUDGET_FACTOR
+    comparison_cost: int = 0
+    tem_max_copies: int = TemStateMachine.DEFAULT_MAX_COPIES
+    context_switch_cost: int = 0
+    fail_silent_mode: bool = False
+
+    def __post_init__(self) -> None:
+        if self.comparison_cost < 0 or self.context_switch_cost < 0:
+            raise ConfigurationError("kernel overheads must be non-negative")
+        if self.tem_max_copies < 2:
+            raise ConfigurationError("TEM needs at least two copies per job")
+
+
+class JobState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclasses.dataclass
+class JobStats:
+    """Per-scheduler counters (coverage/outcome accounting)."""
+
+    released: int = 0
+    delivered_ok: int = 0
+    delivered_masked: int = 0
+    omissions: int = 0
+    deadline_misses: int = 0
+    edm_detections: int = 0
+    undetected_wrong_outputs: int = 0
+    kernel_errors: int = 0
+    noncritical_shutdowns: int = 0
+    preemptions: int = 0
+
+
+class Job:
+    """One released instance of a task."""
+
+    _sequence = 0
+
+    def __init__(self, task: TaskSpec, release_time: int, inputs: Result) -> None:
+        Job._sequence += 1
+        self.job_id = f"{task.name}#{Job._sequence}"
+        self.task = task
+        self.release_time = release_time
+        self.absolute_deadline = release_time + task.relative_deadline
+        self.inputs = tuple(inputs)
+        self.state = JobState.READY
+        self.tem: Optional[TemStateMachine] = None
+        self.copy_index = 0
+        self.plan: Optional[CopyPlan] = None
+        self.budget: Optional[ExecutionBudget] = None
+        self.consumed = 0
+        self.deadline_event: Optional[EventHandle] = None
+        self.delivered: Optional[Result] = None
+
+
+@dataclasses.dataclass
+class _Running:
+    job: Job
+    started_at: int
+    event: EventHandle
+
+
+@dataclasses.dataclass
+class _TaskEntry:
+    spec: TaskSpec
+    executable: Executable
+    input_provider: Callable[[], Result]
+    active: bool = True
+    release_event: Optional[EventHandle] = None
+    #: Sporadic tasks are released on demand (events), never periodically;
+    #: their spec.period is interpreted as the minimum inter-arrival time.
+    sporadic: bool = False
+    last_release: Optional[int] = None
+
+
+class Scheduler:
+    """The per-node real-time kernel.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator providing the time base.
+    name:
+        Node/kernel name used in traces.
+    trace:
+        Optional shared :class:`TraceRecorder`.
+    rng:
+        Random generator used only for fault-effect realisation (result
+        corruption patterns); scheduling itself is deterministic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "kernel",
+        trace: Optional[TraceRecorder] = None,
+        rng: Optional[np.random.Generator] = None,
+        config: Optional[KernelConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.config = config if config is not None else KernelConfig()
+        self.stats = JobStats()
+        self._tasks: Dict[str, _TaskEntry] = {}
+        self._ready: List[Job] = []
+        self._running: Optional[_Running] = None
+        self._started = False
+        self._silent = False
+        self._latent_effects: List[FaultEffect] = []
+        # Node-layer callbacks.
+        self.on_deliver: Optional[Callable[[TaskSpec, Job, Result], None]] = None
+        self.on_omission: Optional[Callable[[TaskSpec, Job, str], None]] = None
+        self.on_kernel_error: Optional[Callable[[str], None]] = None
+        self.on_undetected_output: Optional[Callable[[TaskSpec, Job, Result], None]] = None
+        self.on_noncritical_shutdown: Optional[Callable[[TaskSpec], None]] = None
+
+    # ------------------------------------------------------------------
+    # Task registration / lifecycle
+    # ------------------------------------------------------------------
+    def add_task(
+        self,
+        spec: TaskSpec,
+        executable: Executable,
+        input_provider: Optional[Callable[[], Result]] = None,
+    ) -> None:
+        """Register a task before :meth:`start`."""
+        if self._started:
+            raise SchedulingError("cannot add tasks after the kernel started")
+        if spec.name in self._tasks:
+            raise SchedulingError(f"task {spec.name!r} already registered")
+        self._tasks[spec.name] = _TaskEntry(
+            spec=spec,
+            executable=executable,
+            input_provider=input_provider if input_provider is not None else tuple,
+        )
+        validate_task_set([entry.spec for entry in self._tasks.values()])
+
+    def add_sporadic_task(
+        self,
+        spec: TaskSpec,
+        executable: Executable,
+        input_provider: Optional[Callable[[], Result]] = None,
+    ) -> None:
+        """Register a *sporadic* task (Section 2.8: FP scheduling "allows
+        both periodic and sporadic task executions").
+
+        The task is never released periodically; call
+        :meth:`release_sporadic` when its triggering event occurs (e.g. a
+        frame arriving in the dynamic network segment).  ``spec.period`` is
+        interpreted as the minimum inter-arrival time, which the kernel
+        enforces — the schedulability analyses treat sporadic tasks exactly
+        like periodic ones under that reading.
+        """
+        self.add_task(spec, executable, input_provider)
+        self._tasks[spec.name].sporadic = True
+
+    def release_sporadic(self, name: str, inputs: Optional[Result] = None) -> bool:
+        """Release one job of a sporadic task now.
+
+        Returns False (and releases nothing) when the minimum inter-arrival
+        time has not yet elapsed — the kernel's guard against event storms
+        that would invalidate the schedulability guarantee — or when the
+        node is silent.  *inputs* overrides the task's input provider for
+        this job.
+        """
+        entry = self._tasks.get(name)
+        if entry is None:
+            raise SchedulingError(f"unknown task {name!r}")
+        if not entry.sporadic:
+            raise SchedulingError(f"task {name!r} is periodic, not sporadic")
+        if self._silent or not entry.active or not self._started:
+            return False
+        if (
+            entry.last_release is not None
+            and self.sim.now - entry.last_release < entry.spec.period
+        ):
+            self.trace.emit(
+                self.sim.now, "kernel.sporadic_rejected", self.name,
+                task=name, since_last=self.sim.now - entry.last_release,
+            )
+            return False
+        self._do_release(entry, inputs)
+        return True
+
+    def start(self) -> None:
+        """Begin releasing jobs (call once, before running the simulator)."""
+        if self._started:
+            raise SchedulingError("kernel already started")
+        if not self._tasks:
+            raise SchedulingError("no tasks registered")
+        self._started = True
+        for entry in self._tasks.values():
+            if not entry.sporadic:
+                self._schedule_release(entry, self.sim.now + entry.spec.offset)
+
+    def shutdown(self) -> None:
+        """Stop all activity immediately (node becomes silent).
+
+        Cancels pending releases, the running segment and deadline events.
+        Used for fail-silent failures and node restarts.
+        """
+        self._silent = True
+        for entry in self._tasks.values():
+            if entry.release_event is not None:
+                entry.release_event.cancel()
+                entry.release_event = None
+        if self._running is not None:
+            self._running.event.cancel()
+            self._running = None
+        for job in self._ready:
+            if job.deadline_event is not None:
+                job.deadline_event.cancel()
+        self._ready.clear()
+
+    def restart(self) -> None:
+        """Re-arm the kernel after a node restart (fresh job streams)."""
+        if not self._started:
+            raise SchedulingError("kernel was never started")
+        self._silent = False
+        self._latent_effects.clear()
+        for entry in self._tasks.values():
+            entry.active = True
+            if not entry.sporadic and entry.release_event is None:
+                self._schedule_release(entry, self.sim.now)
+
+    @property
+    def silent(self) -> bool:
+        """True while the node is shut down (fail-silent)."""
+        return self._silent
+
+    @property
+    def busy(self) -> bool:
+        """True if a copy is executing right now."""
+        return self._running is not None
+
+    def active_tasks(self) -> List[str]:
+        """Names of tasks still scheduled (non-critical ones may shut down)."""
+        return [name for name, entry in self._tasks.items() if entry.active]
+
+    # ------------------------------------------------------------------
+    # Release machinery
+    # ------------------------------------------------------------------
+    def _schedule_release(self, entry: _TaskEntry, when: int) -> None:
+        entry.release_event = self.sim.schedule_at(
+            when,
+            lambda: self._release(entry),
+            priority=PRIORITY_KERNEL,
+            label=f"{self.name}:release:{entry.spec.name}",
+        )
+
+    def _release(self, entry: _TaskEntry) -> None:
+        if self._silent or not entry.active:
+            return
+        self._schedule_release(entry, self.sim.now + entry.spec.period)
+        self._do_release(entry, None)
+
+    def _do_release(self, entry: _TaskEntry, inputs: Optional[Result]) -> None:
+        spec = entry.spec
+        entry.last_release = self.sim.now
+        if inputs is None:
+            inputs = tuple(entry.input_provider())
+        job = Job(spec, self.sim.now, tuple(inputs))
+        self.stats.released += 1
+        self.trace.emit(self.sim.now, "kernel.release", self.name, job=job.job_id)
+        if spec.is_critical:
+            job.tem = TemStateMachine(
+                can_run_another_copy=self._deadline_predicate(job),
+                max_copies=self.config.tem_max_copies,
+            )
+            action = job.tem.next_action()
+            if action is not TemAction.RUN_COPY:  # pragma: no cover - cannot happen
+                raise SchedulingError("fresh TEM job did not request a copy")
+        job.deadline_event = self.sim.schedule_at(
+            job.absolute_deadline,
+            lambda: self._deadline_check(job),
+            priority=PRIORITY_OBSERVER,
+            label=f"{self.name}:deadline:{job.job_id}",
+        )
+        self._ready.append(job)
+        self._dispatch()
+
+    def _deadline_predicate(self, job: Job) -> Callable[[], bool]:
+        def can_run_another_copy() -> bool:
+            cost = job.task.wcet + self.config.comparison_cost
+            return self.sim.now + cost <= job.absolute_deadline
+
+        return can_run_another_copy
+
+    # ------------------------------------------------------------------
+    # Dispatching
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        if self._silent:
+            return
+        best = min(self._ready, key=lambda j: j.task.priority, default=None)
+        if self._running is not None:
+            if best is None or best.task.priority >= self._running.job.task.priority:
+                return
+            self._preempt()
+            best = min(self._ready, key=lambda j: j.task.priority, default=None)
+        if best is None:
+            return
+        self._ready.remove(best)
+        self._start_segment(best)
+
+    def _preempt(self) -> None:
+        running = self._running
+        assert running is not None
+        elapsed = self.sim.now - running.started_at
+        running.job.consumed += elapsed
+        if running.job.budget is not None:
+            running.job.budget.consume(elapsed)
+        running.event.cancel()
+        running.job.state = JobState.READY
+        self._ready.append(running.job)
+        self._running = None
+        self.stats.preemptions += 1
+        self.trace.emit(self.sim.now, "kernel.preempt", self.name, job=running.job.job_id)
+
+    def _start_segment(self, job: Job) -> None:
+        if job.plan is None:
+            self._plan_copy(job)
+        job.state = JobState.RUNNING
+        start_at = self.sim.now
+        fire_in, reason = self._next_boundary(job)
+        event = self.sim.schedule_after(
+            fire_in + self.config.context_switch_cost,
+            lambda: self._segment_event(job, reason),
+            priority=PRIORITY_KERNEL,
+            label=f"{self.name}:segment:{job.job_id}:{reason}",
+        )
+        self._running = _Running(job=job, started_at=start_at, event=event)
+        self.trace.emit(
+            self.sim.now, "kernel.dispatch", self.name,
+            job=job.job_id, copy=job.copy_index, reason=reason, fire_in=fire_in,
+        )
+
+    def _plan_copy(self, job: Job) -> None:
+        entry = self._tasks[job.task.name]
+        plan = entry.executable.plan_copy(job.inputs, job.copy_index)
+        if job.copy_index >= 1 and self.config.comparison_cost:
+            plan.duration += self.config.comparison_cost
+        job.copy_index += 1
+        job.plan = plan
+        job.consumed = 0
+        job.budget = ExecutionBudget(
+            budget_for_wcet(job.task.wcet, self.config.budget_factor)
+            + (self.config.comparison_cost if job.copy_index > 1 else 0)
+        )
+        # Latent fault effects (struck while the CPU was idle) hit the next
+        # copy that gets planned.
+        while self._latent_effects:
+            effect = self._latent_effects.pop()
+            self._apply_effect_to_plan(job, effect)
+
+    def _next_boundary(self, job: Job) -> "tuple[int, str]":
+        plan = job.plan
+        budget = job.budget
+        assert plan is not None and budget is not None
+        candidates: List["tuple[int, str]"] = []
+        if plan.detected_error is not None and plan.error_at is not None:
+            candidates.append((max(0, plan.error_at - job.consumed), "error"))
+        candidates.append((max(1, plan.duration - job.consumed), "complete"))
+        candidates.append((budget.remaining, "budget"))
+        # Deterministic tie-break: error beats complete beats budget.
+        order = {"error": 0, "complete": 1, "budget": 2}
+        return min(candidates, key=lambda c: (c[0], order[c[1]]))
+
+    # ------------------------------------------------------------------
+    # Segment events
+    # ------------------------------------------------------------------
+    def _segment_event(self, job: Job, reason: str) -> None:
+        running = self._running
+        if running is None or running.job is not job:  # pragma: no cover - defensive
+            raise SchedulingError("segment event fired for a non-running job")
+        elapsed = self.sim.now - running.started_at
+        job.consumed += max(0, elapsed - self.config.context_switch_cost)
+        if job.budget is not None:
+            job.budget.consume(max(0, elapsed - self.config.context_switch_cost))
+        self._running = None
+        if reason == "complete":
+            self._copy_completed(job)
+        elif reason == "error":
+            assert job.plan is not None
+            self._copy_detected_error(job, job.plan.detected_error or "cpu_exception")
+        elif reason == "budget":
+            self._copy_detected_error(job, "execution_time")
+        else:  # pragma: no cover - exhaustive
+            raise SchedulingError(f"unknown segment event reason {reason!r}")
+        self._dispatch()
+
+    def _copy_completed(self, job: Job) -> None:
+        plan = job.plan
+        assert plan is not None
+        job.plan = None
+        self.trace.emit(
+            self.sim.now, "kernel.complete", self.name,
+            job=job.job_id, copy=job.copy_index,
+        )
+        if plan.result is None:  # pragma: no cover - defensive
+            raise SchedulingError("completed copy carries no result")
+        if plan.bypasses_comparison:
+            # Control-flow error skipped the comparison (Section 2.7): the
+            # unchecked (wrong) result escapes to the outputs.
+            self._finish_undetected(job, plan.result)
+            return
+        if job.tem is not None:
+            job.tem.copy_completed(plan.result)
+            self._advance_tem(job)
+            return
+        # Non-critical task: single execution, direct delivery.
+        self._finish_delivered(job, plan.result, masked=False)
+
+    def _copy_detected_error(self, job: Job, mechanism: str) -> None:
+        job.plan = None
+        self.stats.edm_detections += 1
+        self.trace.emit(
+            self.sim.now, "kernel.edm", self.name,
+            job=job.job_id, mechanism=mechanism,
+        )
+        if self.config.fail_silent_mode:
+            self._finish_job(job)
+            self.fail_silent_escalation(mechanism)
+            return
+        if job.tem is not None:
+            job.tem.copy_aborted(mechanism)
+            self._advance_tem(job)
+            return
+        # Non-critical task: shut it down, keep the node running
+        # (Section 2.2, strategy 2).
+        entry = self._tasks[job.task.name]
+        entry.active = False
+        if entry.release_event is not None:
+            entry.release_event.cancel()
+            entry.release_event = None
+        self._finish_job(job)
+        self.stats.noncritical_shutdowns += 1
+        self.trace.emit(self.sim.now, "task.shutdown", self.name, task=job.task.name)
+        if self.on_noncritical_shutdown is not None:
+            self.on_noncritical_shutdown(job.task)
+
+    def _advance_tem(self, job: Job) -> None:
+        assert job.tem is not None
+        action = job.tem.next_action()
+        if self.config.fail_silent_mode and job.tem.errors_detected > 0:
+            # FS baseline: a detected error (comparison mismatch included)
+            # silences the node; no recovery copy is attempted and no
+            # possibly-tainted result is delivered.
+            self._finish_job(job)
+            self.fail_silent_escalation("fs_detected_error")
+            return
+        if action is TemAction.RUN_COPY:
+            category = "tem.recovery" if job.tem.errors_detected else "tem.copy"
+            self.trace.emit(
+                self.sim.now, category, self.name,
+                job=job.job_id, copy=job.copy_index + 1,
+            )
+            job.state = JobState.READY
+            self._ready.append(job)
+            return
+        report = job.tem.report
+        if action is TemAction.DELIVER:
+            assert report.delivered_result is not None
+            self.trace.emit(
+                self.sim.now, "tem.vote", self.name,
+                job=job.job_id, outcome=report.outcome.value,
+                copies=report.copies_run,
+            )
+            self._finish_delivered(
+                job, report.delivered_result, masked=report.outcome is TemOutcome.MASKED
+            )
+            return
+        self._finish_omitted(job, report.omission_reason or "tem")
+
+    # ------------------------------------------------------------------
+    # Job termination paths
+    # ------------------------------------------------------------------
+    def _finish_job(self, job: Job) -> None:
+        job.state = JobState.FINISHED
+        if job.deadline_event is not None:
+            job.deadline_event.cancel()
+            job.deadline_event = None
+        if job in self._ready:
+            self._ready.remove(job)
+
+    def _finish_delivered(self, job: Job, result: Result, masked: bool) -> None:
+        self._finish_job(job)
+        job.delivered = result
+        if masked:
+            self.stats.delivered_masked += 1
+        else:
+            self.stats.delivered_ok += 1
+        self.trace.emit(
+            self.sim.now, "kernel.deliver", self.name,
+            job=job.job_id, masked=masked,
+        )
+        if self.on_deliver is not None:
+            self.on_deliver(job.task, job, result)
+
+    def _finish_omitted(self, job: Job, reason: str) -> None:
+        self._finish_job(job)
+        self.stats.omissions += 1
+        self.trace.emit(
+            self.sim.now, "kernel.omission", self.name,
+            job=job.job_id, reason=reason,
+        )
+        if self.on_omission is not None:
+            self.on_omission(job.task, job, reason)
+
+    def _finish_undetected(self, job: Job, result: Result) -> None:
+        self._finish_job(job)
+        self.stats.undetected_wrong_outputs += 1
+        self.trace.emit(
+            self.sim.now, "kernel.undetected_output", self.name, job=job.job_id
+        )
+        if self.on_undetected_output is not None:
+            self.on_undetected_output(job.task, job, result)
+
+    def _deadline_check(self, job: Job) -> None:
+        if job.state is JobState.FINISHED:
+            return
+        self.stats.deadline_misses += 1
+        self.trace.emit(self.sim.now, "kernel.deadline_miss", self.name, job=job.job_id)
+        if self._running is not None and self._running.job is job:
+            self._running.event.cancel()
+            self._running = None
+        self._finish_omitted(job, "deadline")
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Fault-effect application (called by the node layer)
+    # ------------------------------------------------------------------
+    def apply_fault_effect(self, effect: FaultEffect) -> str:
+        """Apply one manifested fault effect to the kernel's current state.
+
+        Returns a short classification string for campaign bookkeeping.
+        """
+        if self._silent:
+            return "node_silent"
+        if effect is FaultEffect.NO_EFFECT:
+            return "no_effect"
+        if effect is FaultEffect.KERNEL_CORRUPTION:
+            self.kernel_error("kernel_check")
+            return "kernel_error"
+        running = self._running
+        if running is None:
+            # CPU idle: the corruption lies latent until the next copy.
+            self._latent_effects.append(effect)
+            return "latent"
+        job = running.job
+        self._fold_running_time(running)
+        self._apply_effect_to_plan(job, effect)
+        self._rearm(job)
+        return "applied_to_copy"
+
+    def _fold_running_time(self, running: _Running) -> None:
+        elapsed = self.sim.now - running.started_at
+        running.job.consumed += elapsed
+        if running.job.budget is not None:
+            running.job.budget.consume(elapsed)
+        running.event.cancel()
+        self._running = None
+
+    def _rearm(self, job: Job) -> None:
+        job.state = JobState.READY
+        self._ready.append(job)
+        self._dispatch()
+
+    def _apply_effect_to_plan(self, job: Job, effect: FaultEffect) -> None:
+        plan = job.plan
+        if plan is None:  # copy not planned yet; let the effect wait
+            self._latent_effects.append(effect)
+            return
+        if effect is FaultEffect.WRONG_RESULT:
+            if plan.result is not None:
+                plan.result = self._corrupt_result(plan.result)
+        elif effect is FaultEffect.HARDWARE_EXCEPTION:
+            if plan.detected_error is None or (plan.error_at or 0) > job.consumed:
+                plan.detected_error = "cpu_exception"
+                plan.error_at = job.consumed + 1
+        elif effect is FaultEffect.TIMING_OVERRUN:
+            assert job.budget is not None
+            plan.duration = max(plan.duration, job.budget.budget * 2)
+            if plan.detected_error == "execution_time":
+                plan.error_at = plan.duration
+        elif effect is FaultEffect.UNDETECTED_WRONG_OUTPUT:
+            if plan.result is not None:
+                plan.result = self._corrupt_result(plan.result)
+            plan.bypasses_comparison = True
+        elif effect is FaultEffect.NO_EFFECT:
+            pass
+        else:  # pragma: no cover - exhaustive
+            raise SchedulingError(f"unhandled fault effect {effect}")
+
+    def _corrupt_result(self, result: Result) -> Result:
+        values = list(result)
+        if not values:
+            return ("corrupted",)  # type: ignore[return-value]
+        index = int(self.rng.integers(0, len(values)))
+        value = values[index]
+        if isinstance(value, int):
+            values[index] = value ^ (1 << int(self.rng.integers(0, 31)))
+        else:
+            magnitude = abs(float(value)) + 1.0
+            values[index] = float(value) + magnitude * float(self.rng.uniform(0.5, 2.0))
+        return tuple(values)
+
+    def fail_silent_escalation(self, mechanism: str) -> None:
+        """FS-mode reaction to any detected error: silence the node.
+
+        Functionally identical to :meth:`kernel_error` but kept separate for
+        tracing/accounting — the FS baseline silences on *application*
+        errors too, which an NLFT node would have masked.
+        """
+        self.trace.emit(self.sim.now, "kernel.fail_silent", self.name, mechanism=mechanism)
+        self.shutdown()
+        if self.on_kernel_error is not None:
+            self.on_kernel_error(mechanism)
+
+    def kernel_error(self, mechanism: str) -> None:
+        """An error was detected during kernel execution: go silent.
+
+        Section 2.2, strategy 3 — "Errors detected during execution of the
+        real-time kernel should result in the node becoming silent."
+        """
+        self.stats.kernel_errors += 1
+        self.trace.emit(self.sim.now, "kernel.error", self.name, mechanism=mechanism)
+        self.shutdown()
+        if self.on_kernel_error is not None:
+            self.on_kernel_error(mechanism)

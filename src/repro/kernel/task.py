@@ -1,0 +1,305 @@
+"""Task model of the real-time kernel.
+
+The paper's basic task model (Figure 2) is a periodic *read input - compute -
+write output* loop.  A :class:`TaskSpec` describes the static attributes —
+period, deadline, worst-case execution time (WCET), priority, criticality —
+and an :class:`Executable` provides the computation.
+
+Priority convention: **lower number = higher priority** (priority 0 is the
+most urgent).  Priorities are assigned on the basis of task *criticality*
+(Section 2.8): every critical task outranks every non-critical task; see
+:mod:`repro.kernel.priority`.
+
+Two executable flavours exist:
+
+* :class:`CallableExecutable` — a plain Python function plus an execution
+  time; fast, used in long distributed simulations.  Fault effects on these
+  tasks are modelled through
+  :class:`~repro.cpu.profiles.ManifestationProfile`.
+* :class:`MachineExecutable` — a mini-ISA program on a simulated processor;
+  slower but with *emergent* fault behaviour, used by the fault-injection
+  campaigns that estimate coverage (experiment E5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Optional, Sequence
+
+from ..cpu.assembler import AssembledProgram
+from ..cpu.machine import Machine
+from ..errors import ConfigurationError
+
+from ..types import Result
+
+
+class Criticality(enum.Enum):
+    """Task criticality classes of Section 2.2."""
+
+    CRITICAL = "critical"
+    NON_CRITICAL = "non_critical"
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSpec:
+    """Static description of a periodic task.
+
+    All times are simulator ticks (microseconds).
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a node.
+    period:
+        Release period.
+    wcet:
+        Worst-case execution time of *one* copy (TEM doubles/triples the
+        demand for critical tasks; the schedulability analysis accounts
+        for that, not the spec).
+    deadline:
+        Relative deadline; defaults to the period.
+    priority:
+        Fixed priority; lower number = higher priority.
+    criticality:
+        CRITICAL tasks run under temporal error masking; NON_CRITICAL tasks
+        run once and are shut down on error (Section 2.2).
+    offset:
+        Release offset of the first job.
+    """
+
+    name: str
+    period: int
+    wcet: int
+    priority: int
+    deadline: Optional[int] = None
+    criticality: Criticality = Criticality.CRITICAL
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"task {self.name!r}: period must be positive")
+        if self.wcet <= 0:
+            raise ConfigurationError(f"task {self.name!r}: wcet must be positive")
+        if self.relative_deadline <= 0:
+            raise ConfigurationError(f"task {self.name!r}: deadline must be positive")
+        if self.wcet > self.relative_deadline:
+            raise ConfigurationError(
+                f"task {self.name!r}: wcet {self.wcet} exceeds deadline "
+                f"{self.relative_deadline}"
+            )
+        if self.offset < 0:
+            raise ConfigurationError(f"task {self.name!r}: offset must be non-negative")
+
+    @property
+    def relative_deadline(self) -> int:
+        """Deadline relative to release (defaults to the period)."""
+        return self.deadline if self.deadline is not None else self.period
+
+    @property
+    def utilization(self) -> float:
+        """Single-copy utilization C/T."""
+        return self.wcet / self.period
+
+    @property
+    def is_critical(self) -> bool:
+        return self.criticality is Criticality.CRITICAL
+
+
+@dataclasses.dataclass
+class CopyPlan:
+    """What one execution copy *would* do, as planned at dispatch time.
+
+    The scheduler plays the plan out over simulated time; a fault arriving
+    mid-copy may revise it (abort earlier, corrupt the result, stretch the
+    duration).
+
+    Attributes
+    ----------
+    duration:
+        Execution time the copy needs (ticks of pure CPU time).
+    result:
+        Output tuple produced if the copy completes.
+    detected_error:
+        EDM mechanism name if a hardware/software check fires, else None.
+    error_at:
+        CPU time into the copy at which the EDM fires.
+    bypasses_comparison:
+        True for the rare control-flow error that jumps past the
+        comparison/vote and delivers an unchecked result (Section 2.7).
+    """
+
+    duration: int
+    result: Optional[Result]
+    detected_error: Optional[str] = None
+    error_at: Optional[int] = None
+    bypasses_comparison: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("copy duration must be positive")
+        if self.detected_error is not None:
+            if self.error_at is None:
+                self.error_at = self.duration
+            if not 0 <= self.error_at <= self.duration:
+                raise ConfigurationError("error_at must fall within the copy duration")
+
+
+class Executable:
+    """Computation behind a task.  Subclasses produce :class:`CopyPlan`s."""
+
+    def plan_copy(self, inputs: Result, copy_index: int) -> CopyPlan:
+        """Plan one execution copy for the given inputs.
+
+        *copy_index* counts the copies of the current job (0-based); an
+        executable may use it for diversity, logging, or test scripting.
+        """
+        raise NotImplementedError
+
+
+class CallableExecutable(Executable):
+    """A Python function with a fixed (or callable) execution time.
+
+    Parameters
+    ----------
+    fn:
+        Maps the input tuple to the output tuple — the *compute* phase of
+        Figure 2.
+    execution_time:
+        Ticks of CPU time per copy, or a callable ``(inputs, copy_index) ->
+        ticks`` for data-dependent timing.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Result], Result],
+        execution_time: "int | Callable[[Result, int], int]",
+    ) -> None:
+        self._fn = fn
+        self._execution_time = execution_time
+
+    def plan_copy(self, inputs: Result, copy_index: int) -> CopyPlan:
+        if callable(self._execution_time):
+            duration = int(self._execution_time(inputs, copy_index))
+        else:
+            duration = int(self._execution_time)
+        outputs = tuple(self._fn(tuple(inputs)))
+        return CopyPlan(duration=duration, result=outputs)
+
+
+class MachineExecutable(Executable):
+    """A mini-ISA program run on a dedicated simulated processor.
+
+    The machine is *owned* by the executable: each copy re-prepares it
+    (fresh registers, fresh stack), writes the inputs to ``input_base``,
+    runs to HALT and reads ``output_count`` words from ``output_base``.
+
+    Hardware exceptions and budget overruns surface in the returned
+    :class:`CopyPlan` so the TEM machinery reacts exactly as the paper
+    describes.
+    """
+
+    #: MMU protection-domain name used for task execution.
+    TASK_DOMAIN = "task"
+
+    def __init__(
+        self,
+        machine: Machine,
+        program: AssembledProgram,
+        entry: str = "start",
+        input_base: int = 0x1800,
+        output_base: int = 0x1900,
+        input_count: int = 0,
+        output_count: int = 1,
+        max_steps: int = 100_000,
+        confine_with_mmu: bool = True,
+        stack_words: int = 256,
+    ) -> None:
+        self.machine = machine
+        self.program = program
+        self.entry_address = program.address_of(entry) if entry in program.labels else program.origin
+        self.input_base = input_base
+        self.output_base = output_base
+        self.input_count = input_count
+        self.output_count = output_count
+        self.max_steps = max_steps
+        self.confine_with_mmu = confine_with_mmu
+        machine.load_program(program)
+        machine.seal_rom()
+        if confine_with_mmu:
+            self._install_regions(stack_words)
+
+    def _install_regions(self, stack_words: int) -> None:
+        """Confine the task to its code, data and stack (Section 2.4).
+
+        With these regions installed and the task run in its own protection
+        domain, a corrupted PC or SP that leaves the task's footprint is
+        caught by the MMU as an address error — the fault-confinement EDM
+        of Table 1.
+        """
+        from ..cpu.mmu import Region
+
+        mmu = self.machine.mmu
+        mmu.add_region(Region(
+            base=self.program.origin, size=max(1, self.program.size),
+            permissions="rx", domain=self.TASK_DOMAIN, name="code",
+        ))
+        data_base = min(self.input_base, self.output_base)
+        data_end = max(self.input_base + max(1, self.input_count),
+                       self.output_base + self.output_count)
+        mmu.add_region(Region(
+            base=data_base, size=data_end - data_base,
+            permissions="rw", domain=self.TASK_DOMAIN, name="data",
+        ))
+        stack_top = self.machine.memory.size_words
+        mmu.add_region(Region(
+            base=stack_top - stack_words, size=stack_words,
+            permissions="rw", domain=self.TASK_DOMAIN, name="stack",
+        ))
+
+    def plan_copy(self, inputs: Result, copy_index: int) -> CopyPlan:
+        machine = self.machine
+        machine.prepare(self.entry_address)
+        if self.input_count:
+            machine.write_words(self.input_base, [int(v) for v in inputs[: self.input_count]])
+        if self.confine_with_mmu:
+            machine.mmu.enter_domain(self.TASK_DOMAIN)
+        try:
+            run = machine.run(max_steps=self.max_steps)
+        finally:
+            machine.mmu.enter_kernel()
+        duration = max(1, run.cycles * machine.cycle_ticks)
+        if run.exception is not None:
+            return CopyPlan(
+                duration=duration,
+                result=None,
+                detected_error=run.exception.mechanism,
+                error_at=duration,
+            )
+        if not run.halted:
+            # Budget exhausted at machine level -> timing EDM.
+            return CopyPlan(
+                duration=duration,
+                result=None,
+                detected_error="execution_time",
+                error_at=duration,
+            )
+        outputs = tuple(machine.read_words(self.output_base, self.output_count))
+        return CopyPlan(duration=duration, result=outputs)
+
+
+def validate_task_set(tasks: Sequence[TaskSpec]) -> None:
+    """Reject duplicate names or duplicate priorities within one node.
+
+    Distinct priorities keep the fixed-priority scheduler deterministic —
+    the paper's kernel assigns unique, criticality-derived priorities.
+    """
+    names = [t.name for t in tasks]
+    if len(names) != len(set(names)):
+        raise ConfigurationError(f"duplicate task names in {names}")
+    priorities = [t.priority for t in tasks]
+    if len(priorities) != len(set(priorities)):
+        raise ConfigurationError(
+            f"duplicate priorities {priorities}; fixed-priority scheduling "
+            "requires unique priorities"
+        )

@@ -1,0 +1,131 @@
+"""Markov models of the duplex central unit (Figures 6 and 7).
+
+The central unit (CU) is a duplex configuration in active replication: two
+nodes execute the brake-distribution control in parallel; under the
+fail-silent assumption the service survives as long as at least one node
+delivers results.
+
+State naming follows the paper:
+
+======  ==========================================================
+state   meaning
+======  ==========================================================
+``0``   both nodes working correctly
+``1``   one node permanently down, the other provides service
+``2``   one node temporarily down (fail-silent restart in progress)
+``3``   one node recovering from an omission failure (NLFT only)
+``F``   absorbing failure: both nodes down, or an undetected error
+======  ==========================================================
+
+Transition rates are derived in DESIGN.md Section 4; the key NLFT benefit is
+visible in the single-node states (1, 2, 3): the surviving NLFT node still
+masks transients with probability ``C_D * P_T``, so its failure rate is
+``lambda_p + lambda_t (1 - C_D P_T)`` instead of the full ``lambda_p +
+lambda_t`` of a fail-silent node.
+"""
+
+from __future__ import annotations
+
+from ..reliability import MarkovChain
+from .parameters import BbwParameters
+
+#: Canonical state names.
+STATE_OK = "0"
+STATE_PERMANENT = "1"
+STATE_RESTART = "2"
+STATE_OMISSION = "3"
+STATE_FAILED = "F"
+
+
+def build_cu_fs(params: BbwParameters) -> MarkovChain:
+    """Central unit with two fail-silent nodes (paper Figure 6).
+
+    From state 0, a *detected* permanent fault in either node (rate
+    ``2 lambda_p C_D``) leads to state 1; a detected transient (rate
+    ``2 lambda_t C_D``) silences the node for a 3 s restart (state 2);
+    any undetected error (rate ``2 lambda (1 - C_D)``) is assumed to fail the
+    whole system.  With only one node left (states 1, 2) every further fault,
+    detected or not, is fatal (rate ``lambda_p + lambda_t``).
+    """
+    chain = MarkovChain([STATE_OK, STATE_PERMANENT, STATE_RESTART, STATE_FAILED], name="CU-FS")
+    chain.set_initial(STATE_OK)
+    chain.add_transition(
+        STATE_OK, STATE_PERMANENT, 2.0 * params.lambda_p * params.coverage,
+        label="detected permanent fault in one of two nodes",
+    )
+    chain.add_transition(
+        STATE_OK, STATE_RESTART, 2.0 * params.lambda_t * params.coverage,
+        label="detected transient fault -> fail-silent restart",
+    )
+    chain.add_transition(
+        STATE_OK, STATE_FAILED, 2.0 * params.uncovered_rate,
+        label="non-covered error (pessimistic: system failure)",
+    )
+    chain.add_transition(
+        STATE_PERMANENT, STATE_FAILED, params.fs_failure_rate,
+        label="any fault in the remaining node",
+    )
+    chain.add_transition(
+        STATE_RESTART, STATE_OK, params.mu_restart,
+        label="restart + diagnosis + reintegration complete",
+    )
+    chain.add_transition(
+        STATE_RESTART, STATE_FAILED, params.fs_failure_rate,
+        label="any fault in the working node during partner restart",
+    )
+    return chain
+
+
+def build_cu_nlft(params: BbwParameters) -> MarkovChain:
+    """Central unit with two light-weight NLFT nodes (paper Figure 7).
+
+    Detected transients now split three ways: masked by TEM (probability
+    ``P_T``, no state change), omission failure (``P_OM``, state 3, repaired
+    at ``mu_OM``), or fail-silent failure (``P_FS``, state 2, repaired at
+    ``mu_R``).  In the single-node states the survivor keeps masking
+    transients, which is where the dependability gain over FS nodes arises.
+    """
+    chain = MarkovChain(
+        [STATE_OK, STATE_PERMANENT, STATE_RESTART, STATE_OMISSION, STATE_FAILED],
+        name="CU-NLFT",
+    )
+    chain.set_initial(STATE_OK)
+    detected_transient = 2.0 * params.lambda_t * params.coverage
+    chain.add_transition(
+        STATE_OK, STATE_PERMANENT, 2.0 * params.lambda_p * params.coverage,
+        label="detected permanent fault in one of two nodes",
+    )
+    chain.add_transition(
+        STATE_OK, STATE_RESTART, detected_transient * params.p_fail_silent,
+        label="detected transient -> fail-silent failure (kernel error)",
+    )
+    chain.add_transition(
+        STATE_OK, STATE_OMISSION, detected_transient * params.p_omission,
+        label="detected transient -> omission failure (no time to recover)",
+    )
+    chain.add_transition(
+        STATE_OK, STATE_FAILED, 2.0 * params.uncovered_rate,
+        label="non-covered error (pessimistic: system failure)",
+    )
+    lone_node_rate = params.nlft_unmasked_rate
+    for state, repair, mu in (
+        (STATE_PERMANENT, None, None),
+        (STATE_RESTART, STATE_OK, params.mu_restart),
+        (STATE_OMISSION, STATE_OK, params.mu_omission),
+    ):
+        chain.add_transition(
+            state, STATE_FAILED, lone_node_rate,
+            label="unmasked fault in the remaining NLFT node",
+        )
+        if repair is not None:
+            chain.add_transition(state, repair, mu, label="repair/reintegration")
+    return chain
+
+
+def build_central_unit(params: BbwParameters, node_type: str) -> MarkovChain:
+    """Dispatch on node type: ``"fs"`` (Figure 6) or ``"nlft"`` (Figure 7)."""
+    if node_type == "fs":
+        return build_cu_fs(params)
+    if node_type == "nlft":
+        return build_cu_nlft(params)
+    raise ValueError(f"unknown node type {node_type!r}; expected 'fs' or 'nlft'")

@@ -1,0 +1,130 @@
+"""Parameter set of the paper's dependability analysis (Section 3.3).
+
+All rates are per hour.  The defaults are exactly the paper's values:
+
+* lambda_p = 1.82e-5 /h — permanent fault rate of one computer node, taken
+  from Claesson's MIL-HDBK-217 derivation for a truck brake-by-wire node [15];
+* lambda_t = 10 * lambda_p — transient fault rate (Section 3.3, consistent
+  with the soft-error trend argument of Baumann [5]);
+* C_D = 0.99 — error-detection coverage (varied in Figure 14);
+* P_T = 0.90, P_OM = 0.05, P_FS = 0.05 — conditional outcome probabilities
+  for detected transient errors on an NLFT node (from the fault-injection
+  studies [7]); they must sum to 1;
+* mu_r = 1200 /h — repair rate for fail-silent restart (3 s: 1.6 s TTP/C-style
+  restart/reintegration [16] + 1.4 s hardware reset & diagnostics);
+* mu_om = 2250 /h — repair rate for omission failures (1.6 s).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigurationError
+
+#: Paper values (Section 3.3).
+PERMANENT_FAULT_RATE = 1.82e-5
+TRANSIENT_FAULT_RATE = 1.82e-4
+COVERAGE = 0.99
+P_TEM_MASKED = 0.90
+P_OMISSION = 0.05
+P_FAIL_SILENT = 0.05
+RESTART_REPAIR_RATE = 1.2e3
+OMISSION_REPAIR_RATE = 2.25e3
+
+#: Architecture constants of the example system (Figure 4).
+WHEEL_NODE_COUNT = 4
+DEGRADED_MIN_WHEEL_NODES = 3
+CENTRAL_UNIT_REPLICAS = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class BbwParameters:
+    """Immutable parameter record for the brake-by-wire analysis.
+
+    Use :meth:`paper` for the published values and :meth:`replace` (from
+    dataclasses) to build variants for sensitivity studies.
+    """
+
+    lambda_p: float = PERMANENT_FAULT_RATE
+    lambda_t: float = TRANSIENT_FAULT_RATE
+    coverage: float = COVERAGE
+    p_tem: float = P_TEM_MASKED
+    p_omission: float = P_OMISSION
+    p_fail_silent: float = P_FAIL_SILENT
+    mu_restart: float = RESTART_REPAIR_RATE
+    mu_omission: float = OMISSION_REPAIR_RATE
+
+    def __post_init__(self) -> None:
+        if self.lambda_p < 0 or self.lambda_t < 0:
+            raise ConfigurationError("fault rates must be non-negative")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ConfigurationError(f"coverage must be in [0,1], got {self.coverage}")
+        for name in ("p_tem", "p_omission", "p_fail_silent"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0,1], got {value}")
+        total = self.p_tem + self.p_omission + self.p_fail_silent
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"P_T + P_OM + P_FS must sum to 1 (got {total}); these are the "
+                "conditional outcomes of a detected transient error"
+            )
+        if self.mu_restart <= 0 or self.mu_omission <= 0:
+            raise ConfigurationError("repair rates must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities used across the models
+    # ------------------------------------------------------------------
+    @property
+    def lambda_total(self) -> float:
+        """Total activated-fault rate of one node: lambda_p + lambda_t."""
+        return self.lambda_p + self.lambda_t
+
+    @property
+    def uncovered_rate(self) -> float:
+        """Rate of non-covered (undetected) errors per node.
+
+        The paper pessimistically maps every non-covered error to a failure
+        of the entire BBW system (Section 3.2.1).
+        """
+        return self.lambda_total * (1.0 - self.coverage)
+
+    @property
+    def nlft_unmasked_rate(self) -> float:
+        """Failure-causing fault rate of one *working* NLFT node.
+
+        A fault escapes local masking when it is permanent, undetected, or a
+        detected transient that ends in an omission or fail-silent failure:
+        lambda_p + lambda_t * (1 - C_D * P_T).
+        """
+        return self.lambda_p + self.lambda_t * (1.0 - self.coverage * self.p_tem)
+
+    @property
+    def fs_failure_rate(self) -> float:
+        """Failure-causing fault rate of one working FS node (any fault)."""
+        return self.lambda_total
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "BbwParameters":
+        """The exact parameter assignment of Section 3.3."""
+        return cls()
+
+    def with_transient_scale(self, factor: float) -> "BbwParameters":
+        """Scale the transient fault rate (the Figure 14 x-axis)."""
+        if factor < 0:
+            raise ConfigurationError(f"scale factor must be non-negative, got {factor}")
+        return dataclasses.replace(self, lambda_t=self.lambda_t * factor)
+
+    def with_coverage(self, coverage: float) -> "BbwParameters":
+        """Replace the error-detection coverage (the Figure 14 family)."""
+        return dataclasses.replace(self, coverage=coverage)
+
+    def describe(self) -> str:
+        """One-line summary for experiment logs."""
+        return (
+            f"lambda_p={self.lambda_p:.3g}/h lambda_t={self.lambda_t:.3g}/h "
+            f"C_D={self.coverage} P_T={self.p_tem} P_OM={self.p_omission} "
+            f"P_FS={self.p_fail_silent} mu_R={self.mu_restart:.4g}/h "
+            f"mu_OM={self.mu_omission:.4g}/h"
+        )

@@ -1,0 +1,22 @@
+"""Time-triggered communication substrate (FlexRay-like, Section 2.1).
+
+A broadcast bus with a static TDMA segment for critical state messages and
+a dynamic, priority-arbitrated segment for event-triggered traffic, plus
+per-node communication controllers enforcing the fail-silence boundary.
+"""
+
+from .controller import NetworkInterface
+from .flexray import FlexRayBus
+from .frame import Frame, ReceivedFrame, require_payload_length
+from .schedule import CommunicationSchedule, StaticSlot, round_robin_schedule
+
+__all__ = [
+    "CommunicationSchedule",
+    "FlexRayBus",
+    "Frame",
+    "NetworkInterface",
+    "ReceivedFrame",
+    "StaticSlot",
+    "require_payload_length",
+    "round_robin_schedule",
+]

@@ -1,0 +1,142 @@
+"""Duplex configurations in active replication (Figure 1, right).
+
+Two nodes execute the same workload; under the fail-silent assumption any
+valid output can be consumed, so the *service* survives as long as at least
+one member delivers.  The :class:`DuplexGroup` tracks member statuses and
+exposes service availability to system-level observers; it also selects the
+output to act on (the freshest valid frame from any member).
+
+The paper's future-work discussion (replica determinism, state recovery via
+the partner node over FlexRay's event-triggered segment) is implemented in
+:meth:`DuplexGroup.request_state_recovery`, which a reintegrating member
+uses to re-seed its state data from the partner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..net.controller import NetworkInterface
+from ..sim import Simulator, TraceRecorder
+from ..types import Result
+from .base import NodeBase
+from .failures import NodeStatus
+
+#: Observer signature: (group, service_available).
+ServiceObserver = Callable[["DuplexGroup", bool], None]
+
+
+class DuplexGroup:
+    """Two (or more) replicated nodes providing one service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        members: Sequence[NodeBase],
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if len(members) < 1:
+            raise ConfigurationError("a replication group needs at least one member")
+        self.sim = sim
+        self.name = name
+        self.members = list(members)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self._observers: List[ServiceObserver] = []
+        self._available = True
+        self.outage_count = 0
+        self.outage_ticks = 0
+        self._outage_started: Optional[int] = None
+        for member in self.members:
+            member.add_observer(self._member_changed)
+
+    # ------------------------------------------------------------------
+    @property
+    def service_available(self) -> bool:
+        """True while at least one member provides service."""
+        return any(m.operational for m in self.members)
+
+    @property
+    def working_members(self) -> List[NodeBase]:
+        """Members currently providing service."""
+        return [m for m in self.members if m.operational]
+
+    @property
+    def permanently_down(self) -> bool:
+        """True when every member is permanently down."""
+        return all(m.status is NodeStatus.DOWN_PERMANENT for m in self.members)
+
+    def add_observer(self, observer: ServiceObserver) -> None:
+        """Register a system-level service observer."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    def _member_changed(self, node: NodeBase, old: NodeStatus, new: NodeStatus) -> None:
+        available = self.service_available
+        if available == self._available:
+            return
+        self._available = available
+        if available:
+            if self._outage_started is not None:
+                self.outage_ticks += self.sim.now - self._outage_started
+                self._outage_started = None
+        else:
+            self.outage_count += 1
+            self._outage_started = self.sim.now
+        self.trace.emit(
+            self.sim.now, "duplex.service", self.name, available=available
+        )
+        for observer in self._observers:
+            observer(self, available)
+
+    # ------------------------------------------------------------------
+    # Output selection and partner state recovery
+    # ------------------------------------------------------------------
+    def select_output(
+        self,
+        frame_id_of: Callable[[NodeBase], int],
+        networks: Callable[[NodeBase], Optional[NetworkInterface]],
+        now: int,
+        max_age: int,
+    ) -> Optional[Result]:
+        """Pick the freshest valid output any member transmitted.
+
+        Consumers of a duplex service read both members' frames and take the
+        first fresh, CRC-valid one — correct under fail-silence.
+        """
+        freshest: Optional[Result] = None
+        freshest_age: Optional[int] = None
+        for member in self.members:
+            network = networks(member)
+            if network is None:
+                continue
+            received = network.read_fresh(frame_id_of(member), now, max_age)
+            if received is None:
+                continue
+            age = received.age_at(now)
+            if freshest_age is None or age < freshest_age:
+                freshest_age = age
+                freshest = tuple(received.frame.payload)
+        return freshest
+
+    def request_state_recovery(self, requester: NodeBase) -> Optional[Result]:
+        """Fetch current state data from a working partner (Section 4).
+
+        Returns the partner's state snapshot, or None when no partner can
+        serve (the requester then falls back to defaults / fresh inputs, as
+        Section 2.6 allows for input data: "obtain new data in the next
+        cycle").
+        """
+        for member in self.members:
+            if member is requester or not member.operational:
+                continue
+            provider = getattr(member, "provide_state_snapshot", None)
+            if provider is not None:
+                snapshot = provider()
+                self.trace.emit(
+                    self.sim.now, "duplex.state_recovery", self.name,
+                    requester=requester.name, provider=member.name,
+                )
+                return snapshot
+        return None

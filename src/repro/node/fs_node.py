@@ -1,0 +1,107 @@
+"""Conventional fail-silent node (the paper's baseline, Section 3.2.1).
+
+"If an error is detected by one of the node's EDMs, then the node exhibits a
+fail-silent failure, i.e. the node immediately stops producing results and
+is excluded from the distributed system.  The node is automatically
+restarted, and a diagnostic program establishes whether the failure was
+caused by a transient or a permanent fault."
+
+The FS node is a *behavioural* model: it does not run a kernel, because its
+reaction to every detected error is the same (go silent).  Detection itself
+is a Bernoulli trial with the error-detection coverage C_D; non-covered
+errors become undetected failures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..net.controller import NetworkInterface
+from ..sim import Simulator, TraceRecorder
+from .base import NodeBase
+from .reintegration import RestartController
+
+
+class FailSilentNode(NodeBase):
+    """A node whose only error reaction is fail-silence.
+
+    Parameters
+    ----------
+    coverage:
+        Error-detection coverage C_D (probability a fault's error is caught
+        by *any* EDM).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        coverage: float = 0.99,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[TraceRecorder] = None,
+        network: Optional[NetworkInterface] = None,
+        restart: Optional[RestartController] = None,
+    ) -> None:
+        if not 0.0 <= coverage <= 1.0:
+            raise ConfigurationError(f"coverage must be in [0,1], got {coverage}")
+        super().__init__(sim, name, rng=rng, trace=trace, network=network, restart=restart)
+        self.coverage = coverage
+
+    # ------------------------------------------------------------------
+    def _detected(self) -> bool:
+        return bool(self.rng.random() < self.coverage)
+
+    def _on_transient_fault(self) -> None:
+        if self.status is not self.status.OPERATIONAL:
+            # Fault strikes a node that is already silent; it cannot corrupt
+            # outputs (none are produced) and the restart wipes state.
+            return
+        if self._detected():
+            self.fail_silent("detected transient fault")
+        else:
+            self.undetected_failure("non-covered transient fault")
+
+    def _on_permanent_fault(self) -> None:
+        if self.status is not self.status.OPERATIONAL:
+            return
+        if self._detected():
+            # The restart's diagnosis will find the permanent fault and keep
+            # the node down (NodeBase handles that via the flag).
+            self.fail_silent("detected permanent fault")
+        else:
+            self.undetected_failure("non-covered permanent fault")
+
+
+def make_fs_kernel_node(
+    sim: Simulator,
+    name: str,
+    profile=None,
+    rng: Optional[np.random.Generator] = None,
+    trace: Optional[TraceRecorder] = None,
+    network: Optional[NetworkInterface] = None,
+    restart: Optional[RestartController] = None,
+):
+    """A kernel-backed *fail-silent* node.
+
+    Identical detection machinery to the NLFT kernel node (double
+    execution + comparison, EDMs, budget timers) but configured so that
+    any detected error silences the node instead of recovering — the FS
+    baseline of Section 3.2.1, built from the same parts, which makes the
+    FS-vs-NLFT functional comparison apples-to-apples.
+    """
+    from ..kernel.scheduler import KernelConfig
+    from .nlft_node import NlftKernelNode
+
+    return NlftKernelNode(
+        sim,
+        name,
+        profile=profile,
+        rng=rng,
+        trace=trace,
+        network=network,
+        restart=restart,
+        config=KernelConfig(fail_silent_mode=True),
+    )

@@ -1,0 +1,226 @@
+"""Light-weight NLFT nodes (Section 3.2.1).
+
+Two implementations with identical external semantics:
+
+* :class:`NlftBehaviouralNode` draws the outcome of each detected transient
+  directly from the paper's conditional probabilities (P_T / P_OM / P_FS).
+  It is the Monte-Carlo twin of the analytical Markov models — fast enough
+  for year-long simulated missions — and is used to *cross-validate* the
+  analytic results (experiment E8).
+
+* :class:`NlftKernelNode` hosts a full simulated real-time kernel running
+  TEM.  Fault arrivals are turned into architectural effects via a
+  :class:`~repro.cpu.profiles.ManifestationProfile`, and the node-level
+  outcome (masked / omission / fail-silent / undetected) **emerges** from
+  the kernel machinery: comparison and voting, budget timers, deadline
+  checks and the kernel-error policy.  It demonstrates that the mechanism
+  stack of Section 2 actually produces the behaviour the reliability models
+  assume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.diagnosis import PermanentFaultSuspector
+from ..cpu.profiles import FaultEffect, ManifestationProfile
+from ..errors import ConfigurationError
+from ..kernel.scheduler import KernelConfig, Scheduler
+from ..kernel.task import TaskSpec
+from ..net.controller import NetworkInterface
+from ..sim import Simulator, TraceRecorder
+from ..types import Result
+from .base import NodeBase
+from .failures import NodeStatus
+from .reintegration import RestartController
+
+
+class NlftBehaviouralNode(NodeBase):
+    """NLFT node with sampled outcomes (the Markov models' Monte-Carlo twin).
+
+    Parameters
+    ----------
+    coverage, p_tem, p_omission, p_fail_silent:
+        The paper's parameters; the three conditional probabilities must sum
+        to one.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        coverage: float = 0.99,
+        p_tem: float = 0.90,
+        p_omission: float = 0.05,
+        p_fail_silent: float = 0.05,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[TraceRecorder] = None,
+        network: Optional[NetworkInterface] = None,
+        restart: Optional[RestartController] = None,
+    ) -> None:
+        if not 0.0 <= coverage <= 1.0:
+            raise ConfigurationError(f"coverage must be in [0,1], got {coverage}")
+        total = p_tem + p_omission + p_fail_silent
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"P_T+P_OM+P_FS must sum to 1, got {total}")
+        super().__init__(sim, name, rng=rng, trace=trace, network=network, restart=restart)
+        self.coverage = coverage
+        self.p_tem = p_tem
+        self.p_omission = p_omission
+        self.p_fail_silent = p_fail_silent
+
+    def _on_transient_fault(self) -> None:
+        if self.status is not NodeStatus.OPERATIONAL:
+            return
+        if self.rng.random() >= self.coverage:
+            self.undetected_failure("non-covered transient fault")
+            return
+        outcome = self.rng.choice(
+            3, p=[self.p_tem, self.p_omission, self.p_fail_silent]
+        )
+        if outcome == 0:
+            self.stats.masked += 1
+            self.trace.emit(self.sim.now, "node.masked", self.name)
+        elif outcome == 1:
+            self.omission_failure("transient not recoverable before deadline")
+        else:
+            self.fail_silent("transient detected during kernel execution")
+
+    def _on_permanent_fault(self) -> None:
+        if self.status is not NodeStatus.OPERATIONAL:
+            return
+        if self.rng.random() >= self.coverage:
+            self.undetected_failure("non-covered permanent fault")
+            return
+        # TEM cannot mask a permanent fault: re-execution keeps failing and
+        # the repeated-error suspicion shuts the node down for diagnosis.
+        self.fail_silent("repeated errors -> suspected permanent fault")
+
+
+class NlftKernelNode(NodeBase):
+    """NLFT node backed by the full simulated kernel with TEM.
+
+    Fault arrivals are mapped to architectural effects by *profile*; all
+    higher-level behaviour emerges from the kernel.  Use :meth:`add_task` /
+    :meth:`start` to configure the workload before running the simulator.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        profile: Optional[ManifestationProfile] = None,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[TraceRecorder] = None,
+        network: Optional[NetworkInterface] = None,
+        restart: Optional[RestartController] = None,
+        suspector: Optional[PermanentFaultSuspector] = None,
+        config: Optional[KernelConfig] = None,
+    ) -> None:
+        super().__init__(sim, name, rng=rng, trace=trace, network=network, restart=restart)
+        self.profile = profile if profile is not None else ManifestationProfile()
+        self.kernel = Scheduler(
+            sim, name=f"{name}.kernel", trace=self.trace, rng=self.rng, config=config
+        )
+        self.suspector = suspector if suspector is not None else PermanentFaultSuspector()
+        self._sinks: dict = {}
+        self._wire_kernel()
+        self._permanent_disturbance = False
+
+    # ------------------------------------------------------------------
+    # Workload configuration (delegating to the kernel)
+    # ------------------------------------------------------------------
+    def add_task(self, spec: TaskSpec, executable, input_provider=None, on_result=None) -> None:
+        """Register a task on this node's kernel.
+
+        *on_result*, when given, receives every delivered result of this
+        task (``on_result(result)``) — the *write output* phase of the task
+        model, typically publishing to the network interface.
+        """
+        self.kernel.add_task(spec, executable, input_provider)
+        if on_result is not None:
+            self._sinks[spec.name] = on_result
+
+    def start(self) -> None:
+        """Start the kernel's job releases."""
+        self.kernel.start()
+
+    # ------------------------------------------------------------------
+    def _wire_kernel(self) -> None:
+        self.kernel.on_deliver = self._job_delivered
+        self.kernel.on_omission = self._job_omitted
+        self.kernel.on_kernel_error = self._kernel_error
+        self.kernel.on_undetected_output = self._undetected_output
+
+    def _job_delivered(self, task: TaskSpec, job, result: Result) -> None:
+        # Suspicion bookkeeping: was this job affected by an error?
+        had_error = job.tem is not None and job.tem.errors_detected > 0
+        if had_error:
+            self.stats.masked += 1
+        sink = self._sinks.get(task.name)
+        if sink is not None and self.status is NodeStatus.OPERATIONAL:
+            sink(result)
+        if self.suspector.record_job(had_error):
+            self.fail_silent("repeated errors -> suspected permanent fault")
+
+    def _job_omitted(self, task: TaskSpec, job, reason: str) -> None:
+        if self.suspector.record_job(True):
+            self.fail_silent(f"repeated errors ({reason})")
+            return
+        self.omission_failure(reason)
+
+    def _kernel_error(self, mechanism: str) -> None:
+        self.fail_silent(f"kernel error ({mechanism})")
+
+    def _undetected_output(self, task: TaskSpec, job, result: Result) -> None:
+        self.undetected_failure(f"unchecked output of {task.name}")
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _on_transient_fault(self) -> None:
+        if self.status is not NodeStatus.OPERATIONAL:
+            return
+        effect = self.profile.sample(self.rng)
+        disposition = self.kernel.apply_fault_effect(effect)
+        self.trace.emit(
+            self.sim.now, "node.fault_effect", self.name,
+            effect=effect.value, disposition=disposition,
+        )
+
+    def _on_permanent_fault(self) -> None:
+        if self.status is NodeStatus.DOWN_PERMANENT:
+            return
+        # A stuck-at fault corrupts every subsequent execution; model it as
+        # a recurring disturbance until the suspicion machinery escalates.
+        if not self._permanent_disturbance:
+            self._permanent_disturbance = True
+            self._disturb()
+
+    def _disturb(self) -> None:
+        if not self.permanent_fault_present or self.status is NodeStatus.DOWN_PERMANENT:
+            return
+        if self.status is NodeStatus.OPERATIONAL:
+            effect = FaultEffect.WRONG_RESULT if self.rng.random() < 0.7 else (
+                FaultEffect.HARDWARE_EXCEPTION
+            )
+            self.kernel.apply_fault_effect(effect)
+        # Re-strike roughly every shortest period so every job is affected.
+        shortest = min(
+            (entry.spec.period for entry in self.kernel._tasks.values()),
+            default=None,
+        )
+        if shortest is not None:
+            self.sim.schedule_after(shortest, self._disturb, label=f"{self.name}:stuck-at")
+
+    # ------------------------------------------------------------------
+    # Host hooks
+    # ------------------------------------------------------------------
+    def _host_shutdown(self) -> None:
+        self.kernel.shutdown()
+
+    def _host_resume(self) -> None:
+        self.suspector.reset()
+        self.kernel.restart()

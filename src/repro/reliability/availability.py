@@ -1,0 +1,91 @@
+"""Availability analysis for repairable models.
+
+The paper analyses *reliability* (no repair of permanent faults —
+Section 3.2.2: "Neither is repair of permanent faults considered"), which
+suits a single driving mission.  Over a vehicle's life, however, permanently
+failed nodes are replaced at service visits; the natural measure is then
+**availability**: the probability of being operational at time t
+(point availability), its long-run limit (steady-state availability) and
+its time average over a window (interval availability).
+
+These functions work on any :class:`~repro.reliability.ctmc.MarkovChain`
+whose failure states have repair transitions (see
+:func:`repro.models.generalized.build_redundant_subsystem` with a
+``permanent_repair_rate``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from ..errors import ModelError
+from .ctmc import MarkovChain
+from .solvers import steady_state
+
+
+def _up_vector(chain: MarkovChain, up_states: Sequence[str]) -> np.ndarray:
+    if not up_states:
+        raise ModelError("need at least one up state")
+    vector = np.zeros(len(chain.states))
+    for state in up_states:
+        vector[chain.state_index(state)] = 1.0
+    return vector
+
+
+def point_availability(
+    chain: MarkovChain, t: float, up_states: Sequence[str]
+) -> float:
+    """A(t): probability of being in an up state at time *t*."""
+    probs = chain.transient_distribution(t)
+    return float(probs @ _up_vector(chain, up_states))
+
+
+def steady_state_availability(
+    chain: MarkovChain, up_states: Sequence[str]
+) -> float:
+    """A(inf): long-run fraction of time spent in the up states.
+
+    Requires an irreducible chain (every failure repairable); raises
+    :class:`ModelError` otherwise.
+    """
+    pi = steady_state(chain)
+    return float(pi @ _up_vector(chain, up_states))
+
+
+def interval_availability(
+    chain: MarkovChain, t: float, up_states: Sequence[str]
+) -> float:
+    """(1/t) * integral_0^t A(u) du — expected up fraction over [0, t].
+
+    Computed by augmenting the Kolmogorov forward equations with one
+    accumulator state, integrated in a single ODE pass.
+    """
+    if t < 0:
+        raise ModelError("time must be non-negative")
+    if t == 0:
+        return point_availability(chain, 0.0, up_states)
+    q = chain.generator_matrix()
+    up = _up_vector(chain, up_states)
+    n = q.shape[0]
+
+    def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+        pi = y[:n]
+        return np.concatenate([pi @ q, [pi @ up]])
+
+    y0 = np.concatenate([chain.initial_distribution, [0.0]])
+    solution = solve_ivp(
+        rhs, (0.0, float(t)), y0, method="LSODA", rtol=1e-10, atol=1e-12
+    )
+    if not solution.success:  # pragma: no cover - defensive
+        raise ModelError(f"interval availability integration failed: {solution.message}")
+    return float(solution.y[-1, -1] / t)
+
+
+def expected_downtime_hours(
+    chain: MarkovChain, t: float, up_states: Sequence[str]
+) -> float:
+    """Expected cumulative downtime over [0, t] (hours)."""
+    return (1.0 - interval_availability(chain, t, up_states)) * t

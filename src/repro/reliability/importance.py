@@ -1,0 +1,108 @@
+"""Component importance measures for fault trees.
+
+The paper identifies the wheel-node subsystem as "the main reliability
+bottleneck" by inspecting Figure 13.  Importance measures make that
+statement quantitative:
+
+* **Birnbaum importance** I_B(i, t) = dP(top)/dq_i — the sensitivity of the
+  system failure probability to basic event *i*'s probability; computed
+  exactly by conditioning (P(top | i failed) - P(top | i working)).
+* **Improvement potential** I_IP(i, t) = P(top) - P(top | i perfect) — how
+  much system unreliability disappears if component *i* never failed.
+* **Fussell-Vesely** I_FV(i, t) ~= P(i failed AND top) / P(top) — the
+  fraction of system failure probability involving *i* (computed exactly
+  via conditioning as well).
+
+All three are exact for coherent trees with independent basic events (the
+only kind the paper's models need).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..errors import ModelError
+from .faulttree import BasicEvent, FaultTreeNode
+
+
+@dataclasses.dataclass(frozen=True)
+class ImportanceReport:
+    """Importance measures of every basic event at one time point."""
+
+    time: float
+    birnbaum: Dict[str, float]
+    improvement_potential: Dict[str, float]
+    fussell_vesely: Dict[str, float]
+
+    def ranked_by_birnbaum(self) -> List[str]:
+        """Event names, most critical first."""
+        return sorted(self.birnbaum, key=lambda name: -self.birnbaum[name])
+
+    def bottleneck(self) -> str:
+        """The single most critical basic event (highest Birnbaum)."""
+        return self.ranked_by_birnbaum()[0]
+
+
+def _conditioned_probability(
+    tree: FaultTreeNode, t: float, event: BasicEvent, failed: bool
+) -> float:
+    """P(top | event state), exact also when *other* events are shared."""
+    import itertools
+
+    shared = tree._shared_events() - {event}
+    if not shared:
+        return tree._probability(t, {event: failed})
+    ordered = sorted(shared, key=lambda e: e.name)
+    total = 0.0
+    for values in itertools.product([False, True], repeat=len(ordered)):
+        weight = 1.0
+        assignment = {event: failed}
+        for other, value in zip(ordered, values):
+            p = other.failure_probability(t)
+            weight *= p if value else (1.0 - p)
+            assignment[other] = value
+        if weight > 0.0:
+            total += weight * tree._probability(t, assignment)
+    return total
+
+
+def birnbaum_importance(tree: FaultTreeNode, event: BasicEvent, t: float) -> float:
+    """I_B = P(top | event failed) - P(top | event working)."""
+    return _conditioned_probability(tree, t, event, True) - _conditioned_probability(
+        tree, t, event, False
+    )
+
+
+def improvement_potential(tree: FaultTreeNode, event: BasicEvent, t: float) -> float:
+    """I_IP = P(top) - P(top | event perfect)."""
+    return tree.probability(t) - _conditioned_probability(tree, t, event, False)
+
+
+def fussell_vesely(tree: FaultTreeNode, event: BasicEvent, t: float) -> float:
+    """I_FV = P(event failed and top occurs) / P(top)."""
+    top = tree.probability(t)
+    if top <= 0.0:
+        return 0.0
+    joint = event.failure_probability(t) * _conditioned_probability(
+        tree, t, event, True
+    )
+    return joint / top
+
+
+def analyse_importance(tree: FaultTreeNode, t: float) -> ImportanceReport:
+    """All three measures for every basic event of *tree* at time *t*."""
+    events = sorted(tree.basic_events(), key=lambda e: e.name)
+    if not events:
+        raise ModelError("tree has no basic events")
+    names = [event.name for event in events]
+    if len(names) != len(set(names)):
+        raise ModelError(f"basic event names are not unique: {names}")
+    return ImportanceReport(
+        time=t,
+        birnbaum={e.name: birnbaum_importance(tree, e, t) for e in events},
+        improvement_potential={
+            e.name: improvement_potential(tree, e, t) for e in events
+        },
+        fussell_vesely={e.name: fussell_vesely(tree, e, t) for e in events},
+    )

@@ -1,0 +1,98 @@
+"""Parameter sweeps over reliability models.
+
+The paper's Figure 14 sweeps two parameters at once — the error-detection
+coverage C_D and the transient fault rate — and reports the system
+reliability at a fixed mission time (five hours).  This module provides a
+small generic sweep facility: a *model factory* maps a parameter record to a
+reliability function, and the sweep evaluates it over a grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from ..errors import ModelError
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated grid point of a parameter sweep."""
+
+    parameters: Mapping[str, float]
+    value: float
+
+    def __getitem__(self, key: str) -> float:
+        return self.parameters[key]
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Results of a parameter sweep with simple pivoting helpers."""
+
+    points: List[SweepPoint]
+    measure: str = "reliability"
+
+    def series(self, x: str, where: Mapping[str, float] = ()) -> List[tuple[float, float]]:
+        """Extract (x, value) pairs for points matching the *where* filter."""
+        where = dict(where)
+        selected = [
+            p
+            for p in self.points
+            if all(abs(p.parameters[k] - v) < 1e-15 for k, v in where.items())
+        ]
+        return sorted((p.parameters[x], p.value) for p in selected)
+
+    def values_of(self, parameter: str) -> List[float]:
+        """Sorted distinct values a parameter takes in the sweep."""
+        return sorted({p.parameters[parameter] for p in self.points})
+
+    def table(self, row: str, column: str) -> Dict[float, Dict[float, float]]:
+        """Pivot to nested dict ``{row_value: {column_value: measure}}``."""
+        result: Dict[float, Dict[float, float]] = {}
+        for point in self.points:
+            r, c = point.parameters[row], point.parameters[column]
+            result.setdefault(r, {})[c] = point.value
+        return result
+
+
+def sweep(
+    factory: Callable[[Mapping[str, float]], Callable[[float], float]],
+    grid: Mapping[str, Sequence[float]],
+    at_time: float,
+) -> SweepResult:
+    """Evaluate ``factory(params)(at_time)`` over the Cartesian grid.
+
+    Parameters
+    ----------
+    factory:
+        Maps a parameter record (one value per grid axis) to a reliability
+        function R(t).
+    grid:
+        ``{parameter_name: [values, ...]}``; the sweep covers the Cartesian
+        product in deterministic (sorted-key, given-value) order.
+    at_time:
+        Mission time (hours) at which each model is evaluated.
+    """
+    if not grid:
+        raise ModelError("sweep grid must name at least one parameter")
+    names = sorted(grid)
+    for name in names:
+        if len(grid[name]) == 0:
+            raise ModelError(f"sweep axis {name!r} has no values")
+    points: List[SweepPoint] = []
+    for combo in _product([list(grid[name]) for name in names]):
+        params = dict(zip(names, combo))
+        reliability = factory(params)
+        points.append(SweepPoint(parameters=params, value=float(reliability(at_time))))
+    return SweepResult(points=points)
+
+
+def _product(axes: List[List[float]]) -> Iterable[List[float]]:
+    if not axes:
+        yield []
+        return
+    head, *tail = axes
+    for value in head:
+        for rest in _product(tail):
+            yield [value, *rest]

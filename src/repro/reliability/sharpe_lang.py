@@ -1,0 +1,361 @@
+"""A SHARPE-flavoured textual model language.
+
+The paper performs its analysis with the SHARPE tool [13], whose input is
+a small declarative language of bindings and models.  This module provides
+a parser/evaluator for a faithful subset so that models can be written the
+way the paper's authors wrote them — as text — and solved by our engine:
+
+::
+
+    * Central unit with fail-silent nodes (Figure 6)
+    bind lp 1.82e-5
+    bind lt 10 * lp
+    bind c  0.99
+    bind mur 1.2e3
+
+    markov cu_fs
+      0 1 2 * lp * c
+      0 2 2 * lt * c
+      0 F 2 * (lp + lt) * (1 - c)
+      1 F lp + lt
+      2 0 mur
+      2 F lp + lt
+    end
+
+    ftree bbw
+      or top cu wn
+      basic cu markov:cu_fs
+      basic wn markov:wn_fs
+    end
+
+Supported constructs
+--------------------
+* ``bind NAME EXPR`` — named constants; expressions support ``+ - * /``,
+  parentheses, numbers and previously bound names.
+* ``markov NAME ... end`` — one transition per line:
+  ``SOURCE TARGET RATE-EXPR``.  The first source state named is the
+  initial state.
+* ``ftree NAME ... end`` — gates and events, one per line:
+  ``or/and GATE CHILD...``, ``kofn GATE K CHILD...``,
+  ``basic EVENT markov:CHAIN`` (unreliability of a previously defined
+  chain) or ``basic EVENT exp(EXPR)`` (exponential with the given rate).
+  The gate named ``top`` is the tree's root.
+* ``*`` at the start of a line comments the whole line (as in SHARPE);
+  ``#`` comments the remainder of any line; blank lines are ignored.
+
+The result is a :class:`SharpeModel` exposing the parsed chains and trees
+as live :class:`~repro.reliability.ctmc.MarkovChain` /
+fault-tree objects of this library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional
+
+from ..errors import ModelError
+from .ctmc import MarkovChain
+from .faulttree import AndGate, BasicEvent, FaultTreeNode, KofNGate, OrGate
+from .hierarchy import markov_reliability_fn
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.?\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>[()+\-*/]))"
+)
+
+
+class _ExpressionParser:
+    """Recursive-descent parser for arithmetic over bound names."""
+
+    def __init__(self, text: str, bindings: Dict[str, float]):
+        self.tokens = self._tokenise(text)
+        self.position = 0
+        self.bindings = bindings
+        self.text = text
+
+    @staticmethod
+    def _tokenise(text: str) -> List[str]:
+        tokens: List[str] = []
+        index = 0
+        while index < len(text):
+            match = _TOKEN_RE.match(text, index)
+            if match is None:
+                if text[index:].strip():
+                    raise ModelError(f"cannot tokenise expression at: {text[index:]!r}")
+                break
+            tokens.append(match.group().strip())
+            index = match.end()
+        return tokens
+
+    def parse(self) -> float:
+        value = self._expr()
+        if self.position != len(self.tokens):
+            raise ModelError(
+                f"trailing tokens {self.tokens[self.position:]} in {self.text!r}"
+            )
+        return value
+
+    def _peek(self) -> Optional[str]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ModelError(f"unexpected end of expression in {self.text!r}")
+        self.position += 1
+        return token
+
+    def _expr(self) -> float:
+        value = self._term()
+        while self._peek() in ("+", "-"):
+            op = self._take()
+            rhs = self._term()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _term(self) -> float:
+        value = self._factor()
+        while self._peek() in ("*", "/"):
+            op = self._take()
+            rhs = self._factor()
+            if op == "/":
+                if rhs == 0:
+                    raise ModelError(f"division by zero in {self.text!r}")
+                value = value / rhs
+            else:
+                value = value * rhs
+        return value
+
+    def _factor(self) -> float:
+        token = self._take()
+        if token == "(":
+            value = self._expr()
+            if self._take() != ")":
+                raise ModelError(f"missing ')' in {self.text!r}")
+            return value
+        if token == "-":
+            return -self._factor()
+        if token == "+":
+            return self._factor()
+        if _NAME_RE.fullmatch(token):
+            if token not in self.bindings:
+                raise ModelError(f"unbound name {token!r} in {self.text!r}")
+            return self.bindings[token]
+        try:
+            return float(token)
+        except ValueError:
+            raise ModelError(f"bad token {token!r} in {self.text!r}") from None
+
+
+def evaluate_expression(text: str, bindings: Dict[str, float]) -> float:
+    """Evaluate an arithmetic expression against *bindings* (no eval())."""
+    return _ExpressionParser(text, bindings).parse()
+
+
+@dataclasses.dataclass
+class SharpeModel:
+    """The parsed result: bindings plus live model objects."""
+
+    bindings: Dict[str, float]
+    chains: Dict[str, MarkovChain]
+    trees: Dict[str, FaultTreeNode]
+
+    def chain(self, name: str) -> MarkovChain:
+        try:
+            return self.chains[name]
+        except KeyError:
+            raise ModelError(f"no markov model named {name!r}") from None
+
+    def tree(self, name: str) -> FaultTreeNode:
+        try:
+            return self.trees[name]
+        except KeyError:
+            raise ModelError(f"no fault tree named {name!r}") from None
+
+
+def parse_sharpe(source: str) -> SharpeModel:
+    """Parse a SHARPE-flavoured model file (see module docstring)."""
+    bindings: Dict[str, float] = {}
+    chains: Dict[str, MarkovChain] = {}
+    trees: Dict[str, FaultTreeNode] = {}
+    lines = _strip_lines(source)
+    index = 0
+    while index < len(lines):
+        line_number, line = lines[index]
+        parts = line.split()
+        keyword = parts[0].lower()
+        if keyword == "bind":
+            if len(parts) < 3:
+                raise ModelError(f"line {line_number}: bind needs NAME EXPR")
+            name = parts[1]
+            bindings[name] = evaluate_expression(" ".join(parts[2:]), bindings)
+            index += 1
+        elif keyword == "markov":
+            if len(parts) != 2:
+                raise ModelError(f"line {line_number}: markov needs exactly one name")
+            name = parts[1]
+            index, chains[name] = _parse_markov(lines, index + 1, name, bindings)
+        elif keyword == "ftree":
+            if len(parts) != 2:
+                raise ModelError(f"line {line_number}: ftree needs exactly one name")
+            name = parts[1]
+            index, trees[name] = _parse_ftree(lines, index + 1, name, bindings, chains)
+        else:
+            raise ModelError(f"line {line_number}: unknown keyword {keyword!r}")
+    return SharpeModel(bindings=bindings, chains=chains, trees=trees)
+
+
+def _strip_lines(source: str) -> List["tuple[int, str]"]:
+    """Drop blank lines and comments.
+
+    A ``*`` introduces a comment only at the start of a line (elsewhere it
+    is multiplication) — the convention of SHARPE input files; ``#``
+    introduces a comment anywhere on a line.
+    """
+    lines = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        if raw.lstrip().startswith("*"):
+            continue
+        text = raw.split("#", 1)[0].strip()
+        if text:
+            lines.append((number, text))
+    return lines
+
+
+def _parse_markov(
+    lines: List["tuple[int, str]"],
+    start: int,
+    name: str,
+    bindings: Dict[str, float],
+) -> "tuple[int, MarkovChain]":
+    transitions: List["tuple[str, str, float]"] = []
+    states: List[str] = []
+    index = start
+    while True:
+        if index >= len(lines):
+            raise ModelError(f"markov {name!r}: missing 'end'")
+        line_number, line = lines[index]
+        if line.lower() == "end":
+            index += 1
+            break
+        parts = line.split()
+        if len(parts) < 3:
+            raise ModelError(
+                f"line {line_number}: markov transition needs SOURCE TARGET RATE"
+            )
+        source, target = parts[0], parts[1]
+        rate = evaluate_expression(" ".join(parts[2:]), bindings)
+        for state in (source, target):
+            if state not in states:
+                states.append(state)
+        transitions.append((source, target, rate))
+        index += 1
+    if not transitions:
+        raise ModelError(f"markov {name!r} has no transitions")
+    chain = MarkovChain(states, name=name)
+    chain.set_initial(states[0])
+    for source, target, rate in transitions:
+        chain.add_transition(source, target, rate)
+    return index, chain
+
+
+_EXP_RE = re.compile(r"exp\((?P<expr>.*)\)$")
+
+
+def _parse_ftree(
+    lines: List["tuple[int, str]"],
+    start: int,
+    name: str,
+    bindings: Dict[str, float],
+    chains: Dict[str, MarkovChain],
+) -> "tuple[int, FaultTreeNode]":
+    declarations: List["tuple[int, List[str]]"] = []
+    index = start
+    while True:
+        if index >= len(lines):
+            raise ModelError(f"ftree {name!r}: missing 'end'")
+        line_number, line = lines[index]
+        if line.lower() == "end":
+            index += 1
+            break
+        declarations.append((line_number, line.split()))
+        index += 1
+    nodes: Dict[str, FaultTreeNode] = {}
+    # Pass 1: basic events.
+    for line_number, parts in declarations:
+        if parts[0].lower() != "basic":
+            continue
+        if len(parts) != 3:
+            raise ModelError(f"line {line_number}: basic needs EVENT SPEC")
+        event_name, spec = parts[1], parts[2]
+        if spec.startswith("markov:"):
+            chain_name = spec.split(":", 1)[1]
+            if chain_name not in chains:
+                raise ModelError(
+                    f"line {line_number}: unknown markov model {chain_name!r}"
+                )
+            reliability = markov_reliability_fn(chains[chain_name])
+            nodes[event_name] = BasicEvent(
+                lambda t, fn=reliability: 1.0 - fn(t), event_name
+            )
+        else:
+            match = _EXP_RE.match(spec)
+            if match is None:
+                raise ModelError(
+                    f"line {line_number}: basic spec must be markov:NAME or exp(EXPR)"
+                )
+            rate = evaluate_expression(match.group("expr"), bindings)
+            if rate < 0:
+                raise ModelError(f"line {line_number}: negative rate")
+            import math
+
+            nodes[event_name] = BasicEvent(
+                lambda t, r=rate: 1.0 - math.exp(-r * t), event_name
+            )
+    # Pass 2: gates (repeat until all resolve — declarations may be in any
+    # order; a fixed point caps at len(declarations) rounds).
+    gate_declarations = [
+        (line_number, parts)
+        for line_number, parts in declarations
+        if parts[0].lower() != "basic"
+    ]
+    for _round in range(len(gate_declarations) + 1):
+        progress = False
+        for line_number, parts in gate_declarations:
+            kind = parts[0].lower()
+            gate_name = parts[1]
+            if gate_name in nodes:
+                continue
+            if kind in ("or", "and"):
+                child_names = parts[2:]
+            elif kind == "kofn":
+                child_names = parts[3:]
+            else:
+                raise ModelError(f"line {line_number}: unknown gate kind {kind!r}")
+            if not child_names:
+                raise ModelError(f"line {line_number}: gate {gate_name!r} has no children")
+            if not all(child in nodes for child in child_names):
+                continue
+            children = [nodes[child] for child in child_names]
+            if kind == "or":
+                nodes[gate_name] = OrGate(children, name=gate_name)
+            elif kind == "and":
+                nodes[gate_name] = AndGate(children, name=gate_name)
+            else:
+                k = int(parts[2])
+                nodes[gate_name] = KofNGate(k, children, name=gate_name)
+            progress = True
+        if all(parts[1] in nodes for _n, parts in gate_declarations):
+            break
+        if not progress:
+            unresolved = [parts[1] for _n, parts in gate_declarations if parts[1] not in nodes]
+            raise ModelError(
+                f"ftree {name!r}: unresolved gates {unresolved} "
+                "(missing children or a dependency cycle)"
+            )
+    if "top" not in nodes:
+        raise ModelError(f"ftree {name!r} must declare a gate or event named 'top'")
+    return index, nodes["top"]

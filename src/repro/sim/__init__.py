@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic time base on which the simulated
+processors (:mod:`repro.cpu`), real-time kernels (:mod:`repro.kernel`),
+communication bus (:mod:`repro.net`) and fault injectors (:mod:`repro.faults`)
+execute.
+"""
+
+from .events import EventHandle
+from .rng import RandomStreams
+from .simulator import (
+    PRIORITY_DEFAULT,
+    PRIORITY_FAULT,
+    PRIORITY_HARDWARE,
+    PRIORITY_KERNEL,
+    PRIORITY_OBSERVER,
+    Simulator,
+)
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "EventHandle",
+    "RandomStreams",
+    "Simulator",
+    "TraceEvent",
+    "TraceRecorder",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_FAULT",
+    "PRIORITY_HARDWARE",
+    "PRIORITY_KERNEL",
+    "PRIORITY_OBSERVER",
+]

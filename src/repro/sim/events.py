@@ -1,0 +1,85 @@
+"""Event primitives for the discrete-event simulation engine.
+
+Events are scheduled on a :class:`~repro.sim.simulator.Simulator` and fire a
+callback at a given simulated time.  Scheduling returns an
+:class:`EventHandle` that supports cancellation, which the preemptive
+scheduler uses heavily (a job-completion event is cancelled and re-scheduled
+whenever the job is preempted or a fault forces a re-execution).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry.
+
+    Ordering is (time, priority, seq): earlier time first; among simultaneous
+    events a lower ``priority`` number fires first; ``seq`` preserves FIFO
+    order of equal-priority simultaneous events, making runs deterministic.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    handle: "EventHandle" = dataclasses.field(compare=False)
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time (ticks) at which the event fires.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Free-form description used in traces and error messages.
+    """
+
+    __slots__ = ("time", "callback", "label", "_cancelled", "_fired")
+
+    def __init__(self, time: int, callback: Callable[[], Any], label: str = "") -> None:
+        self.time = time
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's callback has been invoked."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled to fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns True if the event was still pending.
+
+        Cancelling an already-fired or already-cancelled event is a no-op
+        (returns False); this tolerance simplifies scheduler bookkeeping.
+        """
+        if not self.pending:
+            return False
+        self._cancelled = True
+        return True
+
+    def _fire(self) -> None:
+        self._fired = True
+        self.callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"EventHandle(t={self.time}, {state}, label={self.label!r})"

@@ -1,0 +1,64 @@
+"""Named, reproducible random-number streams.
+
+Fault-injection experiments must be repeatable, and adding a new random
+consumer must not perturb the draws seen by existing consumers.  Both
+properties are achieved by deriving an *independent* child generator per
+named stream from a single root seed (numpy's ``SeedSequence.spawn``
+machinery via per-name entropy), instead of sharing one generator.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of named, independent ``numpy.random.Generator`` streams.
+
+    Example
+    -------
+    >>> streams = RandomStreams(seed=42)
+    >>> a = streams.get("faults")
+    >>> b = streams.get("workload")
+    >>> a is streams.get("faults")
+    True
+    >>> a is not b
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed all streams are derived from."""
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for *name*, creating it on first use.
+
+        The stream's seed sequence mixes the root seed with a CRC32 of the
+        name, so the draws of a stream depend only on (root seed, name) —
+        never on creation order or on other streams.
+        """
+        stream = self._streams.get(name)
+        if stream is None:
+            entropy = np.random.SeedSequence([self._seed, zlib.crc32(name.encode("utf-8"))])
+            stream = np.random.Generator(np.random.PCG64(entropy))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, salt: int) -> "RandomStreams":
+        """Return a new :class:`RandomStreams` for an independent replica.
+
+        Used by campaign runners: replica *i* gets ``streams.fork(i)`` so that
+        every replica is independent yet the whole campaign is reproducible.
+        """
+        return RandomStreams(seed=(self._seed * 1_000_003 + int(salt)) & 0x7FFF_FFFF)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomStreams(seed={self._seed}, streams={sorted(self._streams)})"

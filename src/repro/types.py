@@ -1,0 +1,13 @@
+"""Shared primitive types used across the kernel and NLFT core.
+
+Kept in a leaf module so that :mod:`repro.core` and :mod:`repro.kernel` can
+share them without circular imports.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: A task result: a tuple of numbers.  TEM compares results bit-exactly, so
+#: producers must be deterministic given identical inputs.
+Result = Tuple[float, ...]

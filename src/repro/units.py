@@ -1,0 +1,75 @@
+"""Time-unit helpers.
+
+Two distinct time bases are used in the library and must not be mixed:
+
+* The **discrete-event simulator** (:mod:`repro.sim`) counts time in
+  *microseconds* stored as integers, which keeps event ordering exact and
+  matches the granularity of the real-time kernels the paper builds on
+  (millisecond periods, microsecond-scale overheads).
+
+* The **reliability models** (:mod:`repro.reliability`, :mod:`repro.models`)
+  use *hours* stored as floats, which is the unit of the paper's fault and
+  repair rates (faults/hour, repairs/hour).
+
+This module provides explicit conversion helpers so call sites read
+unambiguously (``ms(5)`` rather than ``5_000``).
+"""
+
+from __future__ import annotations
+
+#: Microseconds per unit — the simulator's clock resolution is 1 us.
+US_PER_MS = 1_000
+US_PER_SECOND = 1_000_000
+SECONDS_PER_HOUR = 3_600.0
+HOURS_PER_YEAR = 8_760.0
+
+
+def us(value: float) -> int:
+    """Return *value* microseconds as integer simulator ticks."""
+    return int(round(value))
+
+
+def ms(value: float) -> int:
+    """Return *value* milliseconds as integer simulator ticks."""
+    return int(round(value * US_PER_MS))
+
+
+def seconds(value: float) -> int:
+    """Return *value* seconds as integer simulator ticks."""
+    return int(round(value * US_PER_SECOND))
+
+
+def ticks_to_ms(ticks: int) -> float:
+    """Convert simulator ticks (us) to milliseconds."""
+    return ticks / US_PER_MS
+
+
+def ticks_to_seconds(ticks: int) -> float:
+    """Convert simulator ticks (us) to seconds."""
+    return ticks / US_PER_SECOND
+
+
+def hours(value: float) -> float:
+    """Identity helper marking a quantity as hours (model time base)."""
+    return float(value)
+
+
+def years(value: float) -> float:
+    """Convert years to hours (model time base)."""
+    return float(value) * HOURS_PER_YEAR
+
+
+def hours_to_years(value: float) -> float:
+    """Convert hours to years."""
+    return float(value) / HOURS_PER_YEAR
+
+
+def per_hour_from_repair_time_seconds(repair_seconds: float) -> float:
+    """Convert a repair *time* in seconds to a repair *rate* in 1/hour.
+
+    The paper quotes repair actions by duration (3 s restart, 1.6 s omission
+    recovery) and models them as exponential rates (mu = 1/duration).
+    """
+    if repair_seconds <= 0:
+        raise ValueError(f"repair time must be positive, got {repair_seconds}")
+    return SECONDS_PER_HOUR / repair_seconds

@@ -1,0 +1,55 @@
+"""Tests of the BBW scenario catalog."""
+
+import pytest
+
+from repro.apps.scenarios import (
+    SCENARIOS,
+    get_scenario,
+    run_scenario,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCatalog:
+    def test_catalog_names(self):
+        assert {
+            "clean_stop", "transient_burst", "dead_wheel_node",
+            "cu_replica_loss", "stab_braking", "double_wheel_loss",
+        } <= set(SCENARIOS)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("ghost_ride")
+
+    def test_every_scenario_declares_expectations(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.expects, f"{scenario.name} has no expectations"
+            assert scenario.description
+
+
+class TestNlftOutcomes:
+    """Every catalog scenario meets its expectations with NLFT nodes."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_behaves_as_documented(self, name):
+        result = run_scenario(name, node_kind="nlft")
+        assert result.as_expected, result.expectation_failures
+
+
+class TestContrastWithFs:
+    def test_transient_burst_masks_on_nlft_but_not_fs(self):
+        nlft = run_scenario("transient_burst", node_kind="nlft")
+        fs = run_scenario("transient_burst", node_kind="fs")
+        assert nlft.summary["masked_total"] > 0
+        assert fs.summary["masked_total"] == 0
+        assert fs.summary["fail_silent_total"] >= nlft.summary["fail_silent_total"]
+
+    def test_double_wheel_loss_fails_degraded_criterion_for_both(self):
+        for kind in ("nlft", "fs"):
+            result = run_scenario("double_wheel_loss", node_kind=kind)
+            assert result.summary["degraded_ok"] is False
+
+    def test_dead_wheel_node_increases_stopping_distance(self):
+        clean = run_scenario("clean_stop")
+        dead = run_scenario("dead_wheel_node")
+        assert dead.summary["distance_m"] > clean.summary["distance_m"]

@@ -1,0 +1,152 @@
+"""Tests of result comparison, majority voting and the TEM state machine."""
+
+import pytest
+
+from repro.core.comparison import detects_mismatch, majority_vote, results_match
+from repro.core.tem import (
+    TemAction,
+    TemOutcome,
+    TemStateMachine,
+    run_tem_direct,
+)
+from repro.errors import ReproError
+
+
+class TestComparison:
+    def test_equal_tuples_match(self):
+        assert results_match((1, 2), (1, 2))
+
+    def test_unequal_tuples_do_not_match(self):
+        assert not results_match((1, 2), (1, 3))
+
+    def test_none_never_matches(self):
+        assert not results_match(None, (1,))
+        assert not results_match((1,), None)
+        assert not results_match(None, None)
+
+    def test_majority_of_two_matching(self):
+        assert majority_vote([(5,), (5,)]) == (5,)
+
+    def test_majority_two_of_three(self):
+        assert majority_vote([(1,), (2,), (1,)]) == (1,)
+
+    def test_no_majority_returns_none(self):
+        assert majority_vote([(1,), (2,), (3,)]) is None
+
+    def test_vote_ignores_none_entries(self):
+        assert majority_vote([None, (7,), (7,)]) == (7,)
+        assert majority_vote([None, (7,)]) is None
+
+    def test_detects_mismatch(self):
+        assert detects_mismatch([(1,), (2,)])
+        assert not detects_mismatch([(1,), (1,)])
+        assert not detects_mismatch([(1,)])
+
+
+class TestTemScenarios:
+    """The four scenarios of Figure 3, on the pure state machine."""
+
+    def test_scenario_i_fault_free(self):
+        report = run_tem_direct(lambda i: ((42,), None))
+        assert report.outcome is TemOutcome.OK
+        assert report.copies_run == 2
+        assert report.delivered_result == (42,)
+        assert report.errors_detected == 0
+
+    def test_scenario_ii_comparison_detects(self):
+        results = [(42,), (13,), (42,)]
+        report = run_tem_direct(lambda i: (results[i], None))
+        assert report.outcome is TemOutcome.MASKED
+        assert report.copies_run == 3
+        assert report.delivered_result == (42,)
+        assert "comparison" in report.detection_mechanisms
+
+    def test_scenario_iii_edm_in_second_copy(self):
+        outcomes = [((42,), None), (None, "illegal_opcode"), ((42,), None)]
+        report = run_tem_direct(lambda i: outcomes[i])
+        assert report.outcome is TemOutcome.MASKED
+        assert report.copies_run == 3
+        assert report.delivered_result == (42,)
+        assert report.detection_mechanisms == ["illegal_opcode"]
+
+    def test_scenario_iv_edm_in_first_copy(self):
+        outcomes = [(None, "address_error"), ((42,), None), ((42,), None)]
+        report = run_tem_direct(lambda i: outcomes[i])
+        assert report.outcome is TemOutcome.MASKED
+        assert report.copies_run == 3
+        assert report.delivered_result == (42,)
+
+
+class TestTemOmissions:
+    def test_three_disagreeing_results_omit(self):
+        results = [(1,), (2,), (3,)]
+        report = run_tem_direct(lambda i: (results[i], None))
+        assert report.outcome is TemOutcome.OMISSION
+        assert report.omission_reason == "no_majority"
+
+    def test_deadline_forbids_recovery(self):
+        outcomes = [((1,), None), ((2,), None)]
+        report = run_tem_direct(
+            lambda i: outcomes[i], can_run_another_copy=lambda: False
+        )
+        # The second copy is already gated by the deadline check.
+        assert report.outcome is TemOutcome.OMISSION
+        assert report.copies_run == 1
+
+    def test_deadline_allows_two_then_blocks_third(self):
+        budget = {"gates_left": 1}  # allow the 2nd copy, forbid the 3rd
+        outcomes = [((1,), None), ((2,), None)]
+
+        def gate() -> bool:
+            budget["gates_left"] -= 1
+            return budget["gates_left"] >= 0
+
+        report = run_tem_direct(lambda i: outcomes[i], can_run_another_copy=gate)
+        assert report.outcome is TemOutcome.OMISSION
+        assert report.copies_run == 2
+        assert "deadline" in (report.omission_reason or "")
+
+    def test_copy_cap_forces_omission(self):
+        report = run_tem_direct(lambda i: (None, "cpu"), max_copies=3)
+        assert report.outcome is TemOutcome.OMISSION
+        assert report.copies_run == 3
+        assert report.errors_detected == 3
+
+
+class TestStateMachineProtocol:
+    def test_cannot_report_without_running_copy(self):
+        machine = TemStateMachine(lambda: True)
+        with pytest.raises(ReproError):
+            machine.copy_completed((1,))
+
+    def test_cannot_ask_next_action_with_pending_copy(self):
+        machine = TemStateMachine(lambda: True)
+        assert machine.next_action() is TemAction.RUN_COPY
+        with pytest.raises(ReproError):
+            machine.next_action()
+
+    def test_report_unavailable_until_finished(self):
+        machine = TemStateMachine(lambda: True)
+        machine.next_action()
+        with pytest.raises(ReproError):
+            _ = machine.report
+
+    def test_finished_machine_repeats_terminal_action(self):
+        machine = TemStateMachine(lambda: True)
+        for _ in range(2):
+            assert machine.next_action() is TemAction.RUN_COPY
+            machine.copy_completed((9,))
+        assert machine.next_action() is TemAction.DELIVER
+        assert machine.next_action() is TemAction.DELIVER
+        assert machine.finished
+
+    def test_state_not_committed_until_two_matching(self):
+        """Result only delivered after two matching results (Section 2.5)."""
+        machine = TemStateMachine(lambda: True)
+        machine.next_action()
+        machine.copy_completed((1,))
+        assert not machine.finished
+        machine.next_action()
+        machine.copy_completed((1,))
+        assert machine.next_action() is TemAction.DELIVER
+        assert machine.report.delivered_result == (1,)

@@ -1,0 +1,199 @@
+"""Tests of end-to-end integrity, control-flow checking and diagnosis."""
+
+import pytest
+
+from repro.core.control_flow import (
+    ControlFlowError,
+    SignatureMonitor,
+    fold_signature,
+    instrument_assembly,
+)
+from repro.core.diagnosis import (
+    OfflineDiagnosis,
+    PermanentFaultSuspector,
+    restart_duration_ticks,
+)
+from repro.core.integrity import (
+    ChecksummedBlock,
+    DuplicatedValue,
+    IntegrityError,
+    ProtectedStore,
+    crc16,
+)
+from repro.cpu.assembler import assemble
+from repro.cpu.machine import Machine
+from repro.errors import ConfigurationError
+from repro.units import seconds
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE("123456789") = 0x29B1 (standard check value).
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc16(b"") == 0xFFFF
+
+    def test_single_bit_changes_crc(self):
+        base = crc16(bytes([1, 2, 3, 4]))
+        assert crc16(bytes([1, 2, 3, 5])) != base
+
+
+class TestDuplicatedValue:
+    def test_read_matching_copies(self):
+        value = DuplicatedValue(42)
+        assert value.read() == 42
+
+    def test_corrupted_primary_detected(self):
+        value = DuplicatedValue(42)
+        value.corrupt_primary(41)
+        with pytest.raises(IntegrityError):
+            value.read()
+
+    def test_corrupted_shadow_detected(self):
+        value = DuplicatedValue((1, 2))
+        value.corrupt_shadow((1, 3))
+        with pytest.raises(IntegrityError):
+            value.read()
+
+    def test_write_repairs_both_copies(self):
+        value = DuplicatedValue(1)
+        value.corrupt_primary(9)
+        value.write(2)
+        assert value.read() == 2
+
+
+class TestChecksummedBlock:
+    def test_seal_verify_round_trip(self):
+        block = ChecksummedBlock.seal([10, 20, 30])
+        assert block.verify() == [10, 20, 30]
+
+    def test_corruption_detected(self):
+        block = ChecksummedBlock.seal([10, 20, 30])
+        block.corrupt_word(1, 21)
+        with pytest.raises(IntegrityError):
+            block.verify()
+
+
+class TestProtectedStore:
+    def test_commit_fetch(self):
+        store = ProtectedStore()
+        store.commit("state", [1, 2, 3])
+        assert store.fetch("state") == [1, 2, 3]
+
+    def test_missing_key_with_default(self):
+        store = ProtectedStore()
+        assert store.fetch("nothing", default=[0]) == [0]
+        with pytest.raises(KeyError):
+            store.fetch("nothing")
+
+    def test_corruption_detected_and_counted(self):
+        store = ProtectedStore()
+        store.commit("state", [5])
+        store.block("state").corrupt_word(0, 6)
+        with pytest.raises(IntegrityError):
+            store.fetch("state")
+        assert store.check_failures == 1
+
+    def test_invalidate_allows_recovery_path(self):
+        store = ProtectedStore()
+        store.commit("state", [5])
+        store.invalidate("state")
+        assert store.fetch("state", default=[0]) == [0]
+
+
+class TestSignatureMonitor:
+    def test_fold_matches_machine_sig_semantics(self):
+        machine = Machine()
+        machine.load_program(assemble("SIG 3\nSIG 7\nSIG 11\nHALT\n"))
+        machine.prepare(0)
+        machine.run()
+        assert machine.signature == fold_signature([3, 7, 11])
+
+    def test_correct_flow_passes(self):
+        monitor = SignatureMonitor([1, 2])
+        monitor.verify_value(fold_signature([1, 2]))
+        assert monitor.failures == 0
+
+    def test_skipped_checkpoint_detected(self):
+        monitor = SignatureMonitor([1, 2])
+        with pytest.raises(ControlFlowError):
+            monitor.verify_value(fold_signature([1]))
+        assert monitor.failures == 1
+
+    def test_reordered_checkpoints_detected(self):
+        monitor = SignatureMonitor([1, 2])
+        with pytest.raises(ControlFlowError):
+            monitor.verify_value(fold_signature([2, 1]))
+
+    def test_machine_level_bypass_detected(self):
+        """A jump skipping a SIG checkpoint yields a wrong signature."""
+        source = """
+        start: SIG 5
+               BRA skip
+               SIG 6
+        skip:  SIG 7
+               HALT
+        """
+        machine = Machine()
+        machine.load_program(assemble(source))
+        machine.prepare(0)
+        machine.run()
+        monitor = SignatureMonitor([5, 6, 7])
+        with pytest.raises(ControlFlowError):
+            monitor.verify_machine(machine)
+
+    def test_instrument_assembly_adds_checkpoints(self):
+        instrumented = instrument_assembly("NOP\nHALT\n", [9, 10])
+        machine = Machine()
+        machine.load_program(assemble(instrumented))
+        machine.prepare(0)
+        machine.run()
+        assert machine.signature == fold_signature([9, 10])
+
+
+class TestPermanentFaultSuspector:
+    def test_no_trip_below_threshold(self):
+        suspector = PermanentFaultSuspector(window_jobs=8, threshold=3)
+        assert not suspector.record_job(True)
+        assert not suspector.record_job(True)
+        assert not suspector.suspicious
+
+    def test_trips_at_threshold(self):
+        suspector = PermanentFaultSuspector(window_jobs=8, threshold=3)
+        suspector.record_job(True)
+        suspector.record_job(True)
+        assert suspector.record_job(True)
+
+    def test_window_slides(self):
+        suspector = PermanentFaultSuspector(window_jobs=3, threshold=2)
+        suspector.record_job(True)
+        suspector.record_job(False)
+        suspector.record_job(False)
+        suspector.record_job(False)  # the old error fell out of the window
+        assert not suspector.record_job(True)
+
+    def test_reset(self):
+        suspector = PermanentFaultSuspector(window_jobs=4, threshold=2)
+        suspector.record_job(True)
+        suspector.reset()
+        assert suspector.error_count == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            PermanentFaultSuspector(window_jobs=0)
+        with pytest.raises(ConfigurationError):
+            PermanentFaultSuspector(window_jobs=4, threshold=5)
+
+
+class TestOfflineDiagnosis:
+    def test_verdict_follows_fault_presence(self):
+        diagnosis = OfflineDiagnosis()
+        assert diagnosis.run(True).permanent_fault_found
+        assert not diagnosis.run(False).permanent_fault_found
+        assert diagnosis.runs == 2
+
+    def test_paper_repair_timing(self):
+        """Diagnosis (1.4 s) + reintegration (1.6 s) = 3 s, i.e. mu_R =
+        1200 repairs/hour as assigned in Section 3.3."""
+        assert restart_duration_ticks() == seconds(3.0)

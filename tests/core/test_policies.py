@@ -1,0 +1,35 @@
+"""Tests of the per-class error strategy table (Section 2.2)."""
+
+from repro.core.policies import (
+    ErrorResponse,
+    ExecutionClass,
+    fail_silent_policy,
+    nlft_policy,
+)
+from repro.kernel.task import Criticality
+
+
+class TestNlftPolicy:
+    def test_paper_strategy_table(self):
+        policy = nlft_policy()
+        assert policy.response_for(ExecutionClass.CRITICAL_TASK) is ErrorResponse.MASK_WITH_TEM
+        assert (
+            policy.response_for(ExecutionClass.NON_CRITICAL_TASK)
+            is ErrorResponse.SHUTDOWN_TASK
+        )
+        assert policy.response_for(ExecutionClass.KERNEL) is ErrorResponse.FAIL_SILENT
+
+    def test_classify_by_criticality(self):
+        policy = nlft_policy()
+        assert policy.classify(Criticality.CRITICAL) is ExecutionClass.CRITICAL_TASK
+        assert (
+            policy.classify(Criticality.NON_CRITICAL)
+            is ExecutionClass.NON_CRITICAL_TASK
+        )
+
+
+class TestFailSilentPolicy:
+    def test_everything_escalates_to_silence(self):
+        policy = fail_silent_policy()
+        for execution_class in ExecutionClass:
+            assert policy.response_for(execution_class) is ErrorResponse.FAIL_SILENT

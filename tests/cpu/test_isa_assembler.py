@@ -1,0 +1,109 @@
+"""Tests of instruction encoding/decoding and the two-pass assembler."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import OPCODES, decode, encode, sign_extend_16
+from repro.errors import ProgramError
+
+
+class TestEncoding:
+    def test_round_trip_every_mnemonic(self):
+        for mnemonic in OPCODES:
+            word = encode(mnemonic, rd=1, ra=2, imm=5, rb=3)
+            decoded = decode(word)
+            assert decoded is not None
+            assert decoded.mnemonic == mnemonic
+
+    def test_unknown_opcode_decodes_to_none(self):
+        assert decode(0xFF00_0000) is None
+        assert decode(0x0000_0000) is None  # opcode 0 is unpopulated
+
+    def test_negative_immediate_round_trip(self):
+        word = encode("ADDI", rd=0, ra=0, imm=-7)
+        decoded = decode(word)
+        assert decoded.imm == -7
+
+    def test_sign_extension(self):
+        assert sign_extend_16(0x7FFF) == 32767
+        assert sign_extend_16(0x8000) == -32768
+        assert sign_extend_16(0xFFFF) == -1
+
+    def test_field_range_validation(self):
+        with pytest.raises(ProgramError):
+            encode("MOVE", rd=16)
+        with pytest.raises(ProgramError):
+            encode("MOVEI", imm=0x1_0000)
+        with pytest.raises(ProgramError):
+            encode("BOGUS")
+
+    def test_three_register_form_encodes_rb_in_imm_field(self):
+        word = encode("ADD", rd=1, ra=2, rb=7)
+        decoded = decode(word)
+        assert decoded.rb == 7
+
+    def test_instruction_cycle_costs(self):
+        assert decode(encode("NOP")).cycles == 1
+        assert decode(encode("MUL", rd=0, ra=0, rb=0)).cycles == 2
+        assert decode(encode("DIV", rd=0, ra=0, rb=0)).cycles == 4
+
+
+class TestAssembler:
+    def test_labels_resolve_pc_relative_for_branches(self):
+        program = assemble(
+            """
+            start: MOVEI D0, 0
+            loop:  ADDI  D0, D0, 1
+                   CMPI  D0, 3
+                   BNE   loop
+                   HALT
+            """
+        )
+        assert program.labels == {"start": 0, "loop": 1}
+        branch = decode(program.words[3])
+        assert branch.mnemonic == "BNE"
+        # at address 3, next pc = 4, target = 1 -> offset -3
+        assert branch.imm == -3
+
+    def test_jsr_uses_absolute_address(self):
+        program = assemble(
+            """
+                   JSR  sub
+                   HALT
+            sub:   RTS
+            """
+        )
+        jsr = decode(program.words[0])
+        assert jsr.imm == 2
+
+    def test_word_directive_and_hex(self):
+        program = assemble(".word 0xDEAD\n.word 10\n")
+        assert program.words == [0xDEAD, 10]
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("; header\n\nNOP  ; trailing\n# another\nHALT\n")
+        assert program.size == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ProgramError, match="duplicate"):
+            assemble("x: NOP\nx: HALT\n")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(ProgramError, match="undefined"):
+            assemble("BRA nowhere\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ProgramError, match="unknown mnemonic"):
+            assemble("FLY D0\n")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(ProgramError, match="expects"):
+            assemble("MOVEI D0\n")
+
+    def test_register_vs_immediate_confusion_rejected(self):
+        with pytest.raises(ProgramError):
+            assemble("MOVEI 5, D0\n")
+
+    def test_origin_offsets_labels(self):
+        program = assemble("start: NOP\nHALT\n", origin=100)
+        assert program.address_of("start") == 100

@@ -1,0 +1,80 @@
+"""Tests of the MMU region protection (fault confinement, Section 2.4)."""
+
+import pytest
+
+from repro.cpu.exceptions import AddressError
+from repro.cpu.mmu import ACCESS_EXECUTE, ACCESS_READ, ACCESS_WRITE, Mmu, Region
+from repro.errors import ConfigurationError
+
+
+def build_mmu() -> Mmu:
+    mmu = Mmu()
+    mmu.add_region(Region(base=0, size=100, permissions="rx", domain=None, name="code"))
+    mmu.add_region(Region(base=100, size=50, permissions="rw", domain="taskA", name="dataA"))
+    mmu.add_region(Region(base=150, size=50, permissions="rw", domain="taskB", name="dataB"))
+    return mmu
+
+
+class TestRegions:
+    def test_invalid_region_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Region(base=0, size=0, permissions="rw")
+        with pytest.raises(ConfigurationError):
+            Region(base=-1, size=4, permissions="rw")
+        with pytest.raises(ConfigurationError):
+            Region(base=0, size=4, permissions="rq")
+
+    def test_contains_and_allows(self):
+        region = Region(base=10, size=5, permissions="rw")
+        assert region.contains(10) and region.contains(14)
+        assert not region.contains(15)
+        assert region.allows("r") and not region.allows("x")
+
+
+class TestChecking:
+    def test_kernel_domain_bypasses_checks(self):
+        mmu = build_mmu()
+        mmu.enter_kernel()
+        mmu.check(9999, ACCESS_WRITE)  # no exception
+
+    def test_task_confined_to_own_regions(self):
+        mmu = build_mmu()
+        mmu.enter_domain("taskA")
+        mmu.check(120, ACCESS_WRITE)  # own data
+        mmu.check(50, ACCESS_READ)  # shared code
+        with pytest.raises(AddressError):
+            mmu.check(160, ACCESS_WRITE)  # task B's data
+        assert mmu.violations == 1
+
+    def test_permission_kinds_enforced(self):
+        mmu = build_mmu()
+        mmu.enter_domain("taskA")
+        with pytest.raises(AddressError):
+            mmu.check(50, ACCESS_WRITE)  # code is not writable
+        mmu.check(50, ACCESS_EXECUTE)
+        with pytest.raises(AddressError):
+            mmu.check(120, ACCESS_EXECUTE)  # data is not executable
+
+    def test_unmapped_address_denied(self):
+        mmu = build_mmu()
+        mmu.enter_domain("taskA")
+        with pytest.raises(AddressError):
+            mmu.check(500, ACCESS_READ)
+
+    def test_disabled_mmu_allows_everything(self):
+        mmu = Mmu(enabled=False)
+        mmu.enter_domain("anyone")
+        mmu.check(12345, ACCESS_WRITE)
+
+    def test_regions_for_returns_shared_and_own(self):
+        mmu = build_mmu()
+        names = {r.name for r in mmu.regions_for("taskA")}
+        assert names == {"code", "dataA"}
+
+    def test_control_flow_error_detection_scenario(self):
+        """A corrupted PC fetching from another task's data region is the
+        MMU-caught control-flow error of Section 2.7."""
+        mmu = build_mmu()
+        mmu.enter_domain("taskA")
+        with pytest.raises(AddressError):
+            mmu.check(160, ACCESS_EXECUTE)

@@ -1,0 +1,58 @@
+"""Tests of the fault-manifestation profiles."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.profiles import FaultEffect, ManifestationProfile
+from repro.errors import ConfigurationError
+
+
+class TestProfileValidation:
+    def test_default_profile_sums_to_one(self):
+        profile = ManifestationProfile()
+        assert abs(sum(profile.probabilities.values()) - 1.0) < 1e-12
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ManifestationProfile({FaultEffect.NO_EFFECT: 0.5})
+
+    def test_negative_probability_rejected(self):
+        table = {effect: 0.0 for effect in FaultEffect}
+        table[FaultEffect.NO_EFFECT] = 1.5
+        table[FaultEffect.WRONG_RESULT] = -0.5
+        with pytest.raises(ConfigurationError):
+            ManifestationProfile(table)
+
+
+class TestSampling:
+    def test_benign_profile_always_no_effect(self):
+        profile = ManifestationProfile.benign()
+        rng = np.random.default_rng(0)
+        assert all(
+            profile.sample(rng) is FaultEffect.NO_EFFECT for _ in range(50)
+        )
+
+    def test_data_only_profile(self):
+        profile = ManifestationProfile.data_only()
+        rng = np.random.default_rng(0)
+        assert all(
+            profile.sample(rng) is FaultEffect.WRONG_RESULT for _ in range(50)
+        )
+
+    def test_sampling_matches_distribution(self):
+        profile = ManifestationProfile()
+        rng = np.random.default_rng(42)
+        draws = [profile.sample(rng) for _ in range(4_000)]
+        freq = draws.count(FaultEffect.NO_EFFECT) / len(draws)
+        assert abs(freq - 0.40) < 0.05
+
+    def test_from_campaign_counts(self):
+        profile = ManifestationProfile.from_campaign(
+            {FaultEffect.NO_EFFECT: 60, FaultEffect.WRONG_RESULT: 40}
+        )
+        assert profile.probabilities[FaultEffect.NO_EFFECT] == pytest.approx(0.6)
+        assert profile.probabilities[FaultEffect.KERNEL_CORRUPTION] == 0.0
+
+    def test_from_campaign_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ManifestationProfile.from_campaign({})

@@ -1,0 +1,126 @@
+"""Tests of the extension experiments (E9-E12) and the program library."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.machine import Machine
+from repro.cpu.programs import PROGRAMS, get_program
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    compute_ablation_table,
+    compute_importance_table,
+    compute_redundancy_table,
+    compute_workload_table,
+)
+from repro.experiments.workload_table import WORKLOAD_INPUTS, make_workload
+from repro.faults.campaign import TemInjectionHarness
+from repro.faults.outcomes import OutcomeClass
+from repro.kernel.task import MachineExecutable
+
+
+class TestProgramLibrary:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_programs_match_their_golden_models(self, name):
+        program = get_program(name)
+        assembled = assemble(program.source)
+        inputs = WORKLOAD_INPUTS[name]
+        executable = MachineExecutable(
+            Machine(), assembled,
+            input_count=program.input_count, output_count=program.output_count,
+        )
+        plan = executable.plan_copy(inputs, 0)
+        assert plan.detected_error is None
+        assert plan.result == tuple(program.golden(*inputs))
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_programs_are_deterministic(self, name):
+        """Replica determinism: two executions produce identical results —
+        the precondition for TEM's bit-exact comparison."""
+        program = get_program(name)
+        assembled = assemble(program.source)
+        executable = MachineExecutable(
+            Machine(), assembled,
+            input_count=program.input_count, output_count=program.output_count,
+        )
+        inputs = WORKLOAD_INPUTS[name]
+        first = executable.plan_copy(inputs, 0)
+        second = executable.plan_copy(inputs, 1)
+        assert first.result == second.result
+        assert first.duration == second.duration
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_program("quicksort")
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_signature_checkpoints_validated_by_golden_run(self, name):
+        program = get_program(name)
+        harness = TemInjectionHarness(make_workload(program))
+        assert harness.golden == tuple(program.golden(*WORKLOAD_INPUTS[name]))
+
+
+class TestRedundancyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compute_redundancy_table()
+
+    def test_nlft_saves_a_node(self, result):
+        assert result.nlft_saves_a_node
+        assert result.nodes_needed["fs"] == 5
+        assert result.nodes_needed["nlft"] == 4
+
+    def test_coverage_ceiling_visible(self, result):
+        for node_type in ("fs", "nlft"):
+            series = dict(result.ceiling[node_type])
+            assert series[8] < max(series.values())
+
+    def test_render(self, result):
+        text = result.render()
+        assert "3oo4" in text and "Coverage ceiling" in text
+
+
+class TestImportanceExperiment:
+    def test_wheel_subsystem_dominates_every_measure(self):
+        result = compute_importance_table()
+        assert result.wheel_subsystem_is_always_the_bottleneck
+        assert "matches Figure 13" in result.render()
+
+
+class TestAblationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compute_ablation_table(experiments=500, seed=31)
+
+    def test_full_stack_has_no_escapes(self, result):
+        assert result.escapes("full") == 0
+
+    def test_removing_tem_costs_the_most(self, result):
+        assert result.tem_contribution_dominates
+        assert result.escapes("no_tem") > result.escapes("full")
+
+    def test_removing_ecc_lets_memory_faults_escape_or_be_caught_late(self, result):
+        full = result.stats["full"]
+        no_ecc = result.stats["no_ecc"]
+        # Without ECC the same fault list produces at least as many
+        # effective faults (nothing is silently corrected any more).
+        assert no_ecc.effective >= full.effective
+
+    def test_no_tem_variant_runs_single_copies(self, result):
+        for record in result.stats["no_tem"].records:
+            assert record.copies_run <= 1
+
+    def test_render(self, result):
+        assert "UNDETECTED" in result.render()
+
+
+class TestWorkloadExperiment:
+    def test_taxonomy_robust_across_workloads(self):
+        result = compute_workload_table(experiments=300, seed=8)
+        assert set(result.stats) == set(PROGRAMS)
+        assert result.taxonomy_is_robust
+        assert result.render()
+
+    def test_all_workloads_mask_faults(self):
+        result = compute_workload_table(experiments=300, seed=9)
+        for stats in result.stats.values():
+            assert stats.count(OutcomeClass.MASKED) > 0

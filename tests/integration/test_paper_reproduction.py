@@ -1,0 +1,131 @@
+"""Integration tests pinning the reproduction to the paper's numbers.
+
+These are the headline assertions of the whole project (Section 3.4):
+
+* R(1 year), degraded mode: 0.45 (FS) -> 0.70 (NLFT), +55%;
+* MTTF, degraded mode: 1.2 years (FS) -> 1.9 years (NLFT), almost +60%;
+* the wheel-node subsystem is the reliability bottleneck;
+* coverage dominates the Figure 14 sensitivity; fault rate is negligible
+  while far below the repair rate; the NLFT advantage grows with the rate.
+
+Tolerances: the paper reports two significant digits read from prose and
+curves; we assert within +-0.02 absolute on reliabilities and +-0.1 years
+on MTTFs.
+"""
+
+import pytest
+
+from repro.experiments import (
+    compute_figure12,
+    compute_figure13,
+    compute_figure14,
+    compute_mttf_table,
+)
+from repro.models import BbwParameters, build_all_configurations
+from repro.units import HOURS_PER_YEAR
+
+
+class TestHeadlineNumbers:
+    def test_r_one_year_degraded_fs(self):
+        model = build_all_configurations(BbwParameters.paper())[("fs", "degraded")]
+        assert model.reliability(HOURS_PER_YEAR) == pytest.approx(0.45, abs=0.02)
+
+    def test_r_one_year_degraded_nlft(self):
+        model = build_all_configurations(BbwParameters.paper())[("nlft", "degraded")]
+        assert model.reliability(HOURS_PER_YEAR) == pytest.approx(0.70, abs=0.02)
+
+    def test_reliability_improvement_55_percent(self):
+        result = compute_figure12()
+        assert result.improvement_degraded == pytest.approx(0.55, abs=0.03)
+
+    def test_mttf_degraded_fs_1_2_years(self):
+        table = compute_mttf_table()
+        assert table.mttf_years[("fs", "degraded")] == pytest.approx(1.2, abs=0.1)
+
+    def test_mttf_degraded_nlft_1_9_years(self):
+        table = compute_mttf_table()
+        assert table.mttf_years[("nlft", "degraded")] == pytest.approx(1.9, abs=0.1)
+
+    def test_mttf_improvement_almost_60_percent(self):
+        table = compute_mttf_table()
+        assert table.mttf_improvement == pytest.approx(0.60, abs=0.05)
+
+
+class TestFigure12Shape:
+    def test_curve_ordering_matches_paper(self):
+        """At one year: nlft/degraded > fs/degraded > nlft/full > fs/full."""
+        result = compute_figure12()
+        r = result.r_one_year
+        assert r["nlft/degraded"] > r["fs/degraded"] > r["nlft/full"] > r["fs/full"]
+
+    def test_curves_are_monotone_decreasing(self):
+        result = compute_figure12()
+        for values in result.curves.values():
+            assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_curves_start_at_one(self):
+        result = compute_figure12()
+        for values in result.curves.values():
+            assert values[0] == pytest.approx(1.0)
+
+    def test_nlft_dominates_fs_at_every_time(self):
+        result = compute_figure12()
+        for mode in ("full", "degraded"):
+            fs = result.curves[f"fs/{mode}"]
+            nlft = result.curves[f"nlft/{mode}"]
+            assert all(n >= f - 1e-12 for n, f in zip(nlft, fs))
+
+
+class TestFigure13:
+    def test_wheel_subsystem_is_bottleneck(self):
+        result = compute_figure13()
+        assert result.bottleneck_is_wheel_subsystem
+
+    def test_duplex_cu_outlives_simplex_wheels(self):
+        result = compute_figure13()
+        assert result.r_one_year["CU fs"] > result.r_one_year["WN fs/degraded"]
+        assert result.r_one_year["CU nlft"] > result.r_one_year["WN nlft/degraded"]
+
+
+class TestFigure14Findings:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compute_figure14(
+            rate_scales=(1.0, 10.0, 100.0, 1000.0),
+            coverages=(0.9, 0.99, 0.999),
+        )
+
+    def test_coverage_has_significant_influence(self, result):
+        """Higher coverage -> higher reliability at every rate scale."""
+        for node_type in ("fs", "nlft"):
+            for scale in result.rate_scales:
+                values = [
+                    result.reliability[node_type][(coverage, scale)]
+                    for coverage in sorted(result.coverages)
+                ]
+                assert values == sorted(values)
+
+    def test_fault_rate_negligible_when_far_below_repair_rate(self, result):
+        """The paper: 'The fault rate has a negligible impact as long as
+        the fault rate is much smaller than the repair rate.'"""
+        for node_type in ("fs", "nlft"):
+            r_x1 = result.reliability[node_type][(0.99, 1.0)]
+            r_x10 = result.reliability[node_type][(0.99, 10.0)]
+            assert abs(r_x1 - r_x10) < 0.01
+
+    def test_nlft_advantage_grows_with_fault_rate(self, result):
+        """The paper: 'the reliability improvements of using NLFT increase
+        for higher fault rates.'"""
+        advantages = [
+            result.nlft_advantage(0.99, scale) for scale in result.rate_scales
+        ]
+        assert advantages[-1] > advantages[0]
+        assert all(b >= a - 1e-9 for a, b in zip(advantages, advantages[1:]))
+
+    def test_reliability_decreases_with_fault_rate(self, result):
+        for node_type in ("fs", "nlft"):
+            values = [
+                result.reliability[node_type][(0.99, scale)]
+                for scale in result.rate_scales
+            ]
+            assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))

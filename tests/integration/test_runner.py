@@ -1,0 +1,17 @@
+"""Smoke test of the combined experiment runner (python -m repro)."""
+
+from repro.experiments.runner import run_all
+
+
+class TestRunner:
+    def test_fast_report_contains_every_experiment(self):
+        report = run_all(fast=True)
+        for marker in (
+            "E1 ", "E2 ", "E3 ", "E4 ", "E5 ", "E6 ", "E7 ",
+            "E8a", "E8b", "E9 ", "E10", "E11", "E12", "E13",
+        ):
+            assert marker in report, f"section {marker.strip()} missing"
+        # Key reproduced claims surface in the combined report.
+        assert "paper: +55%" in report
+        assert "matches paper" in report or "matches Figure 13" in report
+        assert "P_T" in report

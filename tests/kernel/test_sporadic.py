@@ -1,0 +1,100 @@
+"""Tests of sporadic task support (event-triggered activities, Section 2.8)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.task import CallableExecutable, TaskSpec
+from repro.sim import Simulator, TraceRecorder
+
+
+def build():
+    sim = Simulator()
+    trace = TraceRecorder()
+    scheduler = Scheduler(sim, trace=trace)
+    delivered = []
+    scheduler.on_deliver = lambda t, j, r: delivered.append((sim.now, t.name, r))
+    scheduler.add_task(
+        TaskSpec(name="periodic", period=10_000, wcet=500, priority=1),
+        CallableExecutable(lambda i: (1,), 500),
+    )
+    # Sporadic brake request: min inter-arrival 5 ms, highest priority.
+    scheduler.add_sporadic_task(
+        TaskSpec(name="brake_request", period=5_000, wcet=400, priority=0),
+        CallableExecutable(lambda i: (i[0] if i else 0,), 400),
+    )
+    scheduler.start()
+    return sim, scheduler, delivered
+
+
+class TestSporadicRelease:
+    def test_not_released_periodically(self):
+        sim, scheduler, delivered = build()
+        sim.run(until=50_000)
+        assert all(name != "brake_request" for _, name, _ in delivered)
+
+    def test_released_on_demand_with_inputs(self):
+        sim, scheduler, delivered = build()
+        sim.schedule_at(7_000, lambda: scheduler.release_sporadic(
+            "brake_request", inputs=(77,)
+        ))
+        sim.run(until=20_000)
+        sporadic = [entry for entry in delivered if entry[1] == "brake_request"]
+        assert sporadic == [(7_800, "brake_request", (77,))]  # 2 TEM copies
+
+    def test_sporadic_preempts_lower_priority_periodic(self):
+        sim, scheduler, delivered = build()
+        # Release while the periodic task's job is executing.
+        sim.schedule_at(100, lambda: scheduler.release_sporadic("brake_request"))
+        sim.run(until=20_000)
+        sporadic = [when for when, name, _ in delivered if name == "brake_request"]
+        periodic = [when for when, name, _ in delivered if name == "periodic"]
+        assert sporadic[0] < periodic[0]
+        assert scheduler.stats.preemptions >= 1
+
+    def test_minimum_interarrival_enforced(self):
+        sim, scheduler, delivered = build()
+        accepted = []
+        sim.schedule_at(1_000, lambda: accepted.append(
+            scheduler.release_sporadic("brake_request")
+        ))
+        sim.schedule_at(2_000, lambda: accepted.append(
+            scheduler.release_sporadic("brake_request")  # too soon (< 5 ms)
+        ))
+        sim.schedule_at(7_000, lambda: accepted.append(
+            scheduler.release_sporadic("brake_request")
+        ))
+        sim.run(until=20_000)
+        assert accepted == [True, False, True]
+        count = sum(1 for _, name, _ in delivered if name == "brake_request")
+        assert count == 2
+
+    def test_rejection_is_traced(self):
+        sim, scheduler, delivered = build()
+        sim.schedule_at(1_000, lambda: scheduler.release_sporadic("brake_request"))
+        sim.schedule_at(1_500, lambda: scheduler.release_sporadic("brake_request"))
+        sim.run(until=10_000)
+        assert scheduler.trace.count("kernel.sporadic_rejected") == 1
+
+    def test_silent_node_rejects_releases(self):
+        sim, scheduler, delivered = build()
+        scheduler.shutdown()
+        assert scheduler.release_sporadic("brake_request") is False
+
+    def test_periodic_task_cannot_be_released_sporadically(self):
+        sim, scheduler, delivered = build()
+        with pytest.raises(SchedulingError):
+            scheduler.release_sporadic("periodic")
+
+    def test_unknown_task_rejected(self):
+        sim, scheduler, delivered = build()
+        with pytest.raises(SchedulingError):
+            scheduler.release_sporadic("ghost")
+
+    def test_sporadic_job_gets_tem_protection(self):
+        sim, scheduler, delivered = build()
+        sim.schedule_at(1_000, lambda: scheduler.release_sporadic("brake_request"))
+        sim.run(until=10_000)
+        votes = scheduler.trace.select("tem.vote")
+        sporadic_votes = [v for v in votes if v.details["job"].startswith("brake_request")]
+        assert sporadic_votes and sporadic_votes[0].details["copies"] == 2

@@ -1,0 +1,130 @@
+"""Tests of the generalized k-out-of-n redundancy models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    BbwParameters,
+    build_cu_fs,
+    build_cu_nlft,
+    build_redundant_subsystem,
+    build_wn_fs_degraded,
+    build_wn_fs_full,
+    build_wn_nlft_degraded,
+    build_wn_nlft_full,
+    nodes_needed,
+    redundancy_study,
+)
+from repro.units import HOURS_PER_YEAR
+
+
+@pytest.fixture
+def p() -> BbwParameters:
+    return BbwParameters.paper()
+
+
+class TestEquivalenceWithPaperModels:
+    """The generalized builder must subsume Figures 6, 7, 9, 10, 11."""
+
+    CASES = [
+        ("fs", 2, 1, build_cu_fs),
+        ("nlft", 2, 1, build_cu_nlft),
+        ("fs", 4, 3, build_wn_fs_degraded),
+        ("nlft", 4, 3, build_wn_nlft_degraded),
+        ("fs", 4, 4, build_wn_fs_full),
+        ("nlft", 4, 4, build_wn_nlft_full),
+    ]
+
+    @pytest.mark.parametrize("node_type,n,required,reference_builder", CASES)
+    def test_reliability_matches_paper_model(self, p, node_type, n, required,
+                                             reference_builder):
+        general = build_redundant_subsystem(p, node_type, n, required)
+        reference = reference_builder(p)
+        for t in (10.0, 1_000.0, HOURS_PER_YEAR):
+            assert general.reliability(t) == pytest.approx(
+                reference.reliability(t), abs=1e-9
+            )
+
+    @pytest.mark.parametrize("node_type,n,required,reference_builder", CASES)
+    def test_mttf_matches_paper_model(self, p, node_type, n, required,
+                                      reference_builder):
+        general = build_redundant_subsystem(p, node_type, n, required)
+        reference = reference_builder(p)
+        assert general.mttf() == pytest.approx(reference.mttf(), rel=1e-9)
+
+
+class TestStateSpace:
+    def test_full_functionality_has_two_states(self, p):
+        chain = build_redundant_subsystem(p, "nlft", 4, 4)
+        assert len(chain.states) == 2  # p0r0o0 + F
+
+    def test_larger_budgets_allow_concurrent_outages(self, p):
+        chain = build_redundant_subsystem(p, "nlft", 6, 3)
+        # budget 3: states with p+r+o in {0..3} plus F = C(6,3) lattice.
+        assert "p1r1o1" in chain.states
+        assert "p0r2o0" in chain.states
+        assert chain.reliability(HOURS_PER_YEAR) > 0
+
+    def test_validation(self, p):
+        with pytest.raises(ConfigurationError):
+            build_redundant_subsystem(p, "tmr", 4, 3)
+        with pytest.raises(ConfigurationError):
+            build_redundant_subsystem(p, "fs", 4, 0)
+        with pytest.raises(ConfigurationError):
+            build_redundant_subsystem(p, "fs", 4, 5)
+
+
+class TestMonotonicity:
+    def test_more_nodes_help_initially(self, p):
+        t = 1_000.0
+        r4 = build_redundant_subsystem(p, "nlft", 4, 3).reliability(t)
+        r5 = build_redundant_subsystem(p, "nlft", 5, 3).reliability(t)
+        assert r5 > r4
+
+    def test_nlft_beats_fs_at_every_level(self, p):
+        for n, required in ((2, 1), (4, 3), (5, 3), (3, 2)):
+            fs = build_redundant_subsystem(p, "fs", n, required)
+            nlft = build_redundant_subsystem(p, "nlft", n, required)
+            assert nlft.reliability(HOURS_PER_YEAR) > fs.reliability(HOURS_PER_YEAR)
+
+    def test_coverage_ceiling_with_imperfect_detection(self, p):
+        """Adding nodes eventually hurts: non-covered errors accumulate."""
+        values = [
+            build_redundant_subsystem(p, "fs", n, 3).reliability(HOURS_PER_YEAR)
+            for n in range(4, 10)
+        ]
+        peak = max(values)
+        assert values[-1] < peak  # past the peak, more nodes reduce R
+
+    def test_no_ceiling_with_perfect_coverage(self):
+        perfect = BbwParameters(coverage=1.0, p_tem=0.9, p_omission=0.05,
+                                p_fail_silent=0.05)
+        values = [
+            build_redundant_subsystem(perfect, "nlft", n, 3).reliability(
+                HOURS_PER_YEAR
+            )
+            for n in range(4, 9)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestDimensioning:
+    def test_nlft_needs_fewer_nodes_than_fs(self, p):
+        fs_nodes = nodes_needed(p, "fs", 3, 0.98, 1_000.0)
+        nlft_nodes = nodes_needed(p, "nlft", 3, 0.98, 1_000.0)
+        assert fs_nodes == 5
+        assert nlft_nodes == 4
+
+    def test_unreachable_target_returns_none(self, p):
+        assert nodes_needed(p, "fs", 3, 0.9999, HOURS_PER_YEAR, n_max=8) is None
+
+    def test_invalid_target(self, p):
+        with pytest.raises(ConfigurationError):
+            nodes_needed(p, "fs", 3, 1.5, 100.0)
+
+    def test_redundancy_study_rows(self, p):
+        points = redundancy_study(p, [("fs", 4, 3), ("nlft", 4, 3)])
+        assert len(points) == 2
+        assert points[0].label == "fs 3oo4"
+        assert points[1].reliability_one_year > points[0].reliability_one_year
+        assert points[1].mttf_years > points[0].mttf_years

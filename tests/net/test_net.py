@@ -1,0 +1,198 @@
+"""Tests of frames, schedules, controllers and the bus engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net import (
+    CommunicationSchedule,
+    FlexRayBus,
+    Frame,
+    NetworkInterface,
+    StaticSlot,
+    require_payload_length,
+    round_robin_schedule,
+)
+from repro.sim import Simulator, TraceRecorder
+
+
+class TestFrame:
+    def test_seal_produces_valid_frame(self):
+        frame = Frame.seal(3, "n1", [1, 2, 3], cycle=0, timestamp=100)
+        assert frame.valid
+        frame.check()
+
+    def test_corruption_invalidates(self):
+        frame = Frame.seal(3, "n1", [1, 2, 3], cycle=0, timestamp=100)
+        bad = frame.corrupted(1, 99)
+        assert not bad.valid
+        with pytest.raises(NetworkError):
+            bad.check()
+
+    def test_corrupted_word_index_bounds(self):
+        frame = Frame.seal(3, "n1", [1], cycle=0, timestamp=0)
+        with pytest.raises(NetworkError):
+            frame.corrupted(5, 0)
+
+    def test_payload_length_check(self):
+        frame = Frame.seal(3, "n1", [1, 2], cycle=0, timestamp=0)
+        require_payload_length(frame, 2)
+        with pytest.raises(NetworkError):
+            require_payload_length(frame, 4)
+
+    def test_age_at(self):
+        from repro.net.frame import ReceivedFrame
+
+        received = ReceivedFrame(
+            frame=Frame.seal(1, "n", [0], 0, 50), received_at=50
+        )
+        assert received.age_at(80) == 30
+
+
+class TestSchedule:
+    def test_round_robin_layout(self):
+        schedule = round_robin_schedule(["a", "b"], slot_duration=100,
+                                        minislot_count=2, minislot_duration=20,
+                                        idle_duration=10)
+        assert schedule.static_duration == 200
+        assert schedule.dynamic_duration == 40
+        assert schedule.cycle_duration == 250
+        assert schedule.sender_of(1) == "a"
+        assert schedule.sender_of(2) == "b"
+        assert schedule.sender_of(99) is None
+        assert [slot.slot_index for slot in schedule.slots_of("b")] == [1]
+
+    def test_slot_start_offsets(self):
+        schedule = round_robin_schedule(["a", "b", "c"], slot_duration=100)
+        assert schedule.slot_start(0) == 0
+        assert schedule.slot_start(2) == 200
+        assert schedule.dynamic_start() == 300
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationSchedule(static_slots=[], slot_duration=0)
+        with pytest.raises(ConfigurationError):
+            CommunicationSchedule(
+                static_slots=[StaticSlot(0, "a", 1), StaticSlot(0, "b", 2)],
+                slot_duration=10,
+            )
+        with pytest.raises(ConfigurationError):
+            CommunicationSchedule(
+                static_slots=[StaticSlot(0, "a", 1), StaticSlot(1, "b", 1)],
+                slot_duration=10,
+            )
+        with pytest.raises(ConfigurationError):
+            CommunicationSchedule(
+                static_slots=[StaticSlot(0, "a", 1)], slot_duration=10,
+                minislot_count=2, minislot_duration=0,
+            )
+
+
+class TestControllerSemantics:
+    def test_state_message_retransmitted_each_cycle(self):
+        interface = NetworkInterface("a")
+        interface.write_tx(1, [5])
+        first = interface.provide_static_frame(1, cycle=0, timestamp=0)
+        second = interface.provide_static_frame(1, cycle=1, timestamp=100)
+        assert first.payload == second.payload == (5,)
+
+    def test_silent_controller_provides_nothing(self):
+        interface = NetworkInterface("a")
+        interface.write_tx(1, [5])
+        interface.go_silent()
+        assert interface.provide_static_frame(1, 0, 0) is None
+        interface.resume()
+        assert interface.provide_static_frame(1, 0, 0) is not None
+
+    def test_silence_drops_queued_events(self):
+        interface = NetworkInterface("a")
+        interface.send_event(9, [1])
+        interface.go_silent()
+        interface.resume()
+        assert interface.provide_dynamic_frames(0, 0) == []
+
+    def test_own_frames_not_consumed(self):
+        interface = NetworkInterface("a")
+        frame = Frame.seal(1, "a", [5], 0, 0)
+        interface.deliver(frame, now=0)
+        assert interface.read_rx(1) is None
+
+    def test_invalid_crc_dropped_and_counted(self):
+        interface = NetworkInterface("b")
+        frame = Frame.seal(1, "a", [5], 0, 0).corrupted(0, 6)
+        interface.deliver(frame, now=0)
+        assert interface.read_rx(1) is None
+        assert interface.crc_errors == 1
+
+    def test_read_fresh_rejects_stale(self):
+        interface = NetworkInterface("b")
+        interface.deliver(Frame.seal(1, "a", [5], 0, 10), now=10)
+        assert interface.read_fresh(1, now=20, max_age=15) is not None
+        assert interface.read_fresh(1, now=40, max_age=15) is None
+
+
+class TestBusEngine:
+    def build(self):
+        sim = Simulator()
+        schedule = round_robin_schedule(
+            ["a", "b"], slot_duration=100, minislot_count=2,
+            minislot_duration=25, idle_duration=50,
+        )
+        bus = FlexRayBus(sim, schedule, trace=TraceRecorder())
+        interfaces = {name: NetworkInterface(name) for name in ("a", "b")}
+        for interface in interfaces.values():
+            bus.attach(interface)
+        return sim, bus, interfaces
+
+    def test_static_frames_delivered_at_slot_end(self):
+        sim, bus, interfaces = self.build()
+        interfaces["a"].write_tx(1, [42])
+        bus.start()
+        sim.run(until=100)
+        received = interfaces["b"].read_rx(1)
+        assert received is not None
+        assert received.received_at == 100
+        assert received.frame.payload == (42,)
+
+    def test_missing_frame_observed_as_omission(self):
+        sim, bus, interfaces = self.build()
+        bus.start()
+        sim.run(until=299)  # one full cycle: neither node staged anything
+        assert bus.omissions_observed == 2
+
+    def test_dynamic_arbitration_lower_id_first(self):
+        sim, bus, interfaces = self.build()
+        interfaces["a"].send_event(20, [1])
+        interfaces["b"].send_event(10, [2])
+        interfaces["a"].send_event(15, [3])
+        bus.start()
+        sim.run(until=299)
+        # Only 2 mini-slots: ids 10 and 15 go through, 20 is dropped.
+        assert interfaces["a"].read_rx(10) is not None
+        assert interfaces["b"].read_rx(15) is not None
+        assert interfaces["b"].read_rx(20) is None
+
+    def test_cycles_repeat(self):
+        sim, bus, interfaces = self.build()
+        interfaces["a"].write_tx(1, [1])
+        bus.start()
+        sim.run(until=1_000)
+        assert bus.cycle >= 3
+        assert interfaces["b"].frames_received >= 3
+
+    def test_duplicate_attach_rejected(self):
+        sim, bus, interfaces = self.build()
+        with pytest.raises(NetworkError):
+            bus.attach(NetworkInterface("a"))
+
+    def test_unattached_slot_owner_rejected_at_start(self):
+        sim = Simulator()
+        schedule = round_robin_schedule(["ghost"], slot_duration=10)
+        bus = FlexRayBus(sim, schedule)
+        with pytest.raises(NetworkError):
+            bus.start()
+
+    def test_controller_lookup(self):
+        sim, bus, interfaces = self.build()
+        assert bus.controller("a") is interfaces["a"]
+        with pytest.raises(NetworkError):
+            bus.controller("nope")

@@ -1,0 +1,80 @@
+"""Tests of duplex output selection and direct partner state recovery."""
+
+import numpy as np
+
+from repro.faults.types import FaultType
+from repro.net.controller import NetworkInterface
+from repro.net.frame import Frame
+from repro.node import DuplexGroup, FailSilentNode
+from repro.sim import Simulator
+
+
+def build_group(sim):
+    a = FailSilentNode(sim, "a", rng=np.random.default_rng(0))
+    b = FailSilentNode(sim, "b", rng=np.random.default_rng(1))
+    group = DuplexGroup(sim, "pair", [a, b])
+    return a, b, group
+
+
+class TestSelectOutput:
+    def deliver(self, interface, frame_id, payload, at):
+        interface.deliver(Frame.seal(frame_id, "sender", payload, 0, at), now=at)
+
+    def test_freshest_member_output_wins(self, sim):
+        a, b, group = build_group(sim)
+        consumer = NetworkInterface("consumer")
+        self.deliver(consumer, 1, [10], at=0)
+        sim.run(until=100)
+        self.deliver(consumer, 2, [20], at=100)
+        selected = group.select_output(
+            frame_id_of=lambda node: 1 if node.name == "a" else 2,
+            networks=lambda node: consumer,
+            now=150,
+            max_age=1_000,
+        )
+        assert selected == (20,)  # b's frame is fresher
+
+    def test_stale_outputs_ignored(self, sim):
+        a, b, group = build_group(sim)
+        consumer = NetworkInterface("consumer")
+        self.deliver(consumer, 1, [10], at=0)
+        selected = group.select_output(
+            frame_id_of=lambda node: 1 if node.name == "a" else 2,
+            networks=lambda node: consumer,
+            now=10_000,
+            max_age=100,
+        )
+        assert selected is None
+
+    def test_members_without_network_skipped(self, sim):
+        a, b, group = build_group(sim)
+        consumer = NetworkInterface("consumer")
+        self.deliver(consumer, 2, [7], at=0)
+        selected = group.select_output(
+            frame_id_of=lambda node: 1 if node.name == "a" else 2,
+            networks=lambda node: consumer if node.name == "b" else None,
+            now=10,
+            max_age=100,
+        )
+        assert selected == (7,)
+
+
+class TestDirectStateRecovery:
+    def test_partner_provides_snapshot(self, sim):
+        a, b, group = build_group(sim)
+        b.provide_state_snapshot = lambda: (5, 6, 7)
+        snapshot = group.request_state_recovery(a)
+        assert snapshot == (5, 6, 7)
+
+    def test_no_snapshot_when_partner_down(self, sim):
+        a, b, group = build_group(sim)
+        b.provide_state_snapshot = lambda: (5, 6, 7)
+        b.inject_fault(FaultType.PERMANENT)
+        sim.run()
+        assert group.request_state_recovery(a) is None
+
+    def test_requester_not_used_as_provider(self, sim):
+        a, b, group = build_group(sim)
+        a.provide_state_snapshot = lambda: (1,)
+        # b has no provider; a must not serve itself.
+        assert group.request_state_recovery(a) is None

@@ -1,0 +1,123 @@
+"""Tests of partner-state recovery over the dynamic segment (Section 4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import FlexRayBus, NetworkInterface, round_robin_schedule
+from repro.node.state_sync import StateRecoveryService, _encode_name
+from repro.sim import Simulator, TraceRecorder
+
+
+def build_pair(timeout_cycles=5, partner_serving=True):
+    sim = Simulator()
+    trace = TraceRecorder()
+    schedule = round_robin_schedule(
+        ["a", "b"], slot_duration=100, minislot_count=4, minislot_duration=30,
+    )
+    bus = FlexRayBus(sim, schedule, trace=trace)
+    interfaces = {name: NetworkInterface(name) for name in ("a", "b")}
+    for interface in interfaces.values():
+        bus.attach(interface)
+    state = {"a": [0, 0, 0], "b": [11, 22, 33]}
+    services = {}
+    for name in ("a", "b"):
+        def get_state(n=name):
+            return state[n]
+
+        def set_state(words, n=name):
+            state[n] = list(words)
+
+        services[name] = StateRecoveryService(
+            sim, interfaces[name], name,
+            get_state=get_state, set_state=set_state,
+            poll_period=schedule.cycle_duration,
+            timeout_cycles=timeout_cycles,
+            trace=trace,
+        )
+    if partner_serving:
+        services["b"].start_serving()
+    bus.start()
+    return sim, bus, services, state, trace
+
+
+class TestRecoveryProtocol:
+    def test_state_recovered_from_partner(self):
+        sim, bus, services, state, trace = build_pair()
+        outcomes = []
+        services["a"].begin_recovery(outcomes.append)
+        sim.run(until=10_000)
+        assert outcomes == [True]
+        assert state["a"] == [11, 22, 33]
+        assert services["b"].stats.requests_served == 1
+        assert services["a"].stats.recoveries_completed == 1
+
+    def test_timeout_when_no_partner_serves(self):
+        sim, bus, services, state, trace = build_pair(partner_serving=False)
+        outcomes = []
+        services["a"].begin_recovery(outcomes.append)
+        sim.run(until=50_000)
+        assert outcomes == [False]
+        assert services["a"].stats.recovery_timeouts == 1
+        assert state["a"] == [0, 0, 0]  # fell back to defaults
+
+    def test_recovery_traffic_uses_dynamic_segment(self):
+        sim, bus, services, state, trace = build_pair()
+        services["a"].begin_recovery(lambda ok: None)
+        sim.run(until=10_000)
+        frames = trace.select("bus.frame")
+        frame_ids = {event.details["frame_id"] for event in frames}
+        assert 40 in frame_ids and 41 in frame_ids  # request + response
+
+    def test_own_request_not_self_served(self):
+        sim, bus, services, state, trace = build_pair()
+        services["a"].start_serving()  # both serve
+        services["a"].begin_recovery(lambda ok: None)
+        sim.run(until=10_000)
+        # Node a must not answer its own request.
+        assert services["a"].stats.requests_served == 0
+        assert services["b"].stats.requests_served == 1
+
+    def test_concurrent_recovery_rejected(self):
+        sim, bus, services, state, trace = build_pair()
+        services["a"].begin_recovery(lambda ok: None)
+        with pytest.raises(ConfigurationError):
+            services["a"].begin_recovery(lambda ok: None)
+
+    def test_request_served_only_once(self):
+        sim, bus, services, state, trace = build_pair()
+        services["a"].begin_recovery(lambda ok: None)
+        sim.run(until=40_000)
+        assert services["b"].stats.requests_served == 1
+
+    def test_sequential_recoveries(self):
+        sim, bus, services, state, trace = build_pair()
+        outcomes = []
+        services["a"].begin_recovery(outcomes.append)
+        sim.run(until=10_000)
+        state["b"] = [7, 8, 9]
+        services["a"].begin_recovery(outcomes.append)
+        sim.run(until=20_000)
+        assert outcomes == [True, True]
+        assert state["a"] == [7, 8, 9]
+
+    def test_validation(self):
+        sim = Simulator()
+        interface = NetworkInterface("x")
+        with pytest.raises(ConfigurationError):
+            StateRecoveryService(
+                sim, interface, "x", lambda: [], lambda w: None, poll_period=0
+            )
+        with pytest.raises(ConfigurationError):
+            StateRecoveryService(
+                sim, interface, "x", lambda: [], lambda w: None,
+                poll_period=10, timeout_cycles=0,
+            )
+
+
+class TestNameEncoding:
+    def test_distinct_names_encode_distinctly(self):
+        assert _encode_name("cu_a") != _encode_name("cu_b")
+
+    def test_short_names_padded(self):
+        assert _encode_name("a") == _encode_name("a")
+        assert _encode_name("a") != _encode_name("ab")

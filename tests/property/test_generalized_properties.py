@@ -1,0 +1,78 @@
+"""Property-based tests of the generalized redundancy models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import BbwParameters
+from repro.models.generalized import build_redundant_subsystem, up_states
+
+times = st.floats(min_value=0.0, max_value=20_000.0, allow_nan=False)
+levels = st.tuples(
+    st.integers(min_value=1, max_value=6),  # n
+    st.integers(min_value=1, max_value=6),  # required (clamped below)
+).map(lambda pair: (max(pair), min(pair)))
+node_types = st.sampled_from(["fs", "nlft"])
+coverages = st.floats(min_value=0.5, max_value=1.0, allow_nan=False)
+
+
+class TestGeneralizedModelProperties:
+    @given(level=levels, node_type=node_types, t=times)
+    @settings(max_examples=40, deadline=None)
+    def test_reliability_is_probability_and_monotone(self, level, node_type, t):
+        n, required = level
+        chain = build_redundant_subsystem(BbwParameters.paper(), node_type, n, required)
+        r_now = chain.reliability(t)
+        r_later = chain.reliability(t + 500.0)
+        assert -1e-12 <= r_now <= 1 + 1e-12
+        assert r_later <= r_now + 1e-9
+
+    @given(level=levels, t=times, coverage=coverages)
+    @settings(max_examples=30, deadline=None)
+    def test_nlft_never_worse_than_fs(self, level, t, coverage):
+        n, required = level
+        params = BbwParameters.paper().with_coverage(coverage)
+        fs = build_redundant_subsystem(params, "fs", n, required)
+        nlft = build_redundant_subsystem(params, "nlft", n, required)
+        # Tolerance: the two chains have different sparsity patterns, and
+        # at parameter corners where they nearly coincide the matrix
+        # exponential leaves O(1e-9) of round-off between them.
+        assert nlft.reliability(t) >= fs.reliability(t) - 5e-8
+
+    @given(level=levels, node_type=node_types)
+    @settings(max_examples=30, deadline=None)
+    def test_lattice_states_respect_outage_budget(self, level, node_type):
+        n, required = level
+        chain = build_redundant_subsystem(BbwParameters.paper(), node_type, n, required)
+        budget = n - required
+        for state in up_states(chain):
+            p, rest = state[1:].split("r")
+            r, o = rest.split("o")
+            assert int(p) + int(r) + int(o) <= budget
+
+    @given(level=levels, node_type=node_types, t=times)
+    @settings(max_examples=30, deadline=None)
+    def test_lower_requirement_never_hurts(self, level, node_type, t):
+        n, required = level
+        if required == 1:
+            return
+        params = BbwParameters.paper()
+        strict = build_redundant_subsystem(params, node_type, n, required)
+        relaxed = build_redundant_subsystem(params, node_type, n, required - 1)
+        assert relaxed.reliability(t) >= strict.reliability(t) - 1e-9
+
+    @given(level=levels, node_type=node_types)
+    @settings(max_examples=20, deadline=None)
+    def test_repairable_variant_has_higher_long_run_availability(self, level, node_type):
+        from repro.reliability.availability import point_availability
+
+        n, required = level
+        params = BbwParameters.paper()
+        pure = build_redundant_subsystem(params, node_type, n, required)
+        repaired = build_redundant_subsystem(
+            params, node_type, n, required,
+            permanent_repair_rate=1.0 / 168, system_repair_rate=1.0 / 24,
+        )
+        t = 50_000.0
+        a_pure = point_availability(pure, t, up_states(pure))
+        a_repaired = point_availability(repaired, t, up_states(repaired))
+        assert a_repaired >= a_pure - 1e-9

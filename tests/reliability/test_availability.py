@@ -1,0 +1,161 @@
+"""Tests of availability analysis and the maintenance extension (E13)."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import BbwParameters
+from repro.models.generalized import build_redundant_subsystem, up_states
+from repro.reliability import MarkovChain
+from repro.reliability.availability import (
+    expected_downtime_hours,
+    interval_availability,
+    point_availability,
+    steady_state_availability,
+)
+
+
+def repairable(lam=0.5, mu=2.0) -> MarkovChain:
+    chain = MarkovChain(["up", "down"])
+    chain.add_transition("up", "down", lam)
+    chain.add_transition("down", "up", mu)
+    chain.set_initial("up")
+    return chain
+
+
+class TestPointAvailability:
+    def test_closed_form_two_state(self):
+        lam, mu = 0.5, 2.0
+        chain = repairable(lam, mu)
+        for t in (0.1, 1.0, 10.0):
+            expected = mu / (lam + mu) + lam / (lam + mu) * math.exp(-(lam + mu) * t)
+            assert point_availability(chain, t, ["up"]) == pytest.approx(
+                expected, rel=1e-8
+            )
+
+    def test_starts_at_one_when_initially_up(self):
+        assert point_availability(repairable(), 0.0, ["up"]) == pytest.approx(1.0)
+
+
+class TestSteadyState:
+    def test_closed_form(self):
+        lam, mu = 0.5, 2.0
+        assert steady_state_availability(repairable(lam, mu), ["up"]) == pytest.approx(
+            mu / (lam + mu)
+        )
+
+    def test_absorbing_chain_has_zero_long_run_availability(self):
+        """A chain without repair ends in the failure state almost surely;
+        its unique stationary distribution puts all mass there."""
+        chain = MarkovChain(["up", "down"])
+        chain.add_transition("up", "down", 1.0)
+        chain.set_initial("up")
+        assert steady_state_availability(chain, ["up"]) == pytest.approx(0.0)
+
+    def test_empty_up_states_rejected(self):
+        with pytest.raises(ModelError):
+            steady_state_availability(repairable(), [])
+
+
+class TestIntervalAvailability:
+    def test_closed_form_two_state(self):
+        lam, mu = 0.5, 2.0
+        chain = repairable(lam, mu)
+        t = 10.0
+        rate = lam + mu
+        a_inf = mu / rate
+        # integral of A(u): a_inf*t + (lam/rate^2)(1 - e^{-rate t}).
+        integral = a_inf * t + lam / rate**2 * (1 - math.exp(-rate * t))
+        assert interval_availability(chain, t, ["up"]) == pytest.approx(
+            integral / t, rel=1e-7
+        )
+
+    def test_interval_approaches_steady_state(self):
+        chain = repairable()
+        long_avg = interval_availability(chain, 500.0, ["up"])
+        assert long_avg == pytest.approx(
+            steady_state_availability(chain, ["up"]), abs=1e-3
+        )
+
+    def test_at_zero_equals_point(self):
+        chain = repairable()
+        assert interval_availability(chain, 0.0, ["up"]) == pytest.approx(1.0)
+
+    def test_downtime_complements_uptime(self):
+        chain = repairable()
+        t = 100.0
+        downtime = expected_downtime_hours(chain, t, ["up"])
+        uptime_fraction = interval_availability(chain, t, ["up"])
+        assert downtime == pytest.approx((1 - uptime_fraction) * t, rel=1e-9)
+
+
+class TestMaintenanceModels:
+    @pytest.fixture
+    def params(self):
+        return BbwParameters.paper()
+
+    def test_repairable_subsystem_has_no_absorbing_state(self, params):
+        chain = build_redundant_subsystem(
+            params, "nlft", 4, 3,
+            permanent_repair_rate=1.0 / 168, system_repair_rate=1.0 / 24,
+        )
+        assert chain.absorbing_states() == []
+
+    def test_without_system_repair_failure_absorbs(self, params):
+        chain = build_redundant_subsystem(
+            params, "nlft", 4, 3, permanent_repair_rate=1.0 / 168
+        )
+        assert chain.absorbing_states() == ["F"]
+
+    def test_nlft_availability_beats_fs(self, params):
+        results = {}
+        for node_type in ("fs", "nlft"):
+            chain = build_redundant_subsystem(
+                params, node_type, 4, 3,
+                permanent_repair_rate=1.0 / 168, system_repair_rate=1.0 / 24,
+            )
+            results[node_type] = steady_state_availability(chain, up_states(chain))
+        assert results["nlft"] > results["fs"]
+        assert results["fs"] > 0.999  # maintenance keeps both highly available
+
+    def test_faster_replacement_improves_availability(self, params):
+        values = []
+        for hours in (336.0, 168.0, 24.0):
+            chain = build_redundant_subsystem(
+                params, "fs", 4, 3,
+                permanent_repair_rate=1.0 / hours, system_repair_rate=1.0 / 24,
+            )
+            values.append(steady_state_availability(chain, up_states(chain)))
+        assert values == sorted(values)
+
+    def test_repair_makes_mttf_analysis_inapplicable(self, params):
+        from repro.errors import NotAbsorbingError
+
+        chain = build_redundant_subsystem(
+            params, "fs", 4, 3,
+            permanent_repair_rate=1.0 / 168, system_repair_rate=1.0 / 24,
+        )
+        with pytest.raises((NotAbsorbingError, ModelError)):
+            chain.mttf()
+
+    def test_negative_repair_rate_rejected(self, params):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            build_redundant_subsystem(params, "fs", 4, 3, permanent_repair_rate=-1.0)
+
+
+class TestAvailabilityExperiment:
+    def test_e13_findings(self):
+        from repro.experiments import compute_availability_table
+
+        result = compute_availability_table()
+        # NLFT saves downtime at every service responsiveness...
+        for hours in result.replacement_hours:
+            assert result.nlft_downtime_saving(hours) > 0
+        # ... and the saving grows as service gets slower (NLFT rides out
+        # transients that would otherwise stack on top of a waiting repair).
+        savings = [result.nlft_downtime_saving(h) for h in result.replacement_hours]
+        assert savings == sorted(savings)
+        assert result.render()

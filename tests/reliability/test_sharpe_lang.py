@@ -1,0 +1,162 @@
+"""Tests of the SHARPE-flavoured model language."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import BbwParameters, build_cu_fs
+from repro.reliability.sharpe_lang import (
+    evaluate_expression,
+    parse_sharpe,
+)
+from repro.units import HOURS_PER_YEAR
+
+
+class TestExpressions:
+    def test_numbers_and_arithmetic(self):
+        assert evaluate_expression("2 + 3 * 4", {}) == 14
+        assert evaluate_expression("(2 + 3) * 4", {}) == 20
+        assert evaluate_expression("10 / 4", {}) == 2.5
+        assert evaluate_expression("2 - 3 - 4", {}) == -5  # left associative
+
+    def test_scientific_notation(self):
+        assert evaluate_expression("1.82e-5", {}) == pytest.approx(1.82e-5)
+        assert evaluate_expression("1e3 * 2", {}) == 2000
+
+    def test_names_resolve_from_bindings(self):
+        assert evaluate_expression("a * (1 - c)", {"a": 2.0, "c": 0.25}) == 1.5
+
+    def test_unary_minus(self):
+        assert evaluate_expression("-3 + 5", {}) == 2
+        assert evaluate_expression("2 * -3", {}) == -6
+
+    def test_errors(self):
+        with pytest.raises(ModelError):
+            evaluate_expression("a + 1", {})
+        with pytest.raises(ModelError):
+            evaluate_expression("1 / 0", {})
+        with pytest.raises(ModelError):
+            evaluate_expression("(1 + 2", {})
+        with pytest.raises(ModelError):
+            evaluate_expression("1 2", {})
+
+
+CU_FS_SOURCE = """
+* Central unit with fail-silent nodes (paper Figure 6)
+bind lp  1.82e-5
+bind lt  10 * lp
+bind c   0.99
+bind mur 1.2e3
+
+markov cu_fs
+  0 1 2 * lp * c
+  0 2 2 * lt * c
+  0 F 2 * (lp + lt) * (1 - c)
+  1 F lp + lt
+  2 0 mur
+  2 F lp + lt
+end
+"""
+
+
+class TestMarkovParsing:
+    def test_cu_fs_matches_programmatic_model(self):
+        model = parse_sharpe(CU_FS_SOURCE)
+        parsed = model.chain("cu_fs")
+        reference = build_cu_fs(BbwParameters.paper())
+        for t in (100.0, HOURS_PER_YEAR):
+            assert parsed.reliability(t) == pytest.approx(
+                reference.reliability(t), rel=1e-12
+            )
+
+    def test_first_state_is_initial(self):
+        model = parse_sharpe("markov m\n up down 1.0\n down up 2.0\nend\n")
+        chain = model.chain("m")
+        assert list(chain.initial_distribution) == [1.0, 0.0]
+
+    def test_bindings_chain(self):
+        model = parse_sharpe("bind a 2\nbind b a * 3\nmarkov m\n x y b\nend\n")
+        assert model.bindings["b"] == 6
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(ModelError, match="missing 'end'"):
+            parse_sharpe("markov m\n a b 1.0\n")
+
+    def test_empty_markov_rejected(self):
+        with pytest.raises(ModelError, match="no transitions"):
+            parse_sharpe("markov m\nend\n")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(ModelError, match="unknown keyword"):
+            parse_sharpe("transition a b 1\n")
+
+    def test_unknown_chain_lookup(self):
+        model = parse_sharpe(CU_FS_SOURCE)
+        with pytest.raises(ModelError):
+            model.chain("nothere")
+
+
+BBW_SOURCE = CU_FS_SOURCE + """
+markov wn
+  ok F 4 * (lp + lt)
+end
+
+ftree bbw
+  basic cu markov:cu_fs
+  basic wheels markov:wn
+  or top cu wheels
+end
+"""
+
+
+class TestFtreeParsing:
+    def test_hierarchical_composition(self):
+        model = parse_sharpe(BBW_SOURCE)
+        tree = model.tree("bbw")
+        t = 1_000.0
+        expected = model.chain("cu_fs").reliability(t) * model.chain("wn").reliability(t)
+        assert tree.reliability(t) == pytest.approx(expected, rel=1e-9)
+
+    def test_exponential_basic_events(self):
+        model = parse_sharpe(
+            "bind l 0.1\nftree f\n basic a exp(l)\n basic b exp(2*l)\n and top a b\nend\n"
+        )
+        tree = model.tree("f")
+        t = 3.0
+        qa = 1 - math.exp(-0.1 * t)
+        qb = 1 - math.exp(-0.2 * t)
+        assert tree.probability(t) == pytest.approx(qa * qb)
+
+    def test_kofn_gate(self):
+        model = parse_sharpe(
+            "ftree f\n basic a exp(0.1)\n basic b exp(0.1)\n basic c exp(0.1)\n"
+            " kofn top 2 a b c\nend\n"
+        )
+        tree = model.tree("f")
+        q = 1 - math.exp(-0.1 * 5.0)
+        expected = 3 * q * q * (1 - q) + q**3
+        assert tree.probability(5.0) == pytest.approx(expected)
+
+    def test_nested_gates_in_any_declaration_order(self):
+        model = parse_sharpe(
+            "ftree f\n or top g1 c\n and g1 a b\n basic a exp(0.1)\n"
+            " basic b exp(0.1)\n basic c exp(0.05)\nend\n"
+        )
+        assert 0 < model.tree("f").probability(2.0) < 1
+
+    def test_missing_top_rejected(self):
+        with pytest.raises(ModelError, match="'top'"):
+            parse_sharpe("ftree f\n basic a exp(0.1)\nend\n")
+
+    def test_unresolved_gate_rejected(self):
+        with pytest.raises(ModelError, match="unresolved"):
+            parse_sharpe("ftree f\n or top ghost\nend\n")
+
+    def test_unknown_markov_reference_rejected(self):
+        with pytest.raises(ModelError, match="unknown markov"):
+            parse_sharpe("ftree f\n basic a markov:none\n or top a\nend\n")
+
+    def test_bad_basic_spec_rejected(self):
+        with pytest.raises(ModelError, match="basic spec"):
+            parse_sharpe("ftree f\n basic a weibull(2)\n or top a\nend\n")

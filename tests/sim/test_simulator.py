@@ -1,0 +1,164 @@
+"""Tests of the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    PRIORITY_FAULT,
+    PRIORITY_KERNEL,
+    PRIORITY_OBSERVER,
+    Simulator,
+)
+
+
+class TestScheduling:
+    def test_runs_events_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(30, lambda: fired.append(30))
+        sim.schedule_at(10, lambda: fired.append(10))
+        sim.schedule_at(20, lambda: fired.append(20))
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_schedule_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_after(5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5]
+        sim.schedule_after(5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5, 10]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.schedule_at(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1, lambda: None)
+
+    def test_same_time_fifo_within_priority(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule_at(10, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_classes_order_simultaneous_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: fired.append("observer"), priority=PRIORITY_OBSERVER)
+        sim.schedule_at(10, lambda: fired.append("kernel"), priority=PRIORITY_KERNEL)
+        sim.schedule_at(10, lambda: fired.append("fault"), priority=PRIORITY_FAULT)
+        sim.run()
+        assert fired == ["fault", "kernel", "observer"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(10, lambda: fired.append(1))
+        assert handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule_at(10, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulator()
+        handle = sim.schedule_at(10, lambda: None)
+        sim.run()
+        assert handle.fired
+        assert handle.cancel() is False
+
+
+class TestRunControl:
+    def test_run_until_advances_clock_to_bound(self):
+        sim = Simulator()
+        sim.schedule_at(100, lambda: None)
+        assert sim.run(until=50) == 50
+        assert sim.now == 50
+        assert sim.pending_count() == 1
+
+    def test_run_until_executes_events_at_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(50, lambda: fired.append(sim.now))
+        sim.run(until=50)
+        assert fired == [50]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 30:
+                sim.schedule_after(10, chain)
+
+        sim.schedule_at(10, chain)
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: (fired.append(1), sim.stop()))
+        sim.schedule_at(20, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_after(1, forever)
+
+        sim.schedule_at(0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_step_executes_exactly_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1, lambda: fired.append(1))
+        sim.schedule_at(2, lambda: fired.append(2))
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert fired == [1, 2]
+        assert not sim.step()
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule_at(1, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3

@@ -1,0 +1,100 @@
+"""Tests of trace recording and the named RNG streams."""
+
+import numpy as np
+
+from repro.sim import RandomStreams, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_emit_and_select_by_prefix(self):
+        trace = TraceRecorder()
+        trace.emit(1, "kernel.release", "n1", job="a")
+        trace.emit(2, "kernel.preempt", "n1")
+        trace.emit(3, "tem.vote", "n1")
+        assert trace.count("kernel") == 2
+        assert trace.count("kernel.release") == 1
+        assert trace.count("tem") == 1
+
+    def test_prefix_matching_requires_segment_boundary(self):
+        trace = TraceRecorder()
+        trace.emit(1, "kernel2.release", "n1")
+        assert trace.count("kernel") == 0
+
+    def test_select_by_source(self):
+        trace = TraceRecorder()
+        trace.emit(1, "node.status", "a")
+        trace.emit(2, "node.status", "b")
+        assert len(trace.select("node", source="a")) == 1
+
+    def test_last(self):
+        trace = TraceRecorder()
+        assert trace.last("x") is None
+        trace.emit(1, "x.y", "s", v=1)
+        trace.emit(2, "x.y", "s", v=2)
+        assert trace.last("x").details["v"] == 2
+
+    def test_disabled_recorder_stores_nothing(self):
+        trace = TraceRecorder(enabled=False)
+        trace.emit(1, "a", "s")
+        assert len(trace) == 0
+
+    def test_listener_fires_even_when_disabled(self):
+        trace = TraceRecorder(enabled=False)
+        seen = []
+        trace.add_listener(lambda e: seen.append(e.category))
+        trace.emit(1, "a.b", "s")
+        assert seen == ["a.b"]
+        assert len(trace) == 0
+
+    def test_capacity_bounds_memory(self):
+        trace = TraceRecorder(capacity=10)
+        for i in range(25):
+            trace.emit(i, "e", "s", i=i)
+        assert len(trace) == 10
+        assert trace.events[0].details["i"] == 15
+
+    def test_render_contains_details(self):
+        trace = TraceRecorder()
+        trace.emit(7, "cat.sub", "src", key="value")
+        assert "key=value" in trace.render()
+        assert "cat.sub" in trace.render()
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.emit(1, "a", "s")
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RandomStreams(1)
+        assert streams.get("x") is streams.get("x")
+
+    def test_streams_are_independent_of_creation_order(self):
+        a_first = RandomStreams(99)
+        a = a_first.get("alpha").random(5)
+
+        b_first = RandomStreams(99)
+        b_first.get("beta")  # create another stream first
+        a_again = b_first.get("alpha").random(5)
+        assert np.allclose(a, a_again)
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(5)
+        x = streams.get("x").random(10)
+        y = streams.get("y").random(10)
+        assert not np.allclose(x, y)
+
+    def test_different_seeds_differ(self):
+        x = RandomStreams(1).get("s").random(10)
+        y = RandomStreams(2).get("s").random(10)
+        assert not np.allclose(x, y)
+
+    def test_fork_is_deterministic_and_distinct(self):
+        root = RandomStreams(7)
+        fork_a = root.fork(1).get("s").random(5)
+        fork_a2 = RandomStreams(7).fork(1).get("s").random(5)
+        fork_b = root.fork(2).get("s").random(5)
+        assert np.allclose(fork_a, fork_a2)
+        assert not np.allclose(fork_a, fork_b)

@@ -1,0 +1,42 @@
+"""Tests of the time-unit helpers."""
+
+import pytest
+
+from repro.units import (
+    HOURS_PER_YEAR,
+    hours_to_years,
+    ms,
+    per_hour_from_repair_time_seconds,
+    seconds,
+    ticks_to_ms,
+    ticks_to_seconds,
+    us,
+    years,
+)
+
+
+class TestConversions:
+    def test_microseconds_identity(self):
+        assert us(5) == 5
+        assert us(4.6) == 5  # rounds
+
+    def test_milliseconds(self):
+        assert ms(5) == 5_000
+        assert ticks_to_ms(5_000) == 5.0
+
+    def test_seconds(self):
+        assert seconds(1.6) == 1_600_000
+        assert ticks_to_seconds(3_000_000) == 3.0
+
+    def test_years(self):
+        assert years(1) == HOURS_PER_YEAR
+        assert hours_to_years(HOURS_PER_YEAR) == 1.0
+
+    def test_repair_time_to_rate_matches_paper(self):
+        # 3 s restart -> 1200 repairs/hour; 1.6 s -> 2250 repairs/hour.
+        assert per_hour_from_repair_time_seconds(3.0) == pytest.approx(1.2e3)
+        assert per_hour_from_repair_time_seconds(1.6) == pytest.approx(2.25e3)
+
+    def test_invalid_repair_time(self):
+        with pytest.raises(ValueError):
+            per_hour_from_repair_time_seconds(0.0)
