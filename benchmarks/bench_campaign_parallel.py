@@ -1,0 +1,61 @@
+"""Benchmark — resilient campaign supervisor: parallel E5 vs serial.
+
+Run:  pytest benchmarks/bench_campaign_parallel.py --benchmark-only -s
+
+Runs the E5 coverage campaign twice — serial in-process (``workers=0``,
+the historic execution mode) and through the crash-isolated worker pool
+(``workers=4``) — and asserts the engine's two promises:
+
+* **identical results**: outcome counts, per-record content and parameter
+  estimates are bit-identical between the two modes (trials are seeded and
+  ordered by trial id, not by scheduling);
+* **wall-clock speedup**: on a machine with >= 4 usable cores the pool
+  must be at least 2x faster than serial.  On smaller machines (CI
+  containers are often single-core) the ratio is reported but not
+  enforced — there is no parallel speedup to be had on one core.
+"""
+
+import os
+import time
+
+from repro.experiments import run_coverage_campaign
+
+EXPERIMENTS = 1_500
+SEED = 2005
+WORKERS = 4
+
+
+def test_benchmark_parallel_campaign_matches_serial(benchmark):
+    serial_started = time.perf_counter()
+    serial = run_coverage_campaign(experiments=EXPERIMENTS, seed=SEED)
+    serial_s = time.perf_counter() - serial_started
+
+    parallel_started = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_coverage_campaign(
+            experiments=EXPERIMENTS, seed=SEED, workers=WORKERS,
+        ),
+        rounds=1, iterations=1,
+    )
+    parallel_s = time.perf_counter() - parallel_started
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / max(parallel_s, 1e-9)
+    print()
+    print(f"serial:   {serial_s:8.3f} s")
+    print(f"workers={WORKERS}: {parallel_s:8.3f} s "
+          f"({speedup:.2f}x, {cores} cores visible)")
+
+    # Identical results, not merely similar statistics.
+    assert parallel.stats.outcome_counts() == serial.stats.outcome_counts()
+    assert [r.to_json() for r in parallel.stats.records] == [
+        r.to_json() for r in serial.stats.records
+    ]
+    assert parallel.estimates == serial.estimates
+    assert parallel.stats.harness_failures == 0
+
+    if cores >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {WORKERS} workers on "
+            f"{cores} cores, measured {speedup:.2f}x"
+        )

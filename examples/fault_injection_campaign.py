@@ -11,7 +11,13 @@ error masking on the mini-ISA machine, then:
 * demonstrates a permanent (stuck-at) fault tripping the repeated-error
   suspicion so the node shuts down for off-line diagnosis.
 
-Run:  python examples/fault_injection_campaign.py [experiments]
+The campaign runs on the resilient supervisor (repro.harness): pass a jobs
+count to fan the trials out over crash-isolated worker processes, and a
+journal path to checkpoint the campaign (interrupt it with Ctrl-C or kill
+-9 and rerun with the same path — it resumes where it stopped and the
+statistics come out bit-identical).
+
+Run:  python examples/fault_injection_campaign.py [experiments] [jobs] [journal]
 """
 
 import sys
@@ -23,11 +29,21 @@ from repro.faults import Fault, FaultTarget, FaultType, TemInjectionHarness
 
 def main() -> None:
     experiments = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
-    print(f"Running {experiments} single-bit-flip experiments ...\n")
-    result = run_coverage_campaign(experiments=experiments, seed=2005)
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    journal = sys.argv[3] if len(sys.argv) > 3 else None
+    mode = f"{jobs} crash-isolated workers" if jobs else "serial in-process"
+    print(f"Running {experiments} single-bit-flip experiments ({mode}) ...\n")
+    result = run_coverage_campaign(
+        experiments=experiments, seed=2005,
+        workers=jobs, timeout_s=60.0 if jobs else None, journal_path=journal,
+    )
     print(result.render())
     print()
     print(result.stats.summary())
+    print(
+        f"campaign completeness: {result.stats.completeness:.3f} "
+        f"({result.stats.harness_failures} trials lost to the harness)"
+    )
 
     print()
     print("--- permanent-fault escalation (Section 2.5) ---")

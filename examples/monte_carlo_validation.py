@@ -8,7 +8,10 @@ the empirical survival fractions against the Markov-model reliabilities of
 Section 3.2.  Agreement here means the analytic transition structures
 really encode the simulated node semantics.
 
-Run:  python examples/monte_carlo_validation.py [replicas]
+The replicas run on the resilient campaign supervisor (repro.harness):
+pass a jobs count to distribute them over crash-isolated worker processes.
+
+Run:  python examples/monte_carlo_validation.py [replicas] [jobs]
 """
 
 import sys
@@ -18,8 +21,11 @@ from repro.experiments import compare_braking_under_faults, run_simulation_study
 
 def main() -> None:
     replicas = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 0
     print(f"Simulating {replicas} one-year missions per configuration ...\n")
-    study = run_simulation_study(replicas=replicas, mission_hours=8_760.0)
+    study = run_simulation_study(
+        replicas=replicas, mission_hours=8_760.0, workers=jobs,
+    )
     print(study.render())
 
     print()

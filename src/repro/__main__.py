@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro [--fast]
+    python -m repro [--fast] [--jobs N] [--timeout SECONDS] [--resume PATH]
 """
 
 from .experiments.runner import main

@@ -21,13 +21,16 @@ TEM should cost by far the most — the paper's core argument.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..faults.campaign import TemInjectionHarness
 from ..faults.generators import random_fault_list
-from ..faults.outcomes import CampaignStatistics, OutcomeClass
+from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
+from ..faults.types import Fault
+from ..harness import SupervisorConfig, run_experiment_campaign
 from .coverage_table import BRAKE_TASK_SOURCE, make_brake_workload
 from ..cpu.assembler import assemble
 from .asciiplot import render_table
@@ -44,6 +47,22 @@ def _make_harness(variant: str) -> TemInjectionHarness:
         "no_tem": {},
     }[variant]
     return TemInjectionHarness(make_brake_workload(**options))
+
+
+#: Worker-side harness cache, one per ablation variant (golden run once
+#: per process, not once per trial).
+_HARNESS_CACHE: Dict[str, TemInjectionHarness] = {}
+
+
+def _ablation_trial(payload: "tuple[str, Fault]", seed: int) -> ExperimentRecord:
+    """One ablation injection (supervisor trial function)."""
+    variant, fault = payload
+    harness = _HARNESS_CACHE.get(variant)
+    if harness is None:
+        harness = _HARNESS_CACHE[variant] = _make_harness(variant)
+    if variant == "no_tem":
+        return harness.run_single_experiment(fault)
+    return harness.run_experiment(fault)
 
 
 @dataclasses.dataclass
@@ -100,9 +119,18 @@ class AblationResult:
 
 
 def compute_ablation_table(
-    experiments: int = 1_200, seed: int = 424_242
+    experiments: int = 1_200,
+    seed: int = 424_242,
+    workers: int = 0,
+    timeout_s: Optional[float] = None,
+    journal_path: Optional[Union[str, Path]] = None,
 ) -> AblationResult:
-    """Run the identical fault list against every ablation variant."""
+    """Run the identical fault list against every ablation variant.
+
+    With ``journal_path`` set, one journal per variant is written next to
+    the given path (``<path>.<variant>``) so an interrupted ablation
+    resumes per variant.
+    """
     program_words = assemble(BRAKE_TASK_SOURCE).size
     reference = _make_harness("full")
     faults = random_fault_list(
@@ -114,9 +142,18 @@ def compute_ablation_table(
     )
     stats: Dict[str, CampaignStatistics] = {}
     for variant in VARIANTS:
-        harness = _make_harness(variant)
-        if variant == "no_tem":
-            stats[variant] = harness.run_single_campaign(faults)
-        else:
-            stats[variant] = harness.run_campaign(faults)
+        variant_journal = (
+            f"{journal_path}.{variant}" if journal_path is not None else None
+        )
+        stats[variant] = run_experiment_campaign(
+            _ablation_trial,
+            [(variant, fault) for fault in faults],
+            SupervisorConfig(
+                workers=workers,
+                timeout_s=timeout_s,
+                journal_path=variant_journal,
+                master_seed=seed,
+                campaign=f"e11-ablation-{variant}-n{experiments}",
+            ),
+        )
     return AblationResult(experiments=experiments, stats=stats)

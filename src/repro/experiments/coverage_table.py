@@ -25,7 +25,8 @@ is high.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -34,6 +35,8 @@ from ..cpu.assembler import assemble
 from ..faults.campaign import TemInjectionHarness, TemWorkload
 from ..faults.generators import random_fault_list
 from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
+from ..faults.types import Fault
+from ..harness import SupervisorConfig, run_experiment_campaign
 from ..kernel.task import MachineExecutable
 from .asciiplot import render_table
 
@@ -107,6 +110,27 @@ def make_brake_workload(
     )
 
 
+#: Worker-side harness cache: building a :class:`TemInjectionHarness` runs
+#: the golden execution, so it is built once per (worker) process and
+#: configuration, not once per trial.
+_HARNESS_CACHE: Dict[int, TemInjectionHarness] = {}
+
+
+def _e5_trial(payload: "tuple[int, Fault]", seed: int) -> ExperimentRecord:
+    """One E5 injection experiment (supervisor trial function).
+
+    The fault is pre-generated from the campaign master seed, so the
+    per-trial ``seed`` is unused here; experiments are independent (fresh
+    machine per trial) which makes this function safe for any worker.
+    """
+    max_copies, fault = payload
+    harness = _HARNESS_CACHE.get(max_copies)
+    if harness is None:
+        harness = TemInjectionHarness(make_brake_workload(max_copies=max_copies))
+        _HARNESS_CACHE[max_copies] = harness
+    return harness.run_experiment(fault)
+
+
 @dataclasses.dataclass
 class CoverageTableResult:
     """Campaign statistics plus the derived parameter estimates."""
@@ -135,7 +159,15 @@ class CoverageTableResult:
             param_rows,
             title="Coverage parameters (estimate vs paper's assignment)",
         )
-        return "\n\n".join([mech_table, outcome_table, param_table])
+        text = "\n\n".join([mech_table, outcome_table, param_table])
+        if self.stats.harness_failures or self.stats.completeness < 1.0:
+            text += (
+                f"\n\nNOTE: partial campaign — completeness "
+                f"{self.stats.completeness:.3f}; "
+                f"{self.stats.harness_failures} harness failures excluded "
+                "from the estimates"
+            )
+        return text
 
 
 def run_coverage_campaign(
@@ -143,6 +175,9 @@ def run_coverage_campaign(
     seed: int = 2005,
     kernel_share: float = 0.05,
     max_copies: int = 3,
+    workers: int = 0,
+    timeout_s: Optional[float] = None,
+    journal_path: Optional[Union[str, Path]] = None,
 ) -> CoverageTableResult:
     """Run the E5 campaign and estimate the paper's parameters.
 
@@ -157,12 +192,16 @@ def run_coverage_campaign(
     max_copies:
         TEM copy cap per job — the schedule's reserved recovery slack; a
         tight cap is what produces omission failures.
+    workers / timeout_s / journal_path:
+        Campaign-supervisor knobs (:mod:`repro.harness`): crash-isolated
+        worker processes, per-trial wall-clock budget, and checkpoint
+        journal for interrupt/resume.  The defaults preserve the historic
+        serial in-process behaviour and output bit-for-bit.
     """
     rng = np.random.default_rng(seed)
     workload = make_brake_workload(max_copies=max_copies)
     harness = TemInjectionHarness(workload)
     program_words = assemble(BRAKE_TASK_SOURCE).size
-    stats = CampaignStatistics()
     kernel_hits = int(np.random.default_rng(seed + 1).binomial(experiments, kernel_share))
     faults = random_fault_list(
         rng,
@@ -171,15 +210,24 @@ def run_coverage_campaign(
         code_range=(0, program_words),
         data_range=(0x1800, 0x1902),
     )
-    for fault in faults:
-        stats.add(harness.run_experiment(fault))
+    stats = run_experiment_campaign(
+        _e5_trial,
+        [(max_copies, fault) for fault in faults],
+        SupervisorConfig(
+            workers=workers,
+            timeout_s=timeout_s,
+            journal_path=journal_path,
+            master_seed=seed,
+            campaign=f"e5-coverage-n{experiments}",
+        ),
+    )
     # Kernel-execution hits: the mini-ISA machine runs no kernel code, so
     # these are modelled directly (the paper does the same when deriving
     # P_FS from the 5% kernel CPU share [10]).  A kernel hit is *effective*
     # with the same empirical probability as an application hit; effective
     # kernel errors are detected by the kernel's internal checks and end
     # fail-silent (Section 2.2, strategy 3).
-    effectiveness = stats.effective / stats.total if stats.total else 0.0
+    effectiveness = stats.effective / stats.valid if stats.valid else 0.0
     kernel_rng = np.random.default_rng(seed + 2)
     for index in range(kernel_hits):
         effective = bool(kernel_rng.random() < effectiveness)
@@ -190,6 +238,8 @@ def run_coverage_campaign(
                 detection_mechanisms=("kernel_check",) if effective else (),
             )
         )
+    if stats.planned_trials is not None:
+        stats.planned_trials += kernel_hits
     estimates: Dict[str, float] = {}
     intervals: Dict[str, "tuple[float, float]"] = {}
     if stats.coverage is not None:

@@ -3,12 +3,27 @@
 ``python -m repro.experiments.runner`` regenerates all tables and figures;
 each benchmark in ``benchmarks/`` drives exactly one of these entries (see
 DESIGN.md's per-experiment index).
+
+The runner is fault-tolerant in the same spirit as the system it
+reproduces: each section runs isolated, a failing section prints an
+``[ERROR]`` banner and the report continues with the remaining sections
+(``main`` still exits non-zero).  The campaign-shaped sections (E5, E8a,
+E11, E12) route through the resilient campaign supervisor
+(:mod:`repro.harness`) and accept ``--jobs``, ``--timeout`` and
+``--resume``::
+
+    python -m repro.experiments.runner --fast --jobs 4 --timeout 30 \
+        --resume /tmp/nlft-journals
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
 import sys
-from typing import Callable, Dict
+import traceback
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
 from .ablation_table import compute_ablation_table
 from .availability_table import compute_availability_table
@@ -30,9 +45,67 @@ def _banner(title: str) -> str:
     return f"\n{bar}\n{title}\n{bar}\n"
 
 
-def run_all(fast: bool = False) -> str:
-    """Run E1-E8 and return the combined report text."""
-    sections: Dict[str, Callable[[], str]] = {
+@dataclasses.dataclass
+class SectionReport:
+    """One section's outcome: its rendered text or the error that ate it."""
+
+    title: str
+    text: str = ""
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclasses.dataclass
+class RunnerReport:
+    """All sections, with per-section fault containment."""
+
+    sections: List[SectionReport]
+
+    @property
+    def failures(self) -> List[str]:
+        return [section.title for section in self.sections if not section.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def text(self) -> str:
+        parts = []
+        for section in self.sections:
+            parts.append(_banner(section.title))
+            if section.ok:
+                parts.append(section.text)
+            else:
+                parts.append(f"[ERROR] {section.error}")
+        if self.failures:
+            parts.append(_banner("FAILED SECTIONS"))
+            parts.extend(f"  {title}" for title in self.failures)
+        return "\n".join(parts)
+
+
+def build_sections(
+    fast: bool = False,
+    jobs: int = 0,
+    timeout: Optional[float] = None,
+    resume: Optional[Path] = None,
+) -> "Dict[str, Callable[[], str]]":
+    """The experiment index E1-E13.
+
+    ``jobs`` / ``timeout`` / ``resume`` apply to the campaign-shaped
+    sections (fault-injection campaigns and Monte-Carlo replicas), which
+    run through the campaign supervisor.
+    """
+
+    def journal(name: str) -> "Optional[str]":
+        if resume is None:
+            return None
+        return str(Path(resume) / f"{name}.jsonl")
+
+    return {
         "E1  Figure 12 - system reliability over one year":
             lambda: compute_figure12().render(),
         "E2  Headline table - R(1y) and MTTF":
@@ -43,7 +116,8 @@ def run_all(fast: bool = False) -> str:
             lambda: compute_figure14().render(),
         "E5  Table 1 - EDM campaign and coverage parameters":
             lambda: run_coverage_campaign(
-                experiments=300 if fast else 2_000
+                experiments=300 if fast else 2_000,
+                workers=jobs, timeout_s=timeout, journal_path=journal("e5"),
             ).render(),
         "E6  Figure 3 - TEM scenarios":
             lambda: render_scenarios(run_tem_scenarios()),
@@ -51,7 +125,8 @@ def run_all(fast: bool = False) -> str:
             lambda: compute_schedulability().render(),
         "E8a Monte-Carlo vs Markov models":
             lambda: run_simulation_study(
-                replicas=60 if fast else 300
+                replicas=60 if fast else 300,
+                workers=jobs, timeout_s=timeout, journal_path=journal("e8a"),
             ).render(),
         "E8b Functional braking comparison":
             lambda: compare_braking_under_faults().render(),
@@ -61,27 +136,90 @@ def run_all(fast: bool = False) -> str:
             lambda: compute_importance_table().render(),
         "E11 EDM ablation (extension)":
             lambda: compute_ablation_table(
-                experiments=300 if fast else 1_200
+                experiments=300 if fast else 1_200,
+                workers=jobs, timeout_s=timeout, journal_path=journal("e11"),
             ).render(),
         "E12 Coverage across workloads (extension)":
             lambda: compute_workload_table(
-                experiments=200 if fast else 800
+                experiments=200 if fast else 800,
+                workers=jobs, timeout_s=timeout, journal_path=journal("e12"),
             ).render(),
         "E13 Availability under maintenance (extension)":
             lambda: compute_availability_table().render(),
     }
-    parts = []
-    for title, runner in sections.items():
-        parts.append(_banner(title))
-        parts.append(runner())
-    return "\n".join(parts)
+
+
+def run_sections(sections: "Dict[str, Callable[[], str]]") -> RunnerReport:
+    """Run each section isolated; one failure never aborts the report."""
+    reports: List[SectionReport] = []
+    for title, section in sections.items():
+        try:
+            reports.append(SectionReport(title=title, text=section()))
+        except Exception as exc:  # noqa: BLE001 — per-section containment
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            reports.append(SectionReport(title=title, error=detail))
+    return RunnerReport(sections=reports)
+
+
+def run_report(
+    fast: bool = False,
+    jobs: int = 0,
+    timeout: Optional[float] = None,
+    resume: Optional[Path] = None,
+) -> RunnerReport:
+    """Run E1-E13 with per-section containment; structured result."""
+    return run_sections(build_sections(fast=fast, jobs=jobs, timeout=timeout, resume=resume))
+
+
+def run_all(
+    fast: bool = False,
+    jobs: int = 0,
+    timeout: Optional[float] = None,
+    resume: Optional[Path] = None,
+) -> str:
+    """Run E1-E13 and return the combined report text."""
+    return run_report(fast=fast, jobs=jobs, timeout=timeout, resume=resume).text
+
+
+def _parse_args(argv: "list[str]") -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate every table and figure of the paper.",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smaller campaigns / fewer replicas (smoke-test sizes)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="crash-isolated worker processes for campaign sections "
+             "(0 = serial in-process, the default)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock budget; hung trials are killed and "
+             "classified HARNESS_TIMEOUT",
+    )
+    parser.add_argument(
+        "--resume", type=Path, default=None, metavar="PATH",
+        help="directory for per-campaign JSONL checkpoint journals; pass "
+             "the same path again to resume an interrupted run",
+    )
+    return parser.parse_args(argv)
 
 
 def main(argv: "list[str] | None" = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
-    fast = "--fast" in argv
-    print(run_all(fast=fast))
-    return 0
+    args = _parse_args(argv)
+    if args.resume is not None:
+        args.resume.mkdir(parents=True, exist_ok=True)
+    report = run_report(
+        fast=args.fast, jobs=args.jobs, timeout=args.timeout, resume=args.resume
+    )
+    print(report.text)
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

@@ -23,12 +23,14 @@ the Markov models; faults arriving during a repair are ignored.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..apps.bbw_system import BbwConfig, BbwSimulation
 from ..apps.pedal import step_brake
 from ..faults.injector import PoissonInjector
 from ..faults.types import FaultType
+from ..harness import CampaignSupervisor, SupervisorConfig
 from ..models import BbwParameters, build_bbw_system
 from ..node import FailSilentNode, NlftBehaviouralNode, NodeBase, NodeStatus
 from ..sim import RandomStreams, Simulator
@@ -142,6 +144,9 @@ class SimulationStudyResult:
     mission_hours: float
     empirical: Dict[str, float]  # key "fs/degraded" etc.
     analytical: Dict[str, float]
+    #: Replicas that actually completed per node type (graceful partial
+    #: results: lost replicas shrink the sample, they do not bias it).
+    completed: Optional[Dict[str, int]] = None
 
     def render(self) -> str:
         rows = [
@@ -149,7 +154,7 @@ class SimulationStudyResult:
              self.empirical[key] - self.analytical[key])
             for key in sorted(self.empirical)
         ]
-        return render_table(
+        text = render_table(
             ["configuration", "simulated R", "analytical R", "delta"],
             rows,
             title=(
@@ -157,6 +162,35 @@ class SimulationStudyResult:
                 f"{self.mission_hours:.0f} h missions) vs Markov models"
             ),
         )
+        if self.completed is not None and any(
+            count < self.replicas for count in self.completed.values()
+        ):
+            text += (
+                "\nNOTE: partial study — completed replicas: "
+                + ", ".join(
+                    f"{kind}: {count}/{self.replicas}"
+                    for kind, count in sorted(self.completed.items())
+                )
+            )
+        return text
+
+
+def _mission_trial(
+    payload: "tuple[str, float, BbwParameters]", seed: int
+) -> "dict[str, Optional[int]]":
+    """One mission replica (supervisor trial function).
+
+    The per-replica seed comes from the supervisor's deterministic
+    derivation, so fs and nlft studies (run as two campaigns with the same
+    master seed) share common random numbers per replica index, and a
+    resumed study is bit-identical to an uninterrupted one.
+    """
+    node_type, mission_hours, params = payload
+    outcome = run_mission_replica(node_type, params, mission_hours, seed=seed)
+    return {
+        "failed_full_at": outcome.failed_full_at,
+        "failed_degraded_at": outcome.failed_degraded_at,
+    }
 
 
 def run_simulation_study(
@@ -164,22 +198,54 @@ def run_simulation_study(
     mission_hours: float = 8_760.0,
     params: Optional[BbwParameters] = None,
     seed: int = 7,
+    workers: int = 0,
+    timeout_s: Optional[float] = None,
+    journal_path: Optional[Union[str, Path]] = None,
 ) -> SimulationStudyResult:
-    """Run the mission Monte-Carlo for both node types and both criteria."""
+    """Run the mission Monte-Carlo for both node types and both criteria.
+
+    ``workers`` / ``timeout_s`` / ``journal_path`` route the replicas
+    through the campaign supervisor (:mod:`repro.harness`); with a journal
+    an interrupted study resumes where it stopped.  Survival fractions are
+    computed over *completed* replicas, so a few lost replicas degrade the
+    sample size, not the estimate.
+    """
     params = params if params is not None else BbwParameters.paper()
     empirical: Dict[str, float] = {}
     analytical: Dict[str, float] = {}
+    completed: Dict[str, int] = {}
     for node_type in ("fs", "nlft"):
-        survived_full = 0
-        survived_degraded = 0
-        for replica in range(replicas):
-            outcome = run_mission_replica(
-                node_type, params, mission_hours, seed=seed * 1_000_003 + replica
+        supervisor = CampaignSupervisor(
+            _mission_trial,
+            SupervisorConfig(
+                workers=workers,
+                timeout_s=timeout_s,
+                journal_path=(
+                    f"{journal_path}.{node_type}"
+                    if journal_path is not None else None
+                ),
+                master_seed=seed,
+                campaign=f"e8a-mission-{node_type}-n{replicas}",
+            ),
+        )
+        result = supervisor.run(
+            [(node_type, mission_hours, params)] * replicas
+        )
+        outcomes = [
+            MissionOutcome(
+                failed_full_at=data["failed_full_at"],
+                failed_degraded_at=data["failed_degraded_at"],
             )
-            survived_full += outcome.survived_full()
-            survived_degraded += outcome.survived_degraded()
-        empirical[f"{node_type}/full"] = survived_full / replicas
-        empirical[f"{node_type}/degraded"] = survived_degraded / replicas
+            for data in result.ordered_results()
+        ]
+        done = max(len(outcomes), 1)
+        completed[node_type] = len(outcomes)
+        empirical[f"{node_type}/full"] = (
+            sum(o.survived_full() for o in outcomes) / done
+        )
+        empirical[f"{node_type}/degraded"] = (
+            sum(o.survived_degraded() for o in outcomes) / done
+        )
         for mode in ("full", "degraded"):
             model = build_bbw_system(params, node_type, mode)
             analytical[f"{node_type}/{mode}"] = model.reliability(mission_hours)
@@ -188,6 +254,7 @@ def run_simulation_study(
         mission_hours=mission_hours,
         empirical=empirical,
         analytical=analytical,
+        completed=completed,
     )
 
 

@@ -11,16 +11,19 @@ coverage — is robust across instruction mixes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..cpu.assembler import assemble
 from ..cpu.machine import Machine
-from ..cpu.programs import PROGRAMS, WorkloadProgram
+from ..cpu.programs import PROGRAMS, WorkloadProgram, get_program
 from ..faults.campaign import TemInjectionHarness, TemWorkload
 from ..faults.generators import random_fault_list
-from ..faults.outcomes import CampaignStatistics, OutcomeClass
+from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
+from ..faults.types import Fault
+from ..harness import SupervisorConfig, run_experiment_campaign
 from ..kernel.task import MachineExecutable
 from ..types import Result
 from .asciiplot import render_table
@@ -51,6 +54,21 @@ def make_workload(program: WorkloadProgram, max_copies: int = 3) -> TemWorkload:
         signature_checkpoints=program.checkpoints,
         max_copies=max_copies,
     )
+
+
+#: Worker-side harness cache, one per library program.
+_HARNESS_CACHE: Dict[str, TemInjectionHarness] = {}
+
+
+def _workload_trial(payload: "tuple[str, Fault]", seed: int) -> ExperimentRecord:
+    """One injection into one library workload (supervisor trial function)."""
+    name, fault = payload
+    harness = _HARNESS_CACHE.get(name)
+    if harness is None:
+        harness = _HARNESS_CACHE[name] = TemInjectionHarness(
+            make_workload(get_program(name))
+        )
+    return harness.run_experiment(fault)
 
 
 @dataclasses.dataclass
@@ -94,9 +112,17 @@ class WorkloadTableResult:
 
 
 def compute_workload_table(
-    experiments: int = 800, seed: int = 1999
+    experiments: int = 800,
+    seed: int = 1999,
+    workers: int = 0,
+    timeout_s: Optional[float] = None,
+    journal_path: Optional[Union[str, Path]] = None,
 ) -> WorkloadTableResult:
-    """Run the campaign for every library workload."""
+    """Run the campaign for every library workload.
+
+    With ``journal_path`` set, one journal per workload is written next to
+    the given path (``<path>.<name>``) for interrupt/resume.
+    """
     stats: Dict[str, CampaignStatistics] = {}
     for index, (name, program) in enumerate(sorted(PROGRAMS.items())):
         harness = TemInjectionHarness(make_workload(program))
@@ -109,5 +135,17 @@ def compute_workload_table(
             code_range=(0, assembled_size),
             data_range=(0x1800, 0x1910),
         )
-        stats[name] = harness.run_campaign(faults)
+        stats[name] = run_experiment_campaign(
+            _workload_trial,
+            [(name, fault) for fault in faults],
+            SupervisorConfig(
+                workers=workers,
+                timeout_s=timeout_s,
+                journal_path=(
+                    f"{journal_path}.{name}" if journal_path is not None else None
+                ),
+                master_seed=seed + index,
+                campaign=f"e12-workload-{name}-n{experiments}",
+            ),
+        )
     return WorkloadTableResult(experiments_per_workload=experiments, stats=stats)

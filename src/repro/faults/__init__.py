@@ -15,6 +15,7 @@ from .generators import (
 from .injector import FaultArrival, MachineFaultInjector, PoissonInjector
 from .outcomes import (
     DETECTED_OUTCOMES,
+    HARNESS_OUTCOMES,
     CampaignStatistics,
     ExperimentRecord,
     OutcomeClass,
@@ -39,6 +40,7 @@ __all__ = [
     "FaultArrival",
     "FaultTarget",
     "FaultType",
+    "HARNESS_OUTCOMES",
     "MEMORY_TARGETS",
     "MachineFaultInjector",
     "OutcomeClass",

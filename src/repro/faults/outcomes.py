@@ -18,7 +18,19 @@ outcome                    meaning
 ``HUNG``                   the experiment never terminated within its step
                            budget at harness level (counted as detected via
                            the execution-time monitor in coverage terms)
+``HARNESS_TIMEOUT``        the *harness* killed the trial at its wall-clock
+                           budget — an infrastructure failure, not a
+                           simulated outcome
+``HARNESS_CRASH``          the *harness* worker crashed or raised while
+                           running the trial — an infrastructure failure,
+                           not a simulated outcome
 ========================  ====================================================
+
+The two ``HARNESS_*`` classes are produced only by the campaign supervisor
+(:mod:`repro.harness`).  They are excluded from the *valid* trial count and
+therefore from the C_D / P_T / P_OM / P_FS estimators: a hung worker says
+nothing about whether the simulated EDM stack would have detected the
+fault, so counting it either way would bias the coverage estimates.
 """
 
 from __future__ import annotations
@@ -40,6 +52,8 @@ class OutcomeClass(enum.Enum):
     FAIL_SILENT = "fail_silent"
     UNDETECTED_WRONG = "undetected_wrong"
     HUNG = "hung"
+    HARNESS_TIMEOUT = "harness_timeout"
+    HARNESS_CRASH = "harness_crash"
 
 
 #: Outcomes in which an error was *activated and detected* (the denominator
@@ -48,6 +62,13 @@ DETECTED_OUTCOMES = (
     OutcomeClass.MASKED,
     OutcomeClass.OMISSION,
     OutcomeClass.FAIL_SILENT,
+)
+
+#: Infrastructure failures of the campaign harness itself — excluded from
+#: every coverage estimator (see the module docstring).
+HARNESS_OUTCOMES = (
+    OutcomeClass.HARNESS_TIMEOUT,
+    OutcomeClass.HARNESS_CRASH,
 )
 
 
@@ -76,6 +97,25 @@ class ExperimentRecord:
     detection_mechanisms: "tuple[str, ...]" = ()
     copies_run: int = 0
 
+    def to_json(self) -> "dict[str, object]":
+        """JSON-serialisable form, for the campaign checkpoint journal."""
+        return {
+            "outcome": self.outcome.value,
+            "fault": self.fault_description,
+            "mechanisms": list(self.detection_mechanisms),
+            "copies_run": self.copies_run,
+        }
+
+    @classmethod
+    def from_json(cls, data: "dict[str, object]") -> "ExperimentRecord":
+        """Inverse of :meth:`to_json` (journal replay on resume)."""
+        return cls(
+            outcome=OutcomeClass(data["outcome"]),
+            fault_description=str(data["fault"]),
+            detection_mechanisms=tuple(data.get("mechanisms", ())),
+            copies_run=int(data.get("copies_run", 0)),
+        )
+
 
 def wilson_interval(successes: int, trials: int, z: float = 1.96) -> "tuple[float, float]":
     """Wilson score interval for a binomial proportion (95% by default).
@@ -94,9 +134,18 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> "tuple[floa
 
 @dataclasses.dataclass
 class CampaignStatistics:
-    """Aggregated campaign results with paper-style derived measures."""
+    """Aggregated campaign results with paper-style derived measures.
+
+    ``planned_trials`` is set by the campaign supervisor when a campaign
+    degrades gracefully (budget exhaustion, repeated harness failures): it
+    records how many trials the campaign *intended* to run, so
+    :attr:`completeness` reports how much of the plan produced a simulated
+    outcome.  Harness failures (``HARNESS_*`` records) are kept for
+    accounting but excluded from every coverage estimator.
+    """
 
     records: List[ExperimentRecord] = dataclasses.field(default_factory=list)
+    planned_trials: Optional[int] = None
 
     def add(self, record: ExperimentRecord) -> None:
         self.records.append(record)
@@ -110,9 +159,27 @@ class CampaignStatistics:
         return sum(1 for r in self.records if r.outcome is outcome)
 
     @property
+    def harness_failures(self) -> int:
+        """Trials lost to the harness itself (timeout / worker crash)."""
+        return sum(self.count(o) for o in HARNESS_OUTCOMES)
+
+    @property
+    def valid(self) -> int:
+        """Trials that produced a *simulated* outcome."""
+        return self.total - self.harness_failures
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of the planned campaign with a simulated outcome."""
+        planned = self.planned_trials if self.planned_trials else self.total
+        if planned <= 0:
+            return 1.0
+        return self.valid / planned
+
+    @property
     def effective(self) -> int:
         """Experiments in which the fault had *any* observable effect."""
-        return self.total - self.count(OutcomeClass.NO_EFFECT)
+        return self.valid - self.count(OutcomeClass.NO_EFFECT)
 
     @property
     def detected(self) -> int:
@@ -169,6 +236,12 @@ class CampaignStatistics:
     def summary(self) -> str:
         """Multi-line human-readable campaign summary."""
         lines = [f"experiments: {self.total} (effective: {self.effective})"]
+        if self.harness_failures or self.completeness < 1.0:
+            lines.append(
+                f"  harness failures: {self.harness_failures} "
+                f"(excluded from estimates); "
+                f"completeness: {self.completeness:.3f}"
+            )
         for outcome in OutcomeClass:
             lines.append(f"  {outcome.value:<18s} {self.count(outcome)}")
         if self.coverage is not None:

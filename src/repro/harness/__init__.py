@@ -1,0 +1,35 @@
+"""Resilient campaign execution engine.
+
+The supervisor that every large fault-injection campaign and Monte-Carlo
+study runs on: crash-isolated parallel workers, per-trial wall-clock
+timeouts, bounded retry with exponential backoff, a JSONL checkpoint
+journal with deterministic per-trial seed derivation (interrupt/resume is
+bit-identical), and graceful partial results on budget exhaustion.
+
+See :mod:`repro.harness.supervisor` for the design notes.
+"""
+
+from .journal import JOURNAL_VERSION, CampaignJournal, JournalHeader, TrialEntry
+from .seeds import derive_seed
+from .supervisor import (
+    CampaignSupervisor,
+    HarnessFailure,
+    SupervisorConfig,
+    SupervisorResult,
+    TrialTimeoutError,
+    run_experiment_campaign,
+)
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignSupervisor",
+    "HarnessFailure",
+    "JOURNAL_VERSION",
+    "JournalHeader",
+    "SupervisorConfig",
+    "SupervisorResult",
+    "TrialEntry",
+    "TrialTimeoutError",
+    "derive_seed",
+    "run_experiment_campaign",
+]

@@ -1,0 +1,191 @@
+"""JSONL checkpoint journal for resumable fault-injection campaigns.
+
+One journal file per campaign.  The first line is a header identifying the
+campaign (name, master seed, planned trial count); every subsequent line
+records one finished trial — either its simulated outcome or the harness
+failure that consumed it.  Appends are flushed line-by-line so the journal
+survives a SIGKILL of the campaign process: on resume, every line the OS
+accepted is still there and only the in-flight trial is re-run.
+
+Because per-trial seeds are derived from ``(master_seed, trial_id)`` (see
+:mod:`repro.harness.seeds`) and trials are independent, replaying the
+journal and running only the missing trial ids reproduces the uninterrupted
+campaign bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..errors import ConfigurationError
+
+_HEADER_KIND = "header"
+_TRIAL_KIND = "trial"
+
+#: Journal schema version (bump on incompatible format changes).
+JOURNAL_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalHeader:
+    """Identity of the campaign a journal belongs to.
+
+    A resume refuses to mix journals across campaigns: replaying trials
+    recorded under a different master seed or trial count would silently
+    corrupt the statistics.
+    """
+
+    campaign: str
+    master_seed: int
+    total_trials: int
+    version: int = JOURNAL_VERSION
+
+    def to_json(self) -> "dict[str, object]":
+        return {
+            "kind": _HEADER_KIND,
+            "campaign": self.campaign,
+            "master_seed": self.master_seed,
+            "total_trials": self.total_trials,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_json(cls, data: "dict[str, object]") -> "JournalHeader":
+        return cls(
+            campaign=str(data["campaign"]),
+            master_seed=int(data["master_seed"]),
+            total_trials=int(data["total_trials"]),
+            version=int(data.get("version", JOURNAL_VERSION)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialEntry:
+    """One journal line: a finished trial."""
+
+    trial_id: int
+    status: str  # "ok" | "harness_timeout" | "harness_crash"
+    result: Optional[dict] = None  # simulated outcome (status == "ok")
+    detail: str = ""  # harness-failure description otherwise
+    attempts: int = 1
+
+    @property
+    def is_harness_failure(self) -> bool:
+        return self.status != "ok"
+
+    def to_json(self) -> "dict[str, object]":
+        data: "dict[str, object]" = {
+            "kind": _TRIAL_KIND,
+            "trial_id": self.trial_id,
+            "status": self.status,
+            "attempts": self.attempts,
+        }
+        if self.result is not None:
+            data["result"] = self.result
+        if self.detail:
+            data["detail"] = self.detail
+        return data
+
+    @classmethod
+    def from_json(cls, data: "dict[str, object]") -> "TrialEntry":
+        return cls(
+            trial_id=int(data["trial_id"]),
+            status=str(data["status"]),
+            result=data.get("result"),  # type: ignore[arg-type]
+            detail=str(data.get("detail", "")),
+            attempts=int(data.get("attempts", 1)),
+        )
+
+
+class CampaignJournal:
+    """Append-only JSONL journal with crash-tolerant loading.
+
+    Opening an existing journal validates its header against the campaign
+    being (re)run and loads every completed trial; a truncated final line
+    (the campaign was killed mid-write) is tolerated and simply re-run.
+    """
+
+    def __init__(self, path: Union[str, Path], header: JournalHeader) -> None:
+        self.path = Path(path)
+        self.header = header
+        self.entries: Dict[int, TrialEntry] = {}
+        existing = self._load_existing()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        if not existing:
+            self._write_line(header.to_json())
+
+    # ------------------------------------------------------------------
+    def _load_existing(self) -> bool:
+        """Replay the journal if present; return whether a header existed."""
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return False
+        stored: Optional[JournalHeader] = None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn final line from a killed writer: stop replaying.
+                    break
+                kind = data.get("kind")
+                if kind == _HEADER_KIND:
+                    stored = JournalHeader.from_json(data)
+                elif kind == _TRIAL_KIND:
+                    entry = TrialEntry.from_json(data)
+                    self.entries[entry.trial_id] = entry
+        if stored is None:
+            raise ConfigurationError(
+                f"journal {self.path} has no valid header; refusing to resume "
+                "from a corrupt or foreign file"
+            )
+        if (
+            stored.campaign != self.header.campaign
+            or stored.master_seed != self.header.master_seed
+            or stored.total_trials != self.header.total_trials
+        ):
+            raise ConfigurationError(
+                f"journal {self.path} belongs to campaign "
+                f"{stored.campaign!r} (seed {stored.master_seed}, "
+                f"{stored.total_trials} trials) but this run is "
+                f"{self.header.campaign!r} (seed {self.header.master_seed}, "
+                f"{self.header.total_trials} trials); resume must use the "
+                "same campaign configuration"
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    def _write_line(self, data: "dict[str, object]") -> None:
+        self._handle.write(json.dumps(data, separators=(",", ":")) + "\n")
+        # Flush to the OS so a SIGKILL of this process loses at most the
+        # in-flight trial, never an already-recorded one.
+        self._handle.flush()
+
+    def append(self, entry: TrialEntry) -> None:
+        """Record one finished trial (idempotent per trial id on resume)."""
+        self.entries[entry.trial_id] = entry
+        self._write_line(entry.to_json())
+
+    def completed_ids(self) -> "set[int]":
+        return set(self.entries)
+
+    def close(self) -> None:
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except (OSError, ValueError):
+            pass
+        self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,718 @@
+"""Resilient campaign supervisor: crash-isolated parallel trial execution.
+
+Large fault-injection campaigns (E5/E11/E12) and Monte-Carlo studies (E8)
+run thousands of independent trials.  Run in-process, serially and
+fail-fast, a single runaway workload or injector bug discards hours of
+completed work.  This module supervises campaigns the way the paper's
+framework supervises nodes — contain the failure, classify it, keep the
+mission going:
+
+* **crash isolation** — trials run in ``multiprocessing`` worker processes
+  (``workers >= 1``); a worker that dies takes one trial with it, not the
+  campaign;
+* **per-trial wall-clock timeouts** — a hung worker is killed and the
+  trial classified :attr:`OutcomeClass.HARNESS_TIMEOUT`; in serial mode
+  (``workers = 0``) the same budget is enforced with ``SIGALRM`` where the
+  platform allows;
+* **bounded retry with exponential backoff** — transient harness failures
+  (worker death, spawn errors, raising trials) are retried up to
+  ``max_retries`` times before being classified
+  :attr:`OutcomeClass.HARNESS_CRASH`;
+* **checkpoint journal** — every finished trial is appended to a JSONL
+  journal (:mod:`repro.harness.journal`); together with deterministic
+  per-trial seeds (:func:`repro.harness.seeds.derive_seed`) an interrupted
+  campaign resumes exactly where it stopped and yields bit-identical
+  statistics;
+* **graceful degradation** — on wall-clock budget exhaustion or too many
+  harness failures the supervisor stops dispatching and returns statistics
+  over the completed trials (with a completeness ratio) instead of raising.
+
+Harness failures are *infrastructure* outcomes: they are excluded from the
+C_D / P_T / P_OM / P_FS estimators (see :mod:`repro.faults.outcomes`), so a
+flaky machine cannot bias the coverage estimates either way.
+
+The serial path (``workers = 0``, the default everywhere) executes trials
+in-process in trial order, preserving the pre-supervisor behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
+from .journal import CampaignJournal, JournalHeader, TrialEntry
+from .seeds import derive_seed
+
+#: A trial function: ``(payload, seed) -> result``.  Must be deterministic
+#: in its arguments for resume to be bit-identical.
+TrialFn = Callable[[Any, int], Any]
+
+
+class TrialTimeoutError(RuntimeError):
+    """A trial exceeded its wall-clock budget (serial-mode enforcement)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class HarnessFailure:
+    """A trial consumed by the harness itself rather than the simulation."""
+
+    trial_id: int
+    kind: OutcomeClass  # HARNESS_TIMEOUT or HARNESS_CRASH
+    detail: str
+    attempts: int = 1
+
+    def to_record(self) -> ExperimentRecord:
+        """Render as a campaign record (excluded from coverage estimates)."""
+        return ExperimentRecord(
+            outcome=self.kind,
+            fault_description=f"harness[{self.trial_id}]: {self.detail}",
+        )
+
+
+@dataclasses.dataclass
+class SupervisorConfig:
+    """Knobs of the campaign supervisor.
+
+    Attributes
+    ----------
+    workers:
+        0 = serial in-process execution (the default; preserves historic
+        behaviour); N >= 1 = N crash-isolated worker processes.
+    timeout_s:
+        Per-trial wall-clock budget.  ``None`` disables the budget.  In
+        serial mode the budget needs ``SIGALRM`` (main thread, POSIX) and
+        is silently skipped where unavailable.
+    max_retries:
+        Retry budget per trial for *transient* harness failures (worker
+        death, raising trial).  Timeouts are not retried — a hung trial
+        hangs again.
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Exponential backoff between retries of one trial.
+    budget_s:
+        Campaign-level wall-clock budget; when exhausted the supervisor
+        stops dispatching and returns partial results.
+    max_harness_failures:
+        Stop dispatching once this many trials were lost to the harness
+        (``None`` = never stop early for failures).
+    journal_path:
+        JSONL checkpoint journal; pass the same path again to resume.
+    master_seed:
+        Campaign master seed; trial ``i`` receives
+        ``derive_seed(master_seed, i)``.
+    campaign:
+        Campaign name, recorded in the journal header (resume guard).
+    chunk_size:
+        Trials dispatched per worker message (``None`` = auto).  Results
+        still stream back — and timeouts apply — per individual trial.
+    result_encoder / result_decoder:
+        JSON codec for trial results in the journal.  The default handles
+        :class:`ExperimentRecord` and plain JSON-serialisable values.
+    """
+
+    workers: int = 0
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    budget_s: Optional[float] = None
+    max_harness_failures: Optional[int] = None
+    journal_path: Optional[Union[str, Path]] = None
+    master_seed: int = 0
+    campaign: str = "campaign"
+    chunk_size: Optional[int] = None
+    result_encoder: Optional[Callable[[Any], Any]] = None
+    result_decoder: Optional[Callable[[Any], Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigurationError("workers must be >= 0")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before retry number *attempt* (1-based)."""
+        delay = self.backoff_base_s * (self.backoff_factor ** max(0, attempt - 1))
+        return min(delay, self.backoff_max_s)
+
+
+@dataclasses.dataclass
+class SupervisorResult:
+    """Everything a campaign run produced, in trial-id order on demand."""
+
+    planned: int
+    results: Dict[int, Any]
+    failures: Dict[int, HarnessFailure]
+    degraded: bool
+    elapsed_s: float
+    resumed_trials: int = 0
+
+    @property
+    def completed(self) -> int:
+        """Trials with any recorded outcome (simulated or harness)."""
+        return len(self.results) + len(self.failures)
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of the planned campaign with a *simulated* outcome."""
+        if self.planned <= 0:
+            return 1.0
+        return len(self.results) / self.planned
+
+    def ordered_results(self) -> List[Any]:
+        """Simulated results in trial-id order (harness failures skipped)."""
+        return [self.results[tid] for tid in sorted(self.results)]
+
+    def statistics(self) -> CampaignStatistics:
+        """Merge into :class:`CampaignStatistics` (trial-id order).
+
+        Valid when the trial function returns :class:`ExperimentRecord`;
+        harness failures become ``HARNESS_*`` records, which the statistics
+        exclude from every coverage estimator.
+        """
+        stats = CampaignStatistics(planned_trials=self.planned)
+        for trial_id in sorted(set(self.results) | set(self.failures)):
+            if trial_id in self.results:
+                record = self.results[trial_id]
+                if not isinstance(record, ExperimentRecord):
+                    raise ConfigurationError(
+                        "statistics() needs ExperimentRecord results, got "
+                        f"{type(record).__name__} for trial {trial_id}"
+                    )
+                stats.add(record)
+            else:
+                stats.add(self.failures[trial_id].to_record())
+        return stats
+
+
+# ----------------------------------------------------------------------
+# Result <-> JSON codec (journal)
+# ----------------------------------------------------------------------
+
+_RECORD_TAG = "__experiment_record__"
+
+
+def _default_encode(result: Any) -> Any:
+    if isinstance(result, ExperimentRecord):
+        return {_RECORD_TAG: result.to_json()}
+    try:
+        json.dumps(result)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"trial result of type {type(result).__name__} is not "
+            "JSON-serialisable; pass result_encoder/result_decoder in "
+            "SupervisorConfig"
+        ) from exc
+    return result
+
+
+def _default_decode(data: Any) -> Any:
+    if isinstance(data, dict) and _RECORD_TAG in data:
+        return ExperimentRecord.from_json(data[_RECORD_TAG])
+    return data
+
+
+# ----------------------------------------------------------------------
+# Serial-mode timeout enforcement
+# ----------------------------------------------------------------------
+
+@contextlib.contextmanager
+def _alarm(timeout_s: Optional[float]) -> Iterator[None]:
+    """Raise :class:`TrialTimeoutError` after *timeout_s* (best effort).
+
+    Uses ``SIGALRM``, so it only works on POSIX main threads; elsewhere the
+    budget is skipped (worker mode enforces it by killing the process).
+    """
+    usable = (
+        timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise TrialTimeoutError(f"trial exceeded {timeout_s:.3f}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+def _worker_main(
+    trial_fn: TrialFn,
+    master_seed: int,
+    conn: "mp_connection.Connection",
+) -> None:
+    """Worker loop: receive trial chunks, stream one result per trial.
+
+    Every per-trial exception is caught and reported — a worker only dies
+    on genuinely fatal conditions (signals, interpreter errors), which the
+    supervisor observes as a worker death and retries.
+    """
+    # The supervisor owns SIGINT handling; workers must not die to Ctrl-C
+    # racing ahead of the supervisor's orderly shutdown.
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    supervisor_pid = os.getppid()
+    while True:
+        try:
+            # Poll rather than block: with the fork start method, sibling
+            # workers inherit this pipe's supervisor-side end, so a
+            # SIGKILLed supervisor never EOFs it — the reparenting check
+            # is what keeps such workers from surviving as orphans.
+            while not conn.poll(1.0):
+                if os.getppid() != supervisor_pid:
+                    return
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        for trial_id, payload in message:
+            try:
+                result = trial_fn(payload, derive_seed(master_seed, trial_id))
+                reply = ("ok", trial_id, result)
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                reply = ("error", trial_id, f"{type(exc).__name__}: {exc}")
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                return
+
+
+class _Worker:
+    """Supervisor-side handle of one worker process."""
+
+    def __init__(
+        self,
+        ctx: "multiprocessing.context.BaseContext",
+        trial_fn: TrialFn,
+        master_seed: int,
+    ) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(trial_fn, master_seed, child_conn),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.assigned: Deque["tuple[int, Any]"] = deque()
+        self.deadline: Optional[float] = None
+
+    @property
+    def current_trial(self) -> Optional["tuple[int, Any]"]:
+        return self.assigned[0] if self.assigned else None
+
+    def dispatch(self, chunk: List["tuple[int, Any]"], timeout_s: Optional[float]) -> None:
+        self.conn.send(chunk)
+        self.assigned.extend(chunk)
+        self.deadline = (time.monotonic() + timeout_s) if timeout_s else None
+
+    def trial_finished(self, timeout_s: Optional[float]) -> None:
+        """Called after a result arrived: the next assigned trial starts now."""
+        if self.assigned and timeout_s:
+            self.deadline = time.monotonic() + timeout_s
+        elif not self.assigned:
+            self.deadline = None
+
+    def shutdown(self) -> None:
+        with contextlib.suppress(BrokenPipeError, OSError):
+            self.conn.send(None)
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.kill()
+        self.conn.close()
+
+    def kill(self) -> None:
+        with contextlib.suppress(OSError, AttributeError):
+            self.process.kill()
+        self.process.join(timeout=2.0)
+        with contextlib.suppress(OSError):
+            self.conn.close()
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+class CampaignSupervisor:
+    """Executes a list of independent trials under full fault containment.
+
+    ``trial_fn(payload, seed)`` must be deterministic in its arguments and,
+    for worker mode on non-fork platforms, picklable; under the default
+    Linux ``fork`` start method closures are fine.
+    """
+
+    def __init__(self, trial_fn: TrialFn, config: Optional[SupervisorConfig] = None) -> None:
+        self.trial_fn = trial_fn
+        self.config = config if config is not None else SupervisorConfig()
+        self._encode = self.config.result_encoder or _default_encode
+        self._decode = self.config.result_decoder or _default_decode
+
+    # ------------------------------------------------------------------
+    def run(self, payloads: Sequence[Any]) -> SupervisorResult:
+        """Run one trial per payload; trial ``i`` gets seed
+        ``derive_seed(master_seed, i)``."""
+        started = time.monotonic()
+        planned = len(payloads)
+        results: Dict[int, Any] = {}
+        failures: Dict[int, HarnessFailure] = {}
+
+        journal: Optional[CampaignJournal] = None
+        if self.config.journal_path is not None:
+            journal = CampaignJournal(
+                self.config.journal_path,
+                JournalHeader(
+                    campaign=self.config.campaign,
+                    master_seed=self.config.master_seed,
+                    total_trials=planned,
+                ),
+            )
+            for entry in journal.entries.values():
+                if entry.is_harness_failure:
+                    failures[entry.trial_id] = HarnessFailure(
+                        trial_id=entry.trial_id,
+                        kind=OutcomeClass(entry.status),
+                        detail=entry.detail,
+                        attempts=entry.attempts,
+                    )
+                else:
+                    results[entry.trial_id] = self._decode(entry.result)
+        resumed = len(results) + len(failures)
+
+        pending: Deque["tuple[int, Any]"] = deque(
+            (trial_id, payload)
+            for trial_id, payload in enumerate(payloads)
+            if trial_id not in results and trial_id not in failures
+        )
+
+        try:
+            if self.config.workers <= 0:
+                degraded = self._run_serial(pending, results, failures, journal, started)
+            else:
+                degraded = self._run_parallel(pending, results, failures, journal, started)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        return SupervisorResult(
+            planned=planned,
+            results=results,
+            failures=failures,
+            degraded=degraded,
+            elapsed_s=time.monotonic() - started,
+            resumed_trials=resumed,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+
+    def _record_success(
+        self,
+        trial_id: int,
+        result: Any,
+        attempts: int,
+        results: Dict[int, Any],
+        journal: Optional[CampaignJournal],
+    ) -> None:
+        results[trial_id] = result
+        if journal is not None:
+            journal.append(TrialEntry(
+                trial_id=trial_id, status="ok",
+                result=self._encode(result), attempts=attempts,
+            ))
+
+    def _record_failure(
+        self,
+        failure: HarnessFailure,
+        failures: Dict[int, HarnessFailure],
+        journal: Optional[CampaignJournal],
+    ) -> None:
+        failures[failure.trial_id] = failure
+        if journal is not None:
+            journal.append(TrialEntry(
+                trial_id=failure.trial_id, status=failure.kind.value,
+                detail=failure.detail, attempts=failure.attempts,
+            ))
+
+    def _out_of_budget(self, started: float) -> bool:
+        budget = self.config.budget_s
+        return budget is not None and (time.monotonic() - started) >= budget
+
+    def _failure_cap_hit(self, failures: Dict[int, HarnessFailure]) -> bool:
+        cap = self.config.max_harness_failures
+        return cap is not None and len(failures) >= cap
+
+    # ------------------------------------------------------------------
+    # Serial path (workers == 0)
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self,
+        pending: Deque["tuple[int, Any]"],
+        results: Dict[int, Any],
+        failures: Dict[int, HarnessFailure],
+        journal: Optional[CampaignJournal],
+        started: float,
+    ) -> bool:
+        config = self.config
+        while pending:
+            if self._out_of_budget(started) or self._failure_cap_hit(failures):
+                return True
+            trial_id, payload = pending.popleft()
+            seed = derive_seed(config.master_seed, trial_id)
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    with _alarm(config.timeout_s):
+                        result = self.trial_fn(payload, seed)
+                except TrialTimeoutError as exc:
+                    self._record_failure(
+                        HarnessFailure(trial_id, OutcomeClass.HARNESS_TIMEOUT,
+                                       str(exc), attempts),
+                        failures, journal,
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 — isolation boundary
+                    if attempts > config.max_retries:
+                        self._record_failure(
+                            HarnessFailure(
+                                trial_id, OutcomeClass.HARNESS_CRASH,
+                                f"{type(exc).__name__}: {exc}", attempts,
+                            ),
+                            failures, journal,
+                        )
+                        break
+                    time.sleep(config.backoff_s(attempts))
+                else:
+                    self._record_success(trial_id, result, attempts, results, journal)
+                    break
+        return False
+
+    # ------------------------------------------------------------------
+    # Parallel path (workers >= 1)
+    # ------------------------------------------------------------------
+
+    def _make_context(self) -> "multiprocessing.context.BaseContext":
+        # fork keeps closures usable as trial functions and is the fast
+        # path on Linux; fall back to the platform default elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    def _spawn_worker(self, ctx: "multiprocessing.context.BaseContext") -> Optional[_Worker]:
+        """Spawn one worker, retrying transient start failures with backoff."""
+        for attempt in range(1, self.config.max_retries + 2):
+            try:
+                return _Worker(ctx, self.trial_fn, self.config.master_seed)
+            except OSError:
+                if attempt > self.config.max_retries:
+                    return None
+                time.sleep(self.config.backoff_s(attempt))
+        return None
+
+    def _chunk_size(self, remaining: int) -> int:
+        if self.config.chunk_size is not None:
+            return max(1, self.config.chunk_size)
+        # Small enough to keep the pool balanced and timeout granularity
+        # tight, large enough to amortise the IPC per dispatch.
+        return max(1, min(32, remaining // max(1, self.config.workers * 4)))
+
+    def _run_parallel(
+        self,
+        pending: Deque["tuple[int, Any]"],
+        results: Dict[int, Any],
+        failures: Dict[int, HarnessFailure],
+        journal: Optional[CampaignJournal],
+        started: float,
+    ) -> bool:
+        config = self.config
+        ctx = self._make_context()
+        workers: List[_Worker] = []
+        attempts: Dict[int, int] = {}
+        retry_at: Dict[int, float] = {}
+        degraded = False
+
+        def fail_trial(
+            trial_id: int, kind: OutcomeClass, detail: str,
+            tries: Optional[int] = None,
+        ) -> None:
+            if tries is None:
+                tries = attempts.get(trial_id, 0) + 1
+            self._record_failure(
+                HarnessFailure(trial_id, kind, detail, tries),
+                failures, journal,
+            )
+            attempts.pop(trial_id, None)
+            retry_at.pop(trial_id, None)
+
+        def crash_or_retry(trial_id: int, payload: Any, detail: str) -> None:
+            """Transient-failure policy: bounded retry, then HARNESS_CRASH."""
+            tries = attempts.get(trial_id, 0) + 1
+            attempts[trial_id] = tries
+            if tries > config.max_retries:
+                fail_trial(trial_id, OutcomeClass.HARNESS_CRASH, detail, tries)
+            else:
+                retry_at[trial_id] = time.monotonic() + config.backoff_s(tries)
+                pending.appendleft((trial_id, payload))
+
+        def take_chunk(now: float) -> List["tuple[int, Any]"]:
+            chunk: List["tuple[int, Any]"] = []
+            size = self._chunk_size(len(pending))
+            for _ in range(len(pending)):
+                if len(chunk) >= size:
+                    break
+                trial_id, payload = pending.popleft()
+                if retry_at.get(trial_id, 0.0) <= now:
+                    chunk.append((trial_id, payload))
+                else:
+                    pending.append((trial_id, payload))
+            return chunk
+
+        def reap_worker(worker: _Worker, kind: OutcomeClass, detail: str) -> None:
+            """Kill a worker; classify its current trial; requeue the rest."""
+            worker.kill()
+            workers.remove(worker)
+            if worker.assigned:
+                trial_id, payload = worker.assigned.popleft()
+                if kind is OutcomeClass.HARNESS_TIMEOUT:
+                    fail_trial(trial_id, kind, detail)
+                else:
+                    crash_or_retry(trial_id, payload, detail)
+            # Untouched trials of the chunk go back unpenalised.
+            while worker.assigned:
+                pending.appendleft(worker.assigned.pop())
+
+        try:
+            while pending or any(w.assigned for w in workers):
+                now = time.monotonic()
+                if self._out_of_budget(started) or self._failure_cap_hit(failures):
+                    degraded = True
+                    break
+
+                # Keep the pool at strength while there is work left.
+                while len(workers) < config.workers and pending:
+                    worker = self._spawn_worker(ctx)
+                    if worker is None:
+                        break
+                    workers.append(worker)
+                if not workers:
+                    # Pool spawn failed outright: degrade to in-process
+                    # execution rather than losing the campaign.
+                    self._run_serial(pending, results, failures, journal, started)
+                    return True
+
+                # Dispatch to idle workers.
+                for worker in workers:
+                    if not worker.assigned and pending:
+                        chunk = take_chunk(now)
+                        if chunk:
+                            worker.dispatch(chunk, config.timeout_s)
+
+                # Wait for the next event: a result, a deadline, a retry
+                # becoming eligible, or the budget check interval.
+                deadlines = [w.deadline for w in workers if w.deadline is not None]
+                wakeups = deadlines + [t for t in retry_at.values()] + [now + 0.25]
+                poll = max(0.005, min(wakeups) - now)
+                busy = [w for w in workers if w.assigned]
+                ready = mp_connection.wait([w.conn for w in busy], timeout=poll) if busy else []
+
+                for conn in ready:
+                    worker = next(w for w in busy if w.conn is conn)
+                    try:
+                        kind, trial_id, body = conn.recv()
+                    except (EOFError, OSError):
+                        reap_worker(
+                            worker, OutcomeClass.HARNESS_CRASH,
+                            f"worker died (exitcode {worker.process.exitcode})",
+                        )
+                        continue
+                    # Match the finished trial inside the worker's chunk.
+                    payload = None
+                    while worker.assigned:
+                        queued_id, queued_payload = worker.assigned.popleft()
+                        if queued_id == trial_id:
+                            payload = queued_payload
+                            break
+                        pending.appendleft((queued_id, queued_payload))
+                    if kind == "ok":
+                        self._record_success(
+                            trial_id, body, attempts.get(trial_id, 0) + 1,
+                            results, journal,
+                        )
+                        attempts.pop(trial_id, None)
+                        retry_at.pop(trial_id, None)
+                    else:
+                        crash_or_retry(trial_id, payload, str(body))
+                    worker.trial_finished(config.timeout_s)
+
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.assigned and not worker.process.is_alive():
+                        reap_worker(
+                            worker, OutcomeClass.HARNESS_CRASH,
+                            f"worker died (exitcode {worker.process.exitcode})",
+                        )
+                    elif (
+                        worker.assigned
+                        and worker.deadline is not None
+                        and now >= worker.deadline
+                    ):
+                        trial_id = worker.assigned[0][0]
+                        reap_worker(
+                            worker, OutcomeClass.HARNESS_TIMEOUT,
+                            f"trial {trial_id} exceeded "
+                            f"{config.timeout_s:.3f}s budget; worker killed",
+                        )
+        finally:
+            for worker in workers:
+                if worker.assigned:
+                    worker.kill()
+                else:
+                    worker.shutdown()
+        return degraded
+
+
+# ----------------------------------------------------------------------
+# Convenience front-end for injection campaigns
+# ----------------------------------------------------------------------
+
+def run_experiment_campaign(
+    trial_fn: TrialFn,
+    payloads: Sequence[Any],
+    config: Optional[SupervisorConfig] = None,
+) -> CampaignStatistics:
+    """Run a campaign whose trials return :class:`ExperimentRecord`.
+
+    Returns :class:`CampaignStatistics` over the completed trials in
+    trial-id order — in a fully completed run, byte-identical to the
+    historic serial loop over the same payloads.
+    """
+    supervisor = CampaignSupervisor(trial_fn, config)
+    return supervisor.run(payloads).statistics()

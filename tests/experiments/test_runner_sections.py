@@ -1,0 +1,80 @@
+"""Per-section fault containment and CLI of the experiment runner."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import (
+    RunnerReport,
+    SectionReport,
+    _parse_args,
+    build_sections,
+    run_sections,
+)
+
+
+def _boom() -> str:
+    raise RuntimeError("section exploded")
+
+
+class TestSectionIsolation:
+    def test_failing_section_does_not_abort_the_report(self):
+        report = run_sections({
+            "E98 before": lambda: "before-text",
+            "E99 broken": _boom,
+            "E100 after": lambda: "after-text",
+        })
+        assert not report.ok
+        assert report.failures == ["E99 broken"]
+        assert "before-text" in report.text
+        assert "after-text" in report.text
+        assert "[ERROR] RuntimeError: section exploded" in report.text
+        assert "FAILED SECTIONS" in report.text
+
+    def test_clean_report_has_no_error_banners(self):
+        report = run_sections({"E98 fine": lambda: "ok"})
+        assert report.ok
+        assert report.failures == []
+        assert "[ERROR]" not in report.text
+        assert "FAILED SECTIONS" not in report.text
+
+    def test_report_structure(self):
+        report = RunnerReport(sections=[
+            SectionReport(title="a", text="x"),
+            SectionReport(title="b", error="E"),
+        ])
+        assert [s.ok for s in report.sections] == [True, False]
+        assert not report.ok
+
+
+class TestCli:
+    def test_defaults_preserve_serial_behaviour(self):
+        args = _parse_args([])
+        assert args.jobs == 0
+        assert args.timeout is None
+        assert args.resume is None
+        assert not args.fast
+
+    def test_flags_parse(self):
+        args = _parse_args([
+            "--fast", "--jobs", "4", "--timeout", "2.5",
+            "--resume", "/tmp/journals",
+        ])
+        assert args.fast
+        assert args.jobs == 4
+        assert args.timeout == pytest.approx(2.5)
+        assert args.resume == Path("/tmp/journals")
+
+
+class TestSectionIndex:
+    def test_campaign_sections_receive_journal_paths(self, tmp_path):
+        sections = build_sections(fast=True, jobs=2, timeout=9.0, resume=tmp_path)
+        assert len(sections) == 14
+        assert any(title.startswith("E5 ") for title in sections)
+
+    def test_index_is_complete_without_resume(self):
+        sections = build_sections(fast=True)
+        markers = ("E1 ", "E2 ", "E3 ", "E4 ", "E5 ", "E6 ", "E7 ",
+                   "E8a", "E8b", "E9 ", "E10", "E11", "E12", "E13")
+        for marker in markers:
+            assert any(t.startswith(marker) for t in sections), marker

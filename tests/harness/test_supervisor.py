@@ -1,0 +1,212 @@
+"""Containment, retry, degradation and parity tests of the supervisor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.coverage_table import _e5_trial, make_brake_workload
+from repro.faults import TemInjectionHarness, random_fault_list
+from repro.faults.outcomes import ExperimentRecord, OutcomeClass
+from repro.harness import (
+    CampaignSupervisor,
+    SupervisorConfig,
+    run_experiment_campaign,
+)
+
+# ----------------------------------------------------------------------
+# Toy deterministic trial functions (module level: picklable everywhere)
+# ----------------------------------------------------------------------
+
+_OUTCOME_CYCLE = (
+    OutcomeClass.MASKED,
+    OutcomeClass.NO_EFFECT,
+    OutcomeClass.MASKED,
+    OutcomeClass.OMISSION,
+)
+
+
+def _scripted_trial(payload, seed):
+    """Deterministic trial: 'crash' raises, 'hang' spins, ints classify."""
+    if payload == "crash":
+        raise RuntimeError("deliberate crash workload")
+    if payload == "hang":
+        while True:  # crafted infinite loop — only a kill stops this
+            pass
+    return ExperimentRecord(
+        outcome=_OUTCOME_CYCLE[payload % len(_OUTCOME_CYCLE)],
+        fault_description=f"trial {payload} seed {seed}",
+    )
+
+
+_FLAKY_STATE = {"failures_left": 0}
+
+
+def _flaky_trial(payload, seed):
+    """Fails the first N times it is called, then succeeds (serial mode)."""
+    if _FLAKY_STATE["failures_left"] > 0:
+        _FLAKY_STATE["failures_left"] -= 1
+        raise OSError("transient harness failure")
+    return ExperimentRecord(OutcomeClass.MASKED, f"flaky {payload}")
+
+
+# ----------------------------------------------------------------------
+# Containment: crashes and hangs, serial and parallel
+# ----------------------------------------------------------------------
+
+class TestContainment:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_crash_and_hang_contained(self, workers):
+        """Acceptance: a crafted infinite-loop workload and a crafted
+        crashing workload are both contained in serial and parallel mode —
+        classified as harness failures while every other trial of the
+        campaign completes."""
+        payloads = [0, 1, "crash", 2, "hang", 3, 4, 5]
+        stats = run_experiment_campaign(
+            _scripted_trial,
+            payloads,
+            SupervisorConfig(
+                workers=workers, timeout_s=0.5, max_retries=1, master_seed=9,
+            ),
+        )
+        assert stats.total == len(payloads)
+        assert stats.count(OutcomeClass.HARNESS_CRASH) == 1
+        assert stats.count(OutcomeClass.HARNESS_TIMEOUT) == 1
+        assert stats.valid == len(payloads) - 2
+        # Every non-poisoned trial completed with its scripted outcome.
+        assert stats.count(OutcomeClass.MASKED) == 3
+        assert stats.count(OutcomeClass.NO_EFFECT) == 2
+        assert stats.count(OutcomeClass.OMISSION) == 1
+
+    def test_harness_failures_do_not_poison_coverage(self):
+        """Acceptance: HARNESS_* outcomes are excluded from the coverage
+        estimators — the estimates equal those of the same campaign
+        without the poisoned trials."""
+        clean = run_experiment_campaign(
+            _scripted_trial, list(range(8)),
+            SupervisorConfig(workers=0, master_seed=9),
+        )
+        poisoned = run_experiment_campaign(
+            _scripted_trial, list(range(8)) + ["hang", "crash"],
+            SupervisorConfig(workers=0, timeout_s=0.5, max_retries=0, master_seed=9),
+        )
+        assert poisoned.harness_failures == 2
+        assert poisoned.coverage == clean.coverage
+        assert poisoned.p_tem == clean.p_tem
+        assert poisoned.p_omission == clean.p_omission
+        assert poisoned.effective == clean.effective
+        assert poisoned.completeness == pytest.approx(0.8)
+
+    def test_timeout_is_not_retried_but_crash_is(self):
+        result = CampaignSupervisor(
+            _scripted_trial,
+            SupervisorConfig(workers=0, timeout_s=0.3, max_retries=2, master_seed=1),
+        ).run(["hang", "crash"])
+        assert result.failures[0].kind is OutcomeClass.HARNESS_TIMEOUT
+        assert result.failures[0].attempts == 1
+        assert result.failures[1].kind is OutcomeClass.HARNESS_CRASH
+        assert result.failures[1].attempts == 3  # initial + 2 retries
+
+
+class TestRetry:
+    def test_transient_failure_retried_with_backoff(self):
+        _FLAKY_STATE["failures_left"] = 2
+        result = CampaignSupervisor(
+            _flaky_trial,
+            SupervisorConfig(
+                workers=0, max_retries=2, backoff_base_s=0.01, master_seed=3,
+            ),
+        ).run([0])
+        assert not result.failures
+        assert result.results[0].outcome is OutcomeClass.MASKED
+
+    def test_retry_budget_exhausts(self):
+        _FLAKY_STATE["failures_left"] = 10
+        result = CampaignSupervisor(
+            _flaky_trial,
+            SupervisorConfig(
+                workers=0, max_retries=1, backoff_base_s=0.01, master_seed=3,
+            ),
+        ).run([0])
+        _FLAKY_STATE["failures_left"] = 0
+        assert result.failures[0].kind is OutcomeClass.HARNESS_CRASH
+
+    def test_backoff_is_exponential_and_capped(self):
+        config = SupervisorConfig(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.5,
+        )
+        assert config.backoff_s(1) == pytest.approx(0.1)
+        assert config.backoff_s(2) == pytest.approx(0.2)
+        assert config.backoff_s(3) == pytest.approx(0.4)
+        assert config.backoff_s(10) == pytest.approx(0.5)
+
+
+class TestGracefulDegradation:
+    def test_budget_exhaustion_returns_partial_statistics(self):
+        result = CampaignSupervisor(
+            _scripted_trial,
+            SupervisorConfig(workers=0, budget_s=0.0, master_seed=4),
+        ).run(list(range(50)))
+        assert result.degraded
+        assert result.completed < 50
+        stats = result.statistics()
+        assert stats.planned_trials == 50
+        assert stats.completeness < 1.0
+
+    def test_failure_cap_stops_dispatch(self):
+        result = CampaignSupervisor(
+            _scripted_trial,
+            SupervisorConfig(
+                workers=0, max_retries=0, max_harness_failures=3, master_seed=4,
+            ),
+        ).run(["crash"] * 10)
+        assert result.degraded
+        assert len(result.failures) == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(workers=-1)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(max_retries=-1)
+
+
+# ----------------------------------------------------------------------
+# Serial / parallel parity on the real E5 workload
+# ----------------------------------------------------------------------
+
+class TestSerialParallelParity:
+    def test_workers_0_and_2_agree_on_fixed_fault_list(self):
+        """Acceptance: the same fault list yields identical records (not
+        just identical counts) serially and through the worker pool."""
+        harness = TemInjectionHarness(make_brake_workload(max_copies=3))
+        faults = random_fault_list(
+            np.random.default_rng(77), 80,
+            max_step=max(harness.golden_steps * 2, 2),
+            code_range=(0, 40), data_range=(0x1800, 0x1902),
+        )
+        payloads = [(3, fault) for fault in faults]
+        serial = run_experiment_campaign(
+            _e5_trial, payloads, SupervisorConfig(workers=0, master_seed=77),
+        )
+        parallel = run_experiment_campaign(
+            _e5_trial, payloads, SupervisorConfig(workers=2, master_seed=77),
+        )
+        assert serial.outcome_counts() == parallel.outcome_counts()
+        assert [r.to_json() for r in serial.records] == [
+            r.to_json() for r in parallel.records
+        ]
+        assert serial.coverage == parallel.coverage
+
+    def test_toy_parity_with_chunking(self):
+        payloads = list(range(37))
+        kwargs = dict(master_seed=5, chunk_size=4)
+        serial = run_experiment_campaign(
+            _scripted_trial, payloads, SupervisorConfig(workers=0, **kwargs),
+        )
+        parallel = run_experiment_campaign(
+            _scripted_trial, payloads, SupervisorConfig(workers=3, **kwargs),
+        )
+        assert [r.to_json() for r in serial.records] == [
+            r.to_json() for r in parallel.records
+        ]
