@@ -33,6 +33,7 @@ from . import (  # noqa: F401
     models,
     net,
     node,
+    obs,
     reliability,
     sim,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "models",
     "net",
     "node",
+    "obs",
     "reliability",
     "sim",
 ]

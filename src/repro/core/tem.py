@@ -35,6 +35,7 @@ import enum
 from typing import Callable, List, Optional
 
 from ..errors import ReproError
+from ..obs import metrics as obs_metrics
 from ..types import Result
 from .comparison import majority_vote, results_match
 
@@ -200,6 +201,7 @@ class TemStateMachine:
             errors_detected=self._errors_detected,
             detection_mechanisms=list(self._mechanisms),
         )
+        self._account()
 
     def _finish_omitted(self, reason: str) -> None:
         self._finished = TemReport(
@@ -210,6 +212,17 @@ class TemStateMachine:
             detection_mechanisms=list(self._mechanisms),
             omission_reason=reason,
         )
+        self._account()
+
+    def _account(self) -> None:
+        """Metrics once per terminal job — shared by both TEM drivers (the
+        DES kernel and the direct injection harness)."""
+        report = self._finished
+        assert report is not None
+        obs_metrics.inc("tem.jobs")
+        obs_metrics.inc(f"tem.outcome.{report.outcome.value}")
+        obs_metrics.inc("tem.copies", report.copies_run)
+        obs_metrics.inc("tem.errors_detected", report.errors_detected)
 
 
 def run_tem_direct(

@@ -31,6 +31,8 @@ from ..faults.generators import random_fault_list
 from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
 from ..faults.types import Fault
 from ..harness import SupervisorConfig, run_experiment_campaign
+from ..obs.profile import DEFAULT_TOP_K
+from ..obs.progress import ProgressReporter
 from .coverage_table import BRAKE_TASK_SOURCE, make_brake_workload
 from ..cpu.assembler import assemble
 from .asciiplot import render_table
@@ -124,12 +126,15 @@ def compute_ablation_table(
     workers: int = 0,
     timeout_s: Optional[float] = None,
     journal_path: Optional[Union[str, Path]] = None,
+    progress: bool = False,
+    profile: bool = False,
 ) -> AblationResult:
     """Run the identical fault list against every ablation variant.
 
     With ``journal_path`` set, one journal per variant is written next to
     the given path (``<path>.<variant>``) so an interrupted ablation
-    resumes per variant.
+    resumes per variant.  ``progress`` / ``profile`` enable the live
+    stderr progress line and hottest-trial profiling (:mod:`repro.obs`).
     """
     program_words = assemble(BRAKE_TASK_SOURCE).size
     reference = _make_harness("full")
@@ -154,6 +159,11 @@ def compute_ablation_table(
                 journal_path=variant_journal,
                 master_seed=seed,
                 campaign=f"e11-ablation-{variant}-n{experiments}",
+                progress=(
+                    ProgressReporter(f"E11 ablation ({variant})")
+                    if progress else None
+                ),
+                profile_top_k=DEFAULT_TOP_K if profile else 0,
             ),
         )
     return AblationResult(experiments=experiments, stats=stats)

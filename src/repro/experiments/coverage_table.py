@@ -38,6 +38,8 @@ from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
 from ..faults.types import Fault
 from ..harness import SupervisorConfig, run_experiment_campaign
 from ..kernel.task import MachineExecutable
+from ..obs.profile import DEFAULT_TOP_K
+from ..obs.progress import ProgressReporter
 from .asciiplot import render_table
 
 #: A brake-controller-like workload: scaling, saturation, accumulation —
@@ -178,6 +180,8 @@ def run_coverage_campaign(
     workers: int = 0,
     timeout_s: Optional[float] = None,
     journal_path: Optional[Union[str, Path]] = None,
+    progress: bool = False,
+    profile: bool = False,
 ) -> CoverageTableResult:
     """Run the E5 campaign and estimate the paper's parameters.
 
@@ -197,6 +201,10 @@ def run_coverage_campaign(
         worker processes, per-trial wall-clock budget, and checkpoint
         journal for interrupt/resume.  The defaults preserve the historic
         serial in-process behaviour and output bit-for-bit.
+    progress / profile:
+        Observability knobs (:mod:`repro.obs`): a live stderr progress
+        line (silent when stderr is not a TTY), and opt-in cProfile
+        capture of the hottest trials.
     """
     rng = np.random.default_rng(seed)
     workload = make_brake_workload(max_copies=max_copies)
@@ -219,6 +227,8 @@ def run_coverage_campaign(
             journal_path=journal_path,
             master_seed=seed,
             campaign=f"e5-coverage-n{experiments}",
+            progress=ProgressReporter("E5 coverage") if progress else None,
+            profile_top_k=DEFAULT_TOP_K if profile else 0,
         ),
     )
     # Kernel-execution hits: the mini-ISA machine runs no kernel code, so

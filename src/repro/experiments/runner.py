@@ -14,6 +14,16 @@ E11, E12) route through the resilient campaign supervisor
 
     python -m repro.experiments.runner --fast --jobs 4 --timeout 30 \
         --resume /tmp/nlft-journals
+
+Observability (:mod:`repro.obs`): every section runs inside its own
+metrics capture, its wall-clock and hot-path digest is appended to the
+section text, and ``--metrics PATH`` exports one snapshot row per section
+(JSONL, or CSV when the path ends in ``.csv``).  ``--profile`` adds
+cProfile capture of the hottest campaign trials; a live progress line is
+shown on TTY stderr unless ``--no-progress``::
+
+    python -m repro.experiments.runner --fast --jobs 2 \
+        --metrics out.jsonl --profile
 """
 
 from __future__ import annotations
@@ -23,8 +33,12 @@ import dataclasses
 import sys
 import traceback
 from pathlib import Path
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
+from ..obs import metrics as obs_metrics
+from ..obs import profile as obs_profile
+from ..obs.export import MAX_PROFILE_CHARS, MetricsSink, SectionMetrics
 from .ablation_table import compute_ablation_table
 from .availability_table import compute_availability_table
 from .coverage_table import run_coverage_campaign
@@ -52,6 +66,11 @@ class SectionReport:
     title: str
     text: str = ""
     error: Optional[str] = None
+    #: Section wall-clock in seconds.
+    elapsed_s: float = 0.0
+    #: Metrics snapshot captured while the section ran (None when the
+    #: section recorded nothing).
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -92,12 +111,15 @@ def build_sections(
     jobs: int = 0,
     timeout: Optional[float] = None,
     resume: Optional[Path] = None,
+    progress: bool = False,
+    profile: bool = False,
 ) -> "Dict[str, Callable[[], str]]":
     """The experiment index E1-E13.
 
     ``jobs`` / ``timeout`` / ``resume`` apply to the campaign-shaped
     sections (fault-injection campaigns and Monte-Carlo replicas), which
-    run through the campaign supervisor.
+    run through the campaign supervisor; ``progress`` / ``profile`` are
+    their observability knobs (:mod:`repro.obs`).
     """
 
     def journal(name: str) -> "Optional[str]":
@@ -118,6 +140,7 @@ def build_sections(
             lambda: run_coverage_campaign(
                 experiments=300 if fast else 2_000,
                 workers=jobs, timeout_s=timeout, journal_path=journal("e5"),
+                progress=progress, profile=profile,
             ).render(),
         "E6  Figure 3 - TEM scenarios":
             lambda: render_scenarios(run_tem_scenarios()),
@@ -127,6 +150,7 @@ def build_sections(
             lambda: run_simulation_study(
                 replicas=60 if fast else 300,
                 workers=jobs, timeout_s=timeout, journal_path=journal("e8a"),
+                progress=progress, profile=profile,
             ).render(),
         "E8b Functional braking comparison":
             lambda: compare_braking_under_faults().render(),
@@ -138,28 +162,88 @@ def build_sections(
             lambda: compute_ablation_table(
                 experiments=300 if fast else 1_200,
                 workers=jobs, timeout_s=timeout, journal_path=journal("e11"),
+                progress=progress, profile=profile,
             ).render(),
         "E12 Coverage across workloads (extension)":
             lambda: compute_workload_table(
                 experiments=200 if fast else 800,
                 workers=jobs, timeout_s=timeout, journal_path=journal("e12"),
+                progress=progress, profile=profile,
             ).render(),
         "E13 Availability under maintenance (extension)":
             lambda: compute_availability_table().render(),
     }
 
 
-def run_sections(sections: "Dict[str, Callable[[], str]]") -> RunnerReport:
-    """Run each section isolated; one failure never aborts the report."""
+def _drain_hot_trials() -> "List[dict]":
+    """Pull this section's hottest-trial profiles off the process-wide
+    collector (empty when --profile is off)."""
+    collector = obs_profile.collector()
+    if collector is None:
+        return []
+    return [
+        {
+            "campaign": trial.campaign,
+            "trial_id": trial.trial_id,
+            "duration_s": round(trial.duration_s, 6),
+            "profile": trial.profile_text[:MAX_PROFILE_CHARS],
+        }
+        for trial in collector.drain()
+    ]
+
+
+def run_sections(
+    sections: "Dict[str, Callable[[], str]]",
+    sink: Optional[MetricsSink] = None,
+) -> RunnerReport:
+    """Run each section isolated; one failure never aborts the report.
+
+    Every section executes inside its own metrics capture
+    (:func:`repro.obs.metrics.capture`), so the snapshot attached to its
+    :class:`SectionReport` — and exported through *sink*, when given — is
+    exactly what that section recorded, with no cross-section bleed.
+    """
     reports: List[SectionReport] = []
     for title, section in sections.items():
-        try:
-            reports.append(SectionReport(title=title, text=section()))
-        except Exception as exc:  # noqa: BLE001 — per-section containment
-            detail = "".join(
-                traceback.format_exception_only(type(exc), exc)
-            ).strip()
-            reports.append(SectionReport(title=title, error=detail))
+        started = perf_counter()
+        error: Optional[str] = None
+        text = ""
+        with obs_metrics.capture() as registry:
+            try:
+                text = section()
+            except Exception as exc:  # noqa: BLE001 — per-section containment
+                error = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+        elapsed = perf_counter() - started
+        snapshot = registry.snapshot()
+        hot_trials = _drain_hot_trials()
+        empty = obs_metrics.snapshot_is_empty(snapshot)
+        if error is None and not empty:
+            text += (
+                f"\n\n[obs] wall-clock {elapsed:.2f}s | hot paths: "
+                f"{obs_metrics.format_hot_paths(snapshot)}"
+            )
+        reports.append(
+            SectionReport(
+                title=title,
+                text=text,
+                error=error,
+                elapsed_s=elapsed,
+                metrics=None if empty else snapshot,
+            )
+        )
+        if sink is not None:
+            sink.write(
+                SectionMetrics(
+                    section=title,
+                    status="ok" if error is None else "error",
+                    elapsed_s=elapsed,
+                    metrics=snapshot,
+                    hot_trials=hot_trials,
+                    error=error,
+                )
+            )
     return RunnerReport(sections=reports)
 
 
@@ -168,9 +252,24 @@ def run_report(
     jobs: int = 0,
     timeout: Optional[float] = None,
     resume: Optional[Path] = None,
+    progress: bool = False,
+    profile: bool = False,
+    metrics_path: "Optional[Path | str]" = None,
 ) -> RunnerReport:
     """Run E1-E13 with per-section containment; structured result."""
-    return run_sections(build_sections(fast=fast, jobs=jobs, timeout=timeout, resume=resume))
+    sections = build_sections(
+        fast=fast, jobs=jobs, timeout=timeout, resume=resume,
+        progress=progress, profile=profile,
+    )
+    sink = MetricsSink(metrics_path) if metrics_path is not None else None
+    try:
+        if profile:
+            with obs_profile.enabled():
+                return run_sections(sections, sink=sink)
+        return run_sections(sections, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
 
 
 def run_all(
@@ -207,6 +306,21 @@ def _parse_args(argv: "list[str]") -> argparse.Namespace:
         help="directory for per-campaign JSONL checkpoint journals; pass "
              "the same path again to resume an interrupted run",
     )
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="PATH",
+        help="export one metrics snapshot per section to PATH "
+             "(JSONL; CSV when the path ends in .csv)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="capture cProfile statistics of the hottest campaign trials "
+             "(expensive; embedded in the --metrics export)",
+    )
+    parser.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live campaign progress line (it is already "
+             "silent when stderr is not a TTY)",
+    )
     return parser.parse_args(argv)
 
 
@@ -216,7 +330,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.resume is not None:
         args.resume.mkdir(parents=True, exist_ok=True)
     report = run_report(
-        fast=args.fast, jobs=args.jobs, timeout=args.timeout, resume=args.resume
+        fast=args.fast, jobs=args.jobs, timeout=args.timeout, resume=args.resume,
+        progress=not args.no_progress, profile=args.profile,
+        metrics_path=args.metrics,
     )
     print(report.text)
     return 0 if report.ok else 1

@@ -32,6 +32,8 @@ from ..faults.injector import PoissonInjector
 from ..faults.types import FaultType
 from ..harness import CampaignSupervisor, SupervisorConfig
 from ..models import BbwParameters, build_bbw_system
+from ..obs.profile import DEFAULT_TOP_K
+from ..obs.progress import ProgressReporter
 from ..node import FailSilentNode, NlftBehaviouralNode, NodeBase, NodeStatus
 from ..sim import RandomStreams, Simulator
 from ..units import US_PER_SECOND
@@ -201,6 +203,8 @@ def run_simulation_study(
     workers: int = 0,
     timeout_s: Optional[float] = None,
     journal_path: Optional[Union[str, Path]] = None,
+    progress: bool = False,
+    profile: bool = False,
 ) -> SimulationStudyResult:
     """Run the mission Monte-Carlo for both node types and both criteria.
 
@@ -208,7 +212,9 @@ def run_simulation_study(
     through the campaign supervisor (:mod:`repro.harness`); with a journal
     an interrupted study resumes where it stopped.  Survival fractions are
     computed over *completed* replicas, so a few lost replicas degrade the
-    sample size, not the estimate.
+    sample size, not the estimate.  ``progress`` / ``profile`` enable the
+    live stderr progress line and hottest-trial cProfile capture
+    (:mod:`repro.obs`).
     """
     params = params if params is not None else BbwParameters.paper()
     empirical: Dict[str, float] = {}
@@ -226,6 +232,11 @@ def run_simulation_study(
                 ),
                 master_seed=seed,
                 campaign=f"e8a-mission-{node_type}-n{replicas}",
+                progress=(
+                    ProgressReporter(f"E8a missions ({node_type})")
+                    if progress else None
+                ),
+                profile_top_k=DEFAULT_TOP_K if profile else 0,
             ),
         )
         result = supervisor.run(

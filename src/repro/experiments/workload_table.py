@@ -25,6 +25,8 @@ from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
 from ..faults.types import Fault
 from ..harness import SupervisorConfig, run_experiment_campaign
 from ..kernel.task import MachineExecutable
+from ..obs.profile import DEFAULT_TOP_K
+from ..obs.progress import ProgressReporter
 from ..types import Result
 from .asciiplot import render_table
 
@@ -117,11 +119,15 @@ def compute_workload_table(
     workers: int = 0,
     timeout_s: Optional[float] = None,
     journal_path: Optional[Union[str, Path]] = None,
+    progress: bool = False,
+    profile: bool = False,
 ) -> WorkloadTableResult:
     """Run the campaign for every library workload.
 
     With ``journal_path`` set, one journal per workload is written next to
-    the given path (``<path>.<name>``) for interrupt/resume.
+    the given path (``<path>.<name>``) for interrupt/resume.  ``progress``
+    / ``profile`` enable the live stderr progress line and hottest-trial
+    profiling (:mod:`repro.obs`).
     """
     stats: Dict[str, CampaignStatistics] = {}
     for index, (name, program) in enumerate(sorted(PROGRAMS.items())):
@@ -146,6 +152,11 @@ def compute_workload_table(
                 ),
                 master_seed=seed + index,
                 campaign=f"e12-workload-{name}-n{experiments}",
+                progress=(
+                    ProgressReporter(f"E12 workload ({name})")
+                    if progress else None
+                ),
+                profile_top_k=DEFAULT_TOP_K if profile else 0,
             ),
         )
     return WorkloadTableResult(experiments_per_workload=experiments, stats=stats)

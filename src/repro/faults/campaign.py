@@ -31,6 +31,7 @@ from ..cpu.exceptions import HardwareException
 from ..cpu.machine import Machine
 from ..errors import ConfigurationError
 from ..kernel.task import MachineExecutable
+from ..obs import metrics as obs_metrics
 from ..types import Result
 from .injector import MachineFaultInjector
 from .outcomes import (
@@ -95,7 +96,9 @@ class TemInjectionHarness:
     # ------------------------------------------------------------------
     def run_experiment(self, fault: Fault) -> ExperimentRecord:
         """Inject one fault into one TEM job and classify the outcome."""
-        report, mechanisms, ecc_corrections = self._run_tem_job(fault)
+        with obs_metrics.span("injection.experiment"):
+            report, mechanisms, ecc_corrections = self._run_tem_job(fault)
+        obs_metrics.inc("injection.experiments")
         outcome = classify_tem_report(report, self.golden)
         if ecc_corrections > 0:
             mechanisms = mechanisms + ("ecc_correct",)
@@ -122,6 +125,7 @@ class TemInjectionHarness:
         contribution TEM's comparison adds, quantified by comparing this
         against :meth:`run_experiment`.
         """
+        obs_metrics.inc("injection.single_experiments")
         executable = self.workload.executable_factory()
         injector = MachineFaultInjector(executable.machine)
         monitor = self._monitor()

@@ -72,6 +72,14 @@ class TrialEntry:
     result: Optional[dict] = None  # simulated outcome (status == "ok")
     detail: str = ""  # harness-failure description otherwise
     attempts: int = 1
+    #: Per-trial metrics snapshot (:mod:`repro.obs.metrics` schema).
+    #: Journaling it makes resumed campaigns aggregate to the identical
+    #: metrics totals as uninterrupted ones: replayed trials contribute
+    #: their recorded snapshot instead of being re-run (and therefore are
+    #: never double-counted).
+    metrics: Optional[dict] = None
+    #: Trial wall-clock in seconds (diagnostics only; never compared).
+    duration_s: Optional[float] = None
 
     @property
     def is_harness_failure(self) -> bool:
@@ -88,6 +96,10 @@ class TrialEntry:
             data["result"] = self.result
         if self.detail:
             data["detail"] = self.detail
+        if self.metrics is not None:
+            data["metrics"] = self.metrics
+        if self.duration_s is not None:
+            data["duration_s"] = round(self.duration_s, 6)
         return data
 
     @classmethod
@@ -98,6 +110,11 @@ class TrialEntry:
             result=data.get("result"),  # type: ignore[arg-type]
             detail=str(data.get("detail", "")),
             attempts=int(data.get("attempts", 1)),
+            metrics=data.get("metrics"),  # type: ignore[arg-type]
+            duration_s=(
+                float(data["duration_s"])  # type: ignore[arg-type]
+                if data.get("duration_s") is not None else None
+            ),
         )
 
 

@@ -52,6 +52,10 @@ from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequenc
 
 from ..errors import ConfigurationError
 from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
+from ..obs import metrics as obs_metrics
+from ..obs import profile as obs_profile
+from ..obs.metrics import MetricsRegistry
+from ..obs.progress import ProgressReporter
 from .journal import CampaignJournal, JournalHeader, TrialEntry
 from .seeds import derive_seed
 
@@ -119,6 +123,22 @@ class SupervisorConfig:
     result_encoder / result_decoder:
         JSON codec for trial results in the journal.  The default handles
         :class:`ExperimentRecord` and plain JSON-serialisable values.
+    collect_metrics:
+        Capture a per-trial :mod:`repro.obs.metrics` snapshot (a fresh
+        registry is swapped in around every trial, in workers and in
+        serial mode alike) and aggregate them — deterministically, in
+        trial-id order — into the caller's active registry and
+        :attr:`SupervisorResult.trial_metrics`.  Snapshots are journaled,
+        so a resumed campaign aggregates to the identical totals.
+    progress:
+        Optional :class:`repro.obs.progress.ProgressReporter`; fed one
+        per-outcome tally per finished trial (including ``harness_*``
+        infrastructure outcomes) and resume counts.
+    profile_top_k:
+        When > 0, run every trial under cProfile and keep the rendered
+        stats of the K hottest (longest wall-clock) trials in
+        :attr:`SupervisorResult.hot_trials` — opt-in, it slows trials
+        noticeably.
     """
 
     workers: int = 0
@@ -135,6 +155,9 @@ class SupervisorConfig:
     chunk_size: Optional[int] = None
     result_encoder: Optional[Callable[[Any], Any]] = None
     result_decoder: Optional[Callable[[Any], Any]] = None
+    collect_metrics: bool = True
+    progress: Optional[ProgressReporter] = None
+    profile_top_k: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -143,6 +166,8 @@ class SupervisorConfig:
             raise ConfigurationError("max_retries must be >= 0")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ConfigurationError("timeout_s must be positive")
+        if self.profile_top_k < 0:
+            raise ConfigurationError("profile_top_k must be >= 0")
 
     def backoff_s(self, attempt: int) -> float:
         """Delay before retry number *attempt* (1-based)."""
@@ -160,6 +185,30 @@ class SupervisorResult:
     degraded: bool
     elapsed_s: float
     resumed_trials: int = 0
+    #: Per-trial metrics snapshots (``collect_metrics``), trial-id keyed.
+    trial_metrics: Dict[int, dict] = dataclasses.field(default_factory=dict)
+    #: The supervisor's own infrastructure metrics (dispatch counts,
+    #: retries, worker spawns, trial-duration histogram).  Kept separate
+    #: from trial metrics because they legitimately differ between serial,
+    #: parallel and resumed executions of the same campaign.
+    harness_metrics: dict = dataclasses.field(default_factory=dict)
+    #: K hottest profiled trials (``profile_top_k``), slowest first.
+    hot_trials: List["obs_profile.HotTrial"] = dataclasses.field(default_factory=list)
+
+    def metrics_snapshot(self, include_harness: bool = False) -> dict:
+        """Aggregate the per-trial snapshots (in trial-id order).
+
+        The :func:`repro.obs.metrics.stable_view` of this snapshot is
+        invariant across execution modes: serial, parallel and
+        kill-and-resume runs of the same seeded campaign aggregate to the
+        identical counters and timer counts.
+        """
+        merged = obs_metrics.merge_snapshots(
+            *(self.trial_metrics[tid] for tid in sorted(self.trial_metrics))
+        )
+        if include_harness:
+            merged = obs_metrics.merge_snapshots(merged, self.harness_metrics)
+        return merged
 
     @property
     def completed(self) -> int:
@@ -262,16 +311,56 @@ def _alarm(timeout_s: Optional[float]) -> Iterator[None]:
 # Worker process
 # ----------------------------------------------------------------------
 
+def _run_one_trial(
+    trial_fn: TrialFn,
+    payload: Any,
+    seed: int,
+    collect_metrics: bool,
+    profiled: bool,
+) -> "tuple[Any, Optional[dict], float, Optional[str]]":
+    """Execute one trial with observability capture (worker and serial).
+
+    Returns ``(result, metrics_snapshot|None, duration_s, profile|None)``.
+    Exceptions propagate to the caller's isolation boundary; the partial
+    capture of a failed attempt is discarded (failed/retried attempts must
+    not contribute metrics, or resumed and uninterrupted campaigns would
+    disagree).
+    """
+    started = time.perf_counter()
+    profile_text: Optional[str] = None
+    snapshot: Optional[dict] = None
+    if collect_metrics:
+        with obs_metrics.capture() as registry:
+            if profiled:
+                result, profile_text = obs_profile.profiled_call(
+                    trial_fn, payload, seed
+                )
+            else:
+                result = trial_fn(payload, seed)
+        snap = registry.snapshot()
+        snapshot = None if obs_metrics.snapshot_is_empty(snap) else snap
+    elif profiled:
+        result, profile_text = obs_profile.profiled_call(trial_fn, payload, seed)
+    else:
+        result = trial_fn(payload, seed)
+    return result, snapshot, time.perf_counter() - started, profile_text
+
+
 def _worker_main(
     trial_fn: TrialFn,
     master_seed: int,
     conn: "mp_connection.Connection",
+    collect_metrics: bool,
+    profiled: bool,
 ) -> None:
     """Worker loop: receive trial chunks, stream one result per trial.
 
     Every per-trial exception is caught and reported — a worker only dies
     on genuinely fatal conditions (signals, interpreter errors), which the
-    supervisor observes as a worker death and retries.
+    supervisor observes as a worker death and retries.  Each reply carries
+    the trial's observability extras (metrics snapshot, wall-clock and —
+    when profiling — the rendered cProfile stats), since plain dicts and
+    strings are the only profile form that crosses the pipe.
     """
     # The supervisor owns SIGINT handling; workers must not die to Ctrl-C
     # racing ahead of the supervisor's orderly shutdown.
@@ -294,10 +383,18 @@ def _worker_main(
             return
         for trial_id, payload in message:
             try:
-                result = trial_fn(payload, derive_seed(master_seed, trial_id))
-                reply = ("ok", trial_id, result)
+                result, snapshot, duration, profile_text = _run_one_trial(
+                    trial_fn, payload, derive_seed(master_seed, trial_id),
+                    collect_metrics, profiled,
+                )
+                extra = {
+                    "metrics": snapshot,
+                    "duration_s": duration,
+                    "profile": profile_text,
+                }
+                reply = ("ok", trial_id, result, extra)
             except Exception as exc:  # noqa: BLE001 — isolation boundary
-                reply = ("error", trial_id, f"{type(exc).__name__}: {exc}")
+                reply = ("error", trial_id, f"{type(exc).__name__}: {exc}", None)
             try:
                 conn.send(reply)
             except (BrokenPipeError, OSError):
@@ -312,11 +409,13 @@ class _Worker:
         ctx: "multiprocessing.context.BaseContext",
         trial_fn: TrialFn,
         master_seed: int,
+        collect_metrics: bool = True,
+        profiled: bool = False,
     ) -> None:
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
             target=_worker_main,
-            args=(trial_fn, master_seed, child_conn),
+            args=(trial_fn, master_seed, child_conn, collect_metrics, profiled),
             daemon=True,
         )
         self.process.start()
@@ -360,6 +459,20 @@ class _Worker:
 # The supervisor
 # ----------------------------------------------------------------------
 
+@dataclasses.dataclass
+class _RunState:
+    """Mutable bookkeeping of one :meth:`CampaignSupervisor.run` pass."""
+
+    results: Dict[int, Any]
+    failures: Dict[int, HarnessFailure]
+    journal: Optional[CampaignJournal]
+    started: float
+    trial_metrics: Dict[int, dict] = dataclasses.field(default_factory=dict)
+    harness: MetricsRegistry = dataclasses.field(default_factory=MetricsRegistry)
+    hot_trials: Optional["obs_profile.ProfileCollector"] = None
+    reporter: Optional[ProgressReporter] = None
+
+
 class CampaignSupervisor:
     """Executes a list of independent trials under full fault containment.
 
@@ -380,12 +493,14 @@ class CampaignSupervisor:
         ``derive_seed(master_seed, i)``."""
         started = time.monotonic()
         planned = len(payloads)
-        results: Dict[int, Any] = {}
-        failures: Dict[int, HarnessFailure] = {}
+        state = _RunState(results={}, failures={}, journal=None, started=started)
+        if self.config.profile_top_k > 0:
+            state.hot_trials = obs_profile.ProfileCollector(
+                top_k=self.config.profile_top_k
+            )
 
-        journal: Optional[CampaignJournal] = None
         if self.config.journal_path is not None:
-            journal = CampaignJournal(
+            state.journal = CampaignJournal(
                 self.config.journal_path,
                 JournalHeader(
                     campaign=self.config.campaign,
@@ -393,73 +508,122 @@ class CampaignSupervisor:
                     total_trials=planned,
                 ),
             )
-            for entry in journal.entries.values():
+            for entry in state.journal.entries.values():
                 if entry.is_harness_failure:
-                    failures[entry.trial_id] = HarnessFailure(
+                    state.failures[entry.trial_id] = HarnessFailure(
                         trial_id=entry.trial_id,
                         kind=OutcomeClass(entry.status),
                         detail=entry.detail,
                         attempts=entry.attempts,
                     )
                 else:
-                    results[entry.trial_id] = self._decode(entry.result)
-        resumed = len(results) + len(failures)
+                    state.results[entry.trial_id] = self._decode(entry.result)
+                if entry.metrics is not None:
+                    # Replayed trials contribute their journaled snapshot —
+                    # this is what keeps resume from double- (or under-)
+                    # counting campaign metrics.
+                    state.trial_metrics[entry.trial_id] = entry.metrics
+        resumed = len(state.results) + len(state.failures)
+        state.harness.inc("harness.trials_resumed", resumed)
 
         pending: Deque["tuple[int, Any]"] = deque(
             (trial_id, payload)
             for trial_id, payload in enumerate(payloads)
-            if trial_id not in results and trial_id not in failures
+            if trial_id not in state.results and trial_id not in state.failures
         )
+
+        state.reporter = self.config.progress
+        if state.reporter is not None:
+            state.reporter.start(total=planned, already_done=resumed)
 
         try:
             if self.config.workers <= 0:
-                degraded = self._run_serial(pending, results, failures, journal, started)
+                degraded = self._run_serial(pending, state)
             else:
-                degraded = self._run_parallel(pending, results, failures, journal, started)
+                degraded = self._run_parallel(pending, state)
         finally:
-            if journal is not None:
-                journal.close()
+            if state.journal is not None:
+                state.journal.close()
+            if state.reporter is not None:
+                state.reporter.finish()
 
-        return SupervisorResult(
+        hot = state.hot_trials.hottest() if state.hot_trials is not None else []
+        for trial in hot:
+            obs_profile.record_hot_trial(trial)
+        result = SupervisorResult(
             planned=planned,
-            results=results,
-            failures=failures,
+            results=state.results,
+            failures=state.failures,
             degraded=degraded,
             elapsed_s=time.monotonic() - started,
             resumed_trials=resumed,
+            trial_metrics=state.trial_metrics,
+            harness_metrics=state.harness.snapshot(),
+            hot_trials=hot,
         )
+        # Surface the campaign in the caller's ambient registry: the
+        # deterministic per-trial aggregate plus the harness's own
+        # infrastructure counters.  Trials recorded into captured
+        # registries (serial mode swaps one in per trial), so nothing is
+        # counted twice here.
+        if self.config.collect_metrics:
+            obs_metrics.merge_into_active(result.metrics_snapshot())
+            obs_metrics.merge_into_active(result.harness_metrics)
+        return result
 
     # ------------------------------------------------------------------
     # Shared bookkeeping
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _outcome_label(result: Any) -> str:
+        """Progress-tally label of one simulated result."""
+        if isinstance(result, ExperimentRecord):
+            return result.outcome.value
+        return "ok"
+
     def _record_success(
         self,
+        state: _RunState,
         trial_id: int,
         result: Any,
         attempts: int,
-        results: Dict[int, Any],
-        journal: Optional[CampaignJournal],
+        metrics: Optional[dict] = None,
+        duration_s: Optional[float] = None,
+        profile_text: Optional[str] = None,
     ) -> None:
-        results[trial_id] = result
-        if journal is not None:
-            journal.append(TrialEntry(
+        state.results[trial_id] = result
+        if metrics is not None:
+            state.trial_metrics[trial_id] = metrics
+        state.harness.inc("harness.trials_ok")
+        if duration_s is not None:
+            state.harness.observe("harness.trial_duration_s", duration_s)
+        if profile_text is not None and state.hot_trials is not None:
+            state.hot_trials.record(obs_profile.HotTrial(
+                campaign=self.config.campaign,
+                trial_id=trial_id,
+                duration_s=duration_s if duration_s is not None else 0.0,
+                profile_text=profile_text,
+            ))
+        if state.journal is not None:
+            state.journal.append(TrialEntry(
                 trial_id=trial_id, status="ok",
                 result=self._encode(result), attempts=attempts,
+                metrics=metrics, duration_s=duration_s,
             ))
+        if state.reporter is not None:
+            state.reporter.note(self._outcome_label(result))
 
-    def _record_failure(
-        self,
-        failure: HarnessFailure,
-        failures: Dict[int, HarnessFailure],
-        journal: Optional[CampaignJournal],
-    ) -> None:
-        failures[failure.trial_id] = failure
-        if journal is not None:
-            journal.append(TrialEntry(
+    def _record_failure(self, state: _RunState, failure: HarnessFailure) -> None:
+        state.failures[failure.trial_id] = failure
+        state.harness.inc(f"harness.{failure.kind.value}")
+        if state.journal is not None:
+            state.journal.append(TrialEntry(
                 trial_id=failure.trial_id, status=failure.kind.value,
                 detail=failure.detail, attempts=failure.attempts,
             ))
+        if state.reporter is not None:
+            state.reporter.note(failure.kind.value)
 
     def _out_of_budget(self, started: float) -> bool:
         budget = self.config.budget_s
@@ -473,46 +637,49 @@ class CampaignSupervisor:
     # Serial path (workers == 0)
     # ------------------------------------------------------------------
 
-    def _run_serial(
-        self,
-        pending: Deque["tuple[int, Any]"],
-        results: Dict[int, Any],
-        failures: Dict[int, HarnessFailure],
-        journal: Optional[CampaignJournal],
-        started: float,
-    ) -> bool:
+    def _run_serial(self, pending: Deque["tuple[int, Any]"], state: _RunState) -> bool:
         config = self.config
+        profiled = config.profile_top_k > 0
         while pending:
-            if self._out_of_budget(started) or self._failure_cap_hit(failures):
+            if self._out_of_budget(state.started) or self._failure_cap_hit(state.failures):
                 return True
             trial_id, payload = pending.popleft()
             seed = derive_seed(config.master_seed, trial_id)
             attempts = 0
             while True:
                 attempts += 1
+                state.harness.inc("harness.trials_dispatched")
                 try:
                     with _alarm(config.timeout_s):
-                        result = self.trial_fn(payload, seed)
+                        result, snapshot, duration, profile_text = _run_one_trial(
+                            self.trial_fn, payload, seed,
+                            config.collect_metrics, profiled,
+                        )
                 except TrialTimeoutError as exc:
                     self._record_failure(
+                        state,
                         HarnessFailure(trial_id, OutcomeClass.HARNESS_TIMEOUT,
                                        str(exc), attempts),
-                        failures, journal,
                     )
                     break
                 except Exception as exc:  # noqa: BLE001 — isolation boundary
                     if attempts > config.max_retries:
                         self._record_failure(
+                            state,
                             HarnessFailure(
                                 trial_id, OutcomeClass.HARNESS_CRASH,
                                 f"{type(exc).__name__}: {exc}", attempts,
                             ),
-                            failures, journal,
                         )
                         break
+                    state.harness.inc("harness.retries")
                     time.sleep(config.backoff_s(attempts))
                 else:
-                    self._record_success(trial_id, result, attempts, results, journal)
+                    self._record_success(
+                        state, trial_id, result, attempts,
+                        metrics=snapshot, duration_s=duration,
+                        profile_text=profile_text,
+                    )
                     break
         return False
 
@@ -530,7 +697,11 @@ class CampaignSupervisor:
         """Spawn one worker, retrying transient start failures with backoff."""
         for attempt in range(1, self.config.max_retries + 2):
             try:
-                return _Worker(ctx, self.trial_fn, self.config.master_seed)
+                return _Worker(
+                    ctx, self.trial_fn, self.config.master_seed,
+                    collect_metrics=self.config.collect_metrics,
+                    profiled=self.config.profile_top_k > 0,
+                )
             except OSError:
                 if attempt > self.config.max_retries:
                     return None
@@ -544,15 +715,9 @@ class CampaignSupervisor:
         # tight, large enough to amortise the IPC per dispatch.
         return max(1, min(32, remaining // max(1, self.config.workers * 4)))
 
-    def _run_parallel(
-        self,
-        pending: Deque["tuple[int, Any]"],
-        results: Dict[int, Any],
-        failures: Dict[int, HarnessFailure],
-        journal: Optional[CampaignJournal],
-        started: float,
-    ) -> bool:
+    def _run_parallel(self, pending: Deque["tuple[int, Any]"], state: _RunState) -> bool:
         config = self.config
+        failures = state.failures
         ctx = self._make_context()
         workers: List[_Worker] = []
         attempts: Dict[int, int] = {}
@@ -565,10 +730,7 @@ class CampaignSupervisor:
         ) -> None:
             if tries is None:
                 tries = attempts.get(trial_id, 0) + 1
-            self._record_failure(
-                HarnessFailure(trial_id, kind, detail, tries),
-                failures, journal,
-            )
+            self._record_failure(state, HarnessFailure(trial_id, kind, detail, tries))
             attempts.pop(trial_id, None)
             retry_at.pop(trial_id, None)
 
@@ -579,6 +741,7 @@ class CampaignSupervisor:
             if tries > config.max_retries:
                 fail_trial(trial_id, OutcomeClass.HARNESS_CRASH, detail, tries)
             else:
+                state.harness.inc("harness.retries")
                 retry_at[trial_id] = time.monotonic() + config.backoff_s(tries)
                 pending.appendleft((trial_id, payload))
 
@@ -612,7 +775,7 @@ class CampaignSupervisor:
         try:
             while pending or any(w.assigned for w in workers):
                 now = time.monotonic()
-                if self._out_of_budget(started) or self._failure_cap_hit(failures):
+                if self._out_of_budget(state.started) or self._failure_cap_hit(failures):
                     degraded = True
                     break
 
@@ -622,10 +785,11 @@ class CampaignSupervisor:
                     if worker is None:
                         break
                     workers.append(worker)
+                    state.harness.inc("harness.workers_spawned")
                 if not workers:
                     # Pool spawn failed outright: degrade to in-process
                     # execution rather than losing the campaign.
-                    self._run_serial(pending, results, failures, journal, started)
+                    self._run_serial(pending, state)
                     return True
 
                 # Dispatch to idle workers.
@@ -634,6 +798,7 @@ class CampaignSupervisor:
                         chunk = take_chunk(now)
                         if chunk:
                             worker.dispatch(chunk, config.timeout_s)
+                            state.harness.inc("harness.trials_dispatched", len(chunk))
 
                 # Wait for the next event: a result, a deadline, a retry
                 # becoming eligible, or the budget check interval.
@@ -646,7 +811,7 @@ class CampaignSupervisor:
                 for conn in ready:
                     worker = next(w for w in busy if w.conn is conn)
                     try:
-                        kind, trial_id, body = conn.recv()
+                        kind, trial_id, body, extra = conn.recv()
                     except (EOFError, OSError):
                         reap_worker(
                             worker, OutcomeClass.HARNESS_CRASH,
@@ -662,9 +827,12 @@ class CampaignSupervisor:
                             break
                         pending.appendleft((queued_id, queued_payload))
                     if kind == "ok":
+                        extra = extra or {}
                         self._record_success(
-                            trial_id, body, attempts.get(trial_id, 0) + 1,
-                            results, journal,
+                            state, trial_id, body, attempts.get(trial_id, 0) + 1,
+                            metrics=extra.get("metrics"),
+                            duration_s=extra.get("duration_s"),
+                            profile_text=extra.get("profile"),
                         )
                         attempts.pop(trial_id, None)
                         retry_at.pop(trial_id, None)

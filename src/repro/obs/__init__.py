@@ -1,0 +1,55 @@
+"""Campaign observability: cross-process metrics, live progress, profiling.
+
+The paper's evaluation is built on large fault-injection campaigns; this
+package makes those campaigns observable while they run and measurable
+after they finish:
+
+* :mod:`repro.obs.metrics` — dependency-free counters/gauges/timers/
+  histograms with a mergeable plain-dict snapshot form, so per-trial
+  metrics recorded inside a forked worker ship back over the harness
+  pipes and aggregate deterministically;
+* :mod:`repro.obs.progress` — a throttled, TTY-aware live progress line
+  (done/total, per-outcome tallies, trials/s, ETA, resume-aware) for the
+  campaign supervisor;
+* :mod:`repro.obs.profile` — opt-in cProfile capture of the top-K hottest
+  trials, complementing the always-on perf_counter spans in the DES event
+  loop, TEM execution and the reliability solvers;
+* :mod:`repro.obs.export` — JSONL/CSV sinks behind the experiment
+  runner's ``--metrics PATH`` flag (one snapshot per section).
+"""
+
+from . import export, metrics, profile, progress  # noqa: F401
+from .export import MetricsSink, SectionMetrics, flatten_snapshot, read_jsonl
+from .metrics import (
+    MetricsRegistry,
+    Snapshot,
+    capture,
+    format_hot_paths,
+    merge_snapshots,
+    snapshot_is_empty,
+    stable_view,
+)
+from .profile import DEFAULT_TOP_K, HotTrial, ProfileCollector
+from .progress import ProgressReporter
+
+__all__ = [
+    "DEFAULT_TOP_K",
+    "HotTrial",
+    "MetricsRegistry",
+    "MetricsSink",
+    "ProfileCollector",
+    "ProgressReporter",
+    "SectionMetrics",
+    "Snapshot",
+    "capture",
+    "export",
+    "flatten_snapshot",
+    "format_hot_paths",
+    "merge_snapshots",
+    "metrics",
+    "profile",
+    "progress",
+    "read_jsonl",
+    "snapshot_is_empty",
+    "stable_view",
+]

@@ -1,0 +1,134 @@
+"""Metrics sinks: JSONL (default) and CSV exports of metric snapshots.
+
+The experiment runner's ``--metrics PATH`` flag opens one
+:class:`MetricsSink` for the whole run and writes **one row per section**
+— the section's wall-clock, status, merged metrics snapshot and (when
+``--profile`` is on) its hottest-trial summaries.  The format is chosen by
+extension: ``*.csv`` writes flattened rows, anything else writes JSONL.
+
+JSONL row schema::
+
+    {"kind": "section_metrics", "section": "E5 ...", "status": "ok",
+     "elapsed_s": 12.34, "metrics": {<snapshot>},
+     "hot_trials": [{"campaign": ..., "trial_id": ..., "duration_s": ...,
+                     "profile": "..."}, ...]}      # --profile only
+
+CSV rows flatten the snapshot to ``section,kind,name,field,value`` so the
+file loads straight into a spreadsheet or pandas; every section also gets
+a ``section,meta,elapsed_s,,<seconds>`` row.
+
+Snapshots are plain dicts (see :mod:`repro.obs.metrics`), so this module
+is pure stdlib.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from .metrics import Snapshot
+
+#: Truncation cap for embedded profile texts (keeps JSONL rows bounded).
+MAX_PROFILE_CHARS = 4000
+
+
+def flatten_snapshot(snap: Optional[Snapshot]) -> "List[Tuple[str, str, str, Any]]":
+    """Flatten a snapshot to ``(kind, name, field, value)`` rows."""
+    rows: "List[Tuple[str, str, str, Any]]" = []
+    snap = snap or {}
+    for name, value in sorted(snap.get("counters", {}).items()):
+        rows.append(("counter", name, "value", value))
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        rows.append(("gauge", name, "value", value))
+    for name, data in sorted(snap.get("timers", {}).items()):
+        for field in ("count", "total_s", "min_s", "max_s"):
+            rows.append(("timer", name, field, data[field]))
+    for name, data in sorted(snap.get("histograms", {}).items()):
+        rows.append(("histogram", name, "count", data["count"]))
+        rows.append(("histogram", name, "total", data["total"]))
+        rows.append(("histogram", name, "bounds", json.dumps(data["bounds"])))
+        rows.append(("histogram", name, "counts", json.dumps(data["counts"])))
+    return rows
+
+
+@dataclasses.dataclass
+class SectionMetrics:
+    """Everything exported for one runner section."""
+
+    section: str
+    status: str
+    elapsed_s: float
+    metrics: Snapshot
+    hot_trials: "List[Dict[str, Any]]" = dataclasses.field(default_factory=list)
+    error: Optional[str] = None
+
+    def to_json(self) -> "Dict[str, Any]":
+        row: "Dict[str, Any]" = {
+            "kind": "section_metrics",
+            "section": self.section,
+            "status": self.status,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "metrics": self.metrics,
+        }
+        if self.hot_trials:
+            row["hot_trials"] = self.hot_trials
+        if self.error is not None:
+            row["error"] = self.error
+        return row
+
+
+class MetricsSink:
+    """Append-per-section metrics writer (JSONL or CSV by extension)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.format = "csv" if self.path.suffix.lower() == ".csv" else "jsonl"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8", newline="")
+        self._csv = csv.writer(self._handle) if self.format == "csv" else None
+        if self._csv is not None:
+            self._csv.writerow(["section", "kind", "name", "field", "value"])
+
+    def write(self, entry: SectionMetrics) -> None:
+        """Write one section's row(s) and flush (crash-safe tail)."""
+        if self._csv is not None:
+            self._csv.writerow(
+                [entry.section, "meta", "status", "", entry.status]
+            )
+            self._csv.writerow(
+                [entry.section, "meta", "elapsed_s", "", round(entry.elapsed_s, 6)]
+            )
+            for kind, name, field, value in flatten_snapshot(entry.metrics):
+                self._csv.writerow([entry.section, kind, name, field, value])
+        else:
+            self._handle.write(json.dumps(entry.to_json()) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "MetricsSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: Union[str, Path]) -> "List[Dict[str, Any]]":
+    """Load every row of a JSONL metrics file (testing/analysis helper)."""
+    rows = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def iter_csv(path: Union[str, Path]) -> "Iterator[Dict[str, str]]":
+    """Iterate a CSV metrics file as dict rows (testing/analysis helper)."""
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        yield from csv.DictReader(handle)

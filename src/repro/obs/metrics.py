@@ -1,0 +1,359 @@
+"""Cross-process metrics: counters, gauges, timers, fixed-bucket histograms.
+
+The observability substrate of the campaign engine.  Design constraints:
+
+* **no dependencies** — plain dicts and ``time.perf_counter`` only, so the
+  instrumented hot paths (DES event loop, TEM execution, CTMC solvers) pay
+  roughly one dict update per recorded fact;
+* **mergeable snapshots** — a registry serialises to a plain-JSON dict
+  (:meth:`MetricsRegistry.snapshot`) that can cross a ``multiprocessing``
+  pipe and be merged supervisor-side (:func:`merge_snapshots`).  Counter,
+  timer-count and histogram-count merges are commutative and associative,
+  so aggregating the same seeded trials serially, in a worker pool, or
+  across a checkpoint resume yields the identical totals;
+* **ambient registry** — instrumented library code records into the
+  *active* registry (:func:`active`); the campaign supervisor swaps in a
+  fresh registry per trial (:func:`capture`) so per-trial metrics can be
+  shipped back from forked workers, while code outside any campaign simply
+  accumulates into the process-wide default registry.
+
+Snapshot schema (JSON)::
+
+    {
+      "counters":   {name: number},
+      "gauges":     {name: number},
+      "timers":     {name: {"count": n, "total_s": t,
+                            "min_s": lo, "max_s": hi}},
+      "histograms": {name: {"bounds": [b0, ..., bk],
+                            "counts": [c0, ..., ck, overflow],
+                            "count": n, "total": sum}}
+    }
+
+Empty kinds are omitted.  Wall-clock fields (``total_s``/``min_s``/
+``max_s``, histogram bucket counts over durations) vary run to run; the
+deterministic projection used by reproducibility tests is
+:func:`stable_view` (counters plus timer/histogram event counts).
+
+Single-threaded by design: trials, the DES and the solvers all run on one
+thread per process, so no locking is needed (or provided).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+#: Default histogram bucket upper bounds, in seconds (durations).
+DEFAULT_DURATION_BOUNDS_S = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+)
+
+Snapshot = Dict[str, Any]
+
+
+class MetricsRegistry:
+    """One process-local set of counters/gauges/timers/histograms."""
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_timers", "_histograms")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        # timer: [count, total_s, min_s, max_s]
+        self._timers: Dict[str, List[float]] = {}
+        # histogram: [bounds tuple, counts list (len(bounds)+1), count, total]
+        self._histograms: Dict[str, List[Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, by: float = 1) -> None:
+        """Add *by* to counter *name* (no-op for 0, so zero-valued keys
+        never appear and snapshots stay sparse)."""
+        if not self.enabled or not by:
+            return
+        self._counters[name] = self._counters.get(name, 0) + by
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def observe_duration(self, name: str, seconds: float) -> None:
+        """Record one duration sample into timer *name*."""
+        if not self.enabled:
+            return
+        timer = self._timers.get(name)
+        if timer is None:
+            self._timers[name] = [1, seconds, seconds, seconds]
+            return
+        timer[0] += 1
+        timer[1] += seconds
+        if seconds < timer[2]:
+            timer[2] = seconds
+        if seconds > timer[3]:
+            timer[3] = seconds
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_DURATION_BOUNDS_S,
+    ) -> None:
+        """Record *value* into fixed-bucket histogram *name*.
+
+        The first observation fixes the bucket bounds; later calls with
+        different bounds raise :class:`ValueError` (silently re-bucketing
+        would corrupt merges).
+        """
+        if not self.enabled:
+            return
+        hist = self._histograms.get(name)
+        if hist is None:
+            bounds = tuple(float(b) for b in bounds)
+            if list(bounds) != sorted(bounds):
+                raise ValueError(f"histogram {name!r} bounds must be sorted")
+            hist = self._histograms[name] = [bounds, [0] * (len(bounds) + 1), 0, 0.0]
+        elif tuple(hist[0]) != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds {hist[0]}"
+            )
+        hist[1][_bucket_index(hist[0], value)] += 1
+        hist[2] += 1
+        hist[3] += value
+
+    @contextlib.contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into timer *name* (perf_counter)."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe_duration(name, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def timer_count(self, name: str) -> int:
+        """Number of samples recorded into timer *name*."""
+        timer = self._timers.get(name)
+        return int(timer[0]) if timer is not None else 0
+
+    def snapshot(self) -> Snapshot:
+        """Serialise to a plain-JSON mergeable dict (empty kinds omitted)."""
+        snap: Snapshot = {}
+        if self._counters:
+            snap["counters"] = dict(self._counters)
+        if self._gauges:
+            snap["gauges"] = dict(self._gauges)
+        if self._timers:
+            snap["timers"] = {
+                name: {
+                    "count": int(t[0]), "total_s": t[1],
+                    "min_s": t[2], "max_s": t[3],
+                }
+                for name, t in self._timers.items()
+            }
+        if self._histograms:
+            snap["histograms"] = {
+                name: {
+                    "bounds": list(h[0]), "counts": list(h[1]),
+                    "count": int(h[2]), "total": h[3],
+                }
+                for name, h in self._histograms.items()
+            }
+        return snap
+
+    def merge_snapshot(self, snap: Optional[Snapshot]) -> None:
+        """Fold a snapshot into this registry (counters/timers/histograms
+        add; gauges: the incoming value wins)."""
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            self._gauges[name] = value
+        for name, data in snap.get("timers", {}).items():
+            timer = self._timers.get(name)
+            if timer is None:
+                self._timers[name] = [
+                    data["count"], data["total_s"], data["min_s"], data["max_s"],
+                ]
+            else:
+                timer[0] += data["count"]
+                timer[1] += data["total_s"]
+                timer[2] = min(timer[2], data["min_s"])
+                timer[3] = max(timer[3], data["max_s"])
+        for name, data in snap.get("histograms", {}).items():
+            hist = self._histograms.get(name)
+            if hist is None:
+                self._histograms[name] = [
+                    tuple(data["bounds"]), list(data["counts"]),
+                    data["count"], data["total"],
+                ]
+            else:
+                if tuple(hist[0]) != tuple(data["bounds"]):
+                    raise ValueError(
+                        f"cannot merge histogram {name!r}: bounds differ "
+                        f"({hist[0]} vs {data['bounds']})"
+                    )
+                hist[1] = [a + b for a, b in zip(hist[1], data["counts"])]
+                hist[2] += data["count"]
+                hist[3] += data["total"]
+
+    def clear(self) -> None:
+        """Drop all recorded values."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, timers={len(self._timers)}, "
+            f"histograms={len(self._histograms)}, enabled={self.enabled})"
+        )
+
+
+def _bucket_index(bounds: Sequence[float], value: float) -> int:
+    """Index of the first bucket whose upper bound fits *value* (linear
+    scan; bucket lists are short and fixed)."""
+    for index, bound in enumerate(bounds):
+        if value <= bound:
+            return index
+    return len(bounds)
+
+
+# ----------------------------------------------------------------------
+# The ambient (active) registry
+# ----------------------------------------------------------------------
+
+_default_registry = MetricsRegistry()
+_registry_stack: List[MetricsRegistry] = [_default_registry]
+
+
+def active() -> MetricsRegistry:
+    """The registry instrumented code currently records into."""
+    return _registry_stack[-1]
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide base registry (bottom of the capture stack)."""
+    return _default_registry
+
+
+@contextlib.contextmanager
+def capture(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh (or given) registry as the active one.
+
+    Everything instrumented code records inside the ``with`` block lands in
+    the captured registry only — the previous active registry is *not*
+    updated automatically; callers that want the capture reflected upstream
+    merge the snapshot explicitly (as the campaign supervisor does once per
+    campaign, and the experiment runner once per section).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    _registry_stack.append(registry)
+    try:
+        yield registry
+    finally:
+        _registry_stack.pop()
+
+
+# Module-level conveniences: record into the active registry.
+
+def inc(name: str, by: float = 1) -> None:
+    active().inc(name, by)
+
+
+def gauge(name: str, value: float) -> None:
+    active().gauge(name, value)
+
+
+def observe_duration(name: str, seconds: float) -> None:
+    active().observe_duration(name, seconds)
+
+
+def observe(
+    name: str, value: float, bounds: Sequence[float] = DEFAULT_DURATION_BOUNDS_S
+) -> None:
+    active().observe(name, value, bounds)
+
+
+def span(name: str) -> "contextlib.AbstractContextManager[None]":
+    return active().span(name)
+
+
+def merge_into_active(snap: Optional[Snapshot]) -> None:
+    """Fold *snap* into the currently active registry."""
+    active().merge_snapshot(snap)
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra
+# ----------------------------------------------------------------------
+
+def merge_snapshots(*snaps: Optional[Snapshot]) -> Snapshot:
+    """Merge snapshots into one (order only matters for gauges)."""
+    registry = MetricsRegistry()
+    for snap in snaps:
+        registry.merge_snapshot(snap)
+    return registry.snapshot()
+
+
+def snapshot_is_empty(snap: Optional[Snapshot]) -> bool:
+    """True when the snapshot records nothing."""
+    return not snap or not any(snap.get(kind) for kind in (
+        "counters", "gauges", "timers", "histograms",
+    ))
+
+
+def stable_view(snap: Optional[Snapshot]) -> Snapshot:
+    """The deterministic projection of a snapshot.
+
+    Counters and event *counts* of timers/histograms depend only on what
+    the instrumented code did — not on how fast the machine ran — so a
+    seeded campaign must produce the identical stable view whether it ran
+    serially, in a worker pool, or across a kill-and-resume.  Wall-clock
+    fields (durations, min/max, duration-bucket tallies) are excluded.
+    """
+    snap = snap or {}
+    view: Snapshot = {}
+    if snap.get("counters"):
+        view["counters"] = dict(snap["counters"])
+    if snap.get("timers"):
+        view["timer_counts"] = {
+            name: data["count"] for name, data in snap["timers"].items()
+        }
+    if snap.get("histograms"):
+        view["histogram_counts"] = {
+            name: data["count"] for name, data in snap["histograms"].items()
+        }
+    return view
+
+
+def format_hot_paths(snap: Optional[Snapshot], top: int = 3) -> str:
+    """One-line ``name total_s xcount`` digest of the busiest timers."""
+    timers = (snap or {}).get("timers", {})
+    busiest = sorted(
+        timers.items(), key=lambda kv: kv[1]["total_s"], reverse=True
+    )[:top]
+    if not busiest:
+        return "no timed hot paths"
+    return ", ".join(
+        f"{name} {data['total_s']:.3f}s x{data['count']}"
+        for name, data in busiest
+        if math.isfinite(data["total_s"])
+    )

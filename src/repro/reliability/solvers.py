@@ -25,6 +25,7 @@ from scipy.integrate import solve_ivp
 from scipy.linalg import expm
 
 from ..errors import ModelError
+from ..obs import metrics as obs_metrics
 from .ctmc import MarkovChain
 
 _METHODS = ("expm", "uniformization", "ode")
@@ -42,11 +43,12 @@ def transient_distribution(
     if t == 0:
         return pi0
     q = chain.generator_matrix()
-    if method == "expm":
-        return _clip(pi0 @ expm(q * t))
-    if method == "uniformization":
-        return _clip(_uniformization(pi0, q, t, tol))
-    return _clip(_ode(pi0, q, [t])[-1])
+    with obs_metrics.span(f"solver.{method}"):
+        if method == "expm":
+            return _clip(pi0 @ expm(q * t))
+        if method == "uniformization":
+            return _clip(_uniformization(pi0, q, t, tol))
+        return _clip(_ode(pi0, q, [t])[-1])
 
 
 def transient_distributions(
@@ -63,7 +65,8 @@ def transient_distributions(
     if method == "ode" and times == sorted(times) and times and times[-1] > 0:
         pi0 = chain.initial_distribution
         q = chain.generator_matrix()
-        return np.vstack([_clip(row) for row in _ode(pi0, q, times)])
+        with obs_metrics.span("solver.ode"):
+            return np.vstack([_clip(row) for row in _ode(pi0, q, times)])
     return np.vstack([transient_distribution(chain, t, method=method, tol=tol) for t in times])
 
 
@@ -83,7 +86,8 @@ def steady_state(chain: MarkovChain) -> np.ndarray:
     b = np.zeros(n)
     b[-1] = 1.0
     try:
-        pi, residual, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+        with obs_metrics.span("solver.steady_state"):
+            pi, residual, rank, _ = np.linalg.lstsq(a, b, rcond=None)
     except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
         raise ModelError(f"steady-state solve failed: {exc}") from exc
     if rank < n:

@@ -18,9 +18,11 @@ visible to the tick at t) and then by scheduling order.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Iterable, Optional
 
 from ..errors import SimulationError
+from ..obs import metrics as obs_metrics
 from .events import EventHandle, _QueueEntry
 
 #: Priority classes for simultaneous events (lower fires first).
@@ -134,6 +136,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed_this_run = 0
+        wall_started = perf_counter()
         try:
             while self._heap:
                 if self._stopped:
@@ -159,6 +162,10 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            # Instrumentation stays out of the per-event loop: one timer
+            # sample and one counter add per run() pass, however long.
+            obs_metrics.observe_duration("sim.run", perf_counter() - wall_started)
+            obs_metrics.inc("sim.events", executed_this_run)
         return self._now
 
     def step(self) -> bool:

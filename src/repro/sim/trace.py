@@ -13,7 +13,8 @@ detection, vote, omission, node restart, bus frame, ...) is recorded as a
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,7 +59,11 @@ class TraceRecorder:
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
         self.enabled = enabled
-        self._events: List[TraceEvent] = []
+        # A deque with maxlen makes capacity trimming O(1) per emit — the
+        # old list backing paid an O(n) ``del`` slice on every overflowing
+        # emit, which made bounded traces *more* expensive than unbounded
+        # ones on long campaigns.
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._capacity = capacity
         self._listeners: List[Callable[[TraceEvent], None]] = []
 
@@ -70,8 +75,6 @@ class TraceRecorder:
         event = TraceEvent(time=time, category=category, source=source, details=details)
         if self.enabled:
             self._events.append(event)
-            if self._capacity is not None and len(self._events) > self._capacity:
-                del self._events[: len(self._events) - self._capacity]
         for listener in self._listeners:
             listener(event)
 
@@ -82,8 +85,8 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     @property
     def events(self) -> List[TraceEvent]:
-        """All recorded events in emission order."""
-        return self._events
+        """All recorded events in emission order (a fresh list)."""
+        return list(self._events)
 
     def select(self, category: str, source: Optional[str] = None) -> List[TraceEvent]:
         """Events whose category matches *category* (prefix semantics)."""

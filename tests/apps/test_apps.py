@@ -175,6 +175,7 @@ class TestWheelController:
         assert force == 1_000
 
 
+@pytest.mark.slow
 class TestBbwFunctionalSimulation:
     def test_clean_stop(self):
         simulation = BbwSimulation(BbwConfig(pedal=step_brake(0.2)))

@@ -9,6 +9,9 @@ from repro.apps.scenarios import (
 )
 from repro.errors import ConfigurationError
 
+# Scenario runs are full kernel-backed BBW simulations (seconds each).
+pytestmark = pytest.mark.slow
+
 
 class TestCatalog:
     def test_catalog_names(self):

@@ -163,6 +163,7 @@ class TestSimulationStudy:
         assert study.render()
 
 
+@pytest.mark.slow
 class TestBrakingComparison:
     def test_nlft_retains_more_wheels_than_fs(self):
         comparison = compare_braking_under_faults(seed=13)

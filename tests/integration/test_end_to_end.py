@@ -117,6 +117,7 @@ class TestPoissonFaultsOnDistributedSystem:
         assert all(n.status is not NodeStatus.DOWN_PERMANENT for n in nodes)
 
 
+@pytest.mark.slow
 class TestBbwWithFsNodesEndToEnd:
     def test_fs_system_loses_wheels_where_nlft_masks(self):
         """Identical seed and fault schedule: the FS system silences nodes

@@ -1,6 +1,11 @@
 """Smoke test of the combined experiment runner (python -m repro)."""
 
+import pytest
+
 from repro.experiments.runner import run_all
+
+# A full --fast report runs every experiment end to end (~10 s).
+pytestmark = pytest.mark.slow
 
 
 class TestRunner:

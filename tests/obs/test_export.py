@@ -1,0 +1,82 @@
+"""Tests of the JSONL/CSV metrics sinks (repro.obs.export)."""
+
+from repro.obs.export import (
+    MetricsSink,
+    SectionMetrics,
+    flatten_snapshot,
+    iter_csv,
+    read_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_snapshot():
+    reg = MetricsRegistry()
+    reg.inc("tem.jobs", 5)
+    reg.gauge("g", 0.5)
+    reg.observe_duration("solver.ode", 0.25)
+    reg.observe("h", 0.1, bounds=(1.0,))
+    return reg.snapshot()
+
+
+class TestFlatten:
+    def test_rows_cover_every_kind(self):
+        rows = flatten_snapshot(_sample_snapshot())
+        kinds = {row[0] for row in rows}
+        assert kinds == {"counter", "gauge", "timer", "histogram"}
+        assert ("counter", "tem.jobs", "value", 5) in rows
+
+    def test_none_and_empty_flatten_to_nothing(self):
+        assert flatten_snapshot(None) == []
+        assert flatten_snapshot({}) == []
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with MetricsSink(path) as sink:
+            sink.write(SectionMetrics(
+                section="E5", status="ok", elapsed_s=1.25,
+                metrics=_sample_snapshot(),
+                hot_trials=[{"campaign": "e5", "trial_id": 7,
+                             "duration_s": 0.5, "profile": "stats..."}],
+            ))
+            sink.write(SectionMetrics(
+                section="E6", status="error", elapsed_s=0.1,
+                metrics={}, error="ValueError: boom",
+            ))
+        rows = read_jsonl(path)
+        assert len(rows) == 2
+        assert all(row["kind"] == "section_metrics" for row in rows)
+        assert rows[0]["section"] == "E5"
+        assert rows[0]["metrics"]["counters"]["tem.jobs"] == 5
+        assert rows[0]["hot_trials"][0]["trial_id"] == 7
+        assert rows[1]["status"] == "error"
+        assert rows[1]["error"] == "ValueError: boom"
+        assert "hot_trials" not in rows[1]
+
+    def test_rows_flushed_per_write(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with MetricsSink(path) as sink:
+            sink.write(SectionMetrics(
+                section="E1", status="ok", elapsed_s=0.0, metrics={},
+            ))
+            # Readable before close: a crashed runner keeps finished rows.
+            assert len(read_jsonl(path)) == 1
+
+
+class TestCsvSink:
+    def test_csv_selected_by_extension_and_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        with MetricsSink(path) as sink:
+            assert sink.format == "csv"
+            sink.write(SectionMetrics(
+                section="E5", status="ok", elapsed_s=2.0,
+                metrics=_sample_snapshot(),
+            ))
+        rows = list(iter_csv(path))
+        by_key = {(r["kind"], r["name"], r["field"]): r["value"] for r in rows}
+        assert by_key[("counter", "tem.jobs", "value")] == "5"
+        assert by_key[("meta", "status", "")] == "ok"
+        assert float(by_key[("meta", "elapsed_s", "")]) == 2.0
+        assert all(r["section"] == "E5" for r in rows)

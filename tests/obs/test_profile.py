@@ -1,0 +1,73 @@
+"""Tests of the hottest-trial profiling hooks (repro.obs.profile)."""
+
+import pytest
+
+from repro.obs import profile
+
+
+def _trial(campaign, trial_id, duration):
+    return profile.HotTrial(
+        campaign=campaign, trial_id=trial_id,
+        duration_s=duration, profile_text=f"stats {trial_id}",
+    )
+
+
+class TestCollector:
+    def test_keeps_only_the_k_slowest(self):
+        collector = profile.ProfileCollector(top_k=2)
+        for trial_id, duration in ((0, 0.1), (1, 0.9), (2, 0.5), (3, 0.01)):
+            collector.record(_trial("c", trial_id, duration))
+        hottest = collector.hottest()
+        assert [t.trial_id for t in hottest] == [1, 2]  # slowest first
+        assert hottest[0].duration_s == pytest.approx(0.9)
+
+    def test_drain_resets(self):
+        collector = profile.ProfileCollector(top_k=1)
+        collector.record(_trial("c", 0, 0.1))
+        assert len(collector.drain()) == 1
+        assert collector.drain() == []
+
+    def test_render_mentions_every_hot_trial(self):
+        collector = profile.ProfileCollector(top_k=3)
+        collector.record(_trial("e5", 4, 0.2))
+        text = collector.render()
+        assert "e5 trial 4" in text
+        assert "stats 4" in text
+        assert profile.ProfileCollector(top_k=1).render() == (
+            "no profiled trials captured"
+        )
+
+    def test_top_k_validated(self):
+        with pytest.raises(ValueError):
+            profile.ProfileCollector(top_k=0)
+
+
+class TestModuleCollector:
+    def test_disabled_by_default_and_record_is_noop(self):
+        assert profile.collector() is None
+        profile.record_hot_trial(_trial("c", 0, 1.0))  # must not raise
+
+    def test_enabled_context_installs_and_restores(self):
+        with profile.enabled(top_k=2) as collector:
+            assert profile.collector() is collector
+            profile.record_hot_trial(_trial("c", 1, 0.3))
+            assert [t.trial_id for t in collector.hottest()] == [1]
+        assert profile.collector() is None
+
+
+class TestProfiledCall:
+    def test_returns_result_and_stats_text(self):
+        def work(x, y):
+            return sorted(range(x))[y]
+
+        result, text = profile.profiled_call(work, 100, 5)
+        assert result == 5
+        assert "cumulative" in text  # pstats header of the sort order
+        assert "function calls" in text
+
+    def test_exceptions_propagate(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            profile.profiled_call(broken)

@@ -1,0 +1,96 @@
+"""Tests of the throttled live progress reporter (repro.obs.progress)."""
+
+import io
+
+from repro.obs.progress import ProgressReporter, _format_eta
+
+
+def _reporter(**kwargs):
+    stream = io.StringIO()
+    kwargs.setdefault("min_interval_s", 0.0)
+    return ProgressReporter("test", stream=stream, enabled=True, **kwargs), stream
+
+
+class TestReporter:
+    def test_line_shows_done_total_and_tallies(self):
+        reporter, _ = _reporter()
+        reporter.start(total=10)
+        reporter.note("masked")
+        reporter.note("masked")
+        reporter.note("harness_timeout")
+        line = reporter.render_line()
+        assert "3/10" in line
+        assert "masked:2" in line
+        assert "harness_timeout:1" in line
+        reporter.finish()
+
+    def test_output_overwrites_in_place_and_ends_with_newline(self):
+        reporter, stream = _reporter()
+        reporter.start(total=2)
+        reporter.note("ok")
+        reporter.note("ok")
+        reporter.finish()
+        text = stream.getvalue()
+        assert "\r" in text
+        assert text.endswith("\n")
+        assert "2/2" in text
+
+    def test_disabled_reporter_writes_nothing(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter("test", stream=stream, enabled=False)
+        reporter.start(total=5)
+        reporter.note("ok")
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_non_tty_stream_auto_disables(self):
+        # StringIO().isatty() is False, so auto-detection must disable.
+        reporter = ProgressReporter("test", stream=io.StringIO())
+        assert reporter.enabled is False
+
+    def test_throttle_limits_repaints(self):
+        reporter, stream = _reporter(min_interval_s=3600.0)
+        reporter.start(total=100)  # forced initial paint
+        for _ in range(50):
+            reporter.note("ok")
+        # Only the forced start() paint made it through the throttle.
+        assert stream.getvalue().count("\r") == 1
+        reporter.finish()  # forced final paint
+        assert stream.getvalue().count("\r") == 2
+
+    def test_resumed_trials_count_as_done_but_not_toward_rate(self):
+        reporter, _ = _reporter()
+        reporter.start(total=10, already_done=4)
+        line = reporter.render_line()
+        assert "4/10" in line
+        assert "(resumed 4)" in line
+        assert "trials/s" not in line  # no fresh trial yet -> no rate
+        reporter.note("ok")
+        line = reporter.render_line()
+        assert "5/10" in line
+        assert "trials/s" in line
+        reporter.finish()
+
+    def test_closed_stream_degrades_to_silent(self):
+        reporter, stream = _reporter()
+        reporter.start(total=3)
+        stream.close()
+        reporter.note("ok")  # must not raise
+        assert reporter.enabled is False
+
+    def test_long_lines_truncated(self):
+        reporter, _ = _reporter(max_width=40)
+        reporter.start(total=1000)
+        for index in range(30):
+            reporter.note(f"outcome_with_a_long_name_{index}")
+        line = reporter.render_line()
+        assert len(line) <= 40
+        assert line.endswith("...")
+        reporter.finish()
+
+
+class TestEta:
+    def test_format(self):
+        assert _format_eta(0) == "0:00:00"
+        assert _format_eta(61) == "0:01:01"
+        assert _format_eta(3723) == "1:02:03"
