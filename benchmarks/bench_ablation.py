@@ -7,6 +7,8 @@ mechanism is removed in turn under an identical fault list, and the
 coverage taxonomy is re-estimated across three different workloads.
 """
 
+import common
+
 from repro.experiments import compute_ablation_table, compute_workload_table
 
 
@@ -16,8 +18,12 @@ def test_benchmark_edm_ablation(benchmark):
         rounds=1, iterations=1,
     )
 
-    print()
-    print(result.render())
+    common.report(
+        "ablation.edm",
+        wall_s=common.benchmark_mean(benchmark),
+        trials=1_000,
+        text=result.render(),
+    )
 
     # The full stack lets nothing escape on this campaign.
     assert result.escapes("full") == 0
@@ -39,8 +45,12 @@ def test_benchmark_workload_robustness(benchmark):
         rounds=1, iterations=1,
     )
 
-    print()
-    print(result.render())
+    common.report(
+        "ablation.workloads",
+        wall_s=common.benchmark_mean(benchmark),
+        trials=600,
+        text=result.render(),
+    )
 
     assert result.taxonomy_is_robust
     for stats in result.stats.values():

@@ -7,14 +7,19 @@ models and reports steady-state availability / yearly downtime, FS vs
 NLFT, across service responsiveness.
 """
 
+import common
+
 from repro.experiments import compute_availability_table
 
 
 def test_benchmark_availability(benchmark):
     result = benchmark(compute_availability_table)
 
-    print()
-    print(result.render())
+    common.report(
+        "availability.table",
+        wall_s=common.benchmark_mean(benchmark),
+        text=result.render(),
+    )
 
     for hours in result.replacement_hours:
         # Maintenance keeps both configurations highly available...

@@ -12,6 +12,8 @@ Two parts:
   nodes.
 """
 
+import common
+
 from repro.experiments import compare_braking_under_faults, run_simulation_study
 
 REPLICAS = 250
@@ -23,8 +25,12 @@ def test_benchmark_mission_monte_carlo(benchmark):
         rounds=1, iterations=1,
     )
 
-    print()
-    print(study.render())
+    common.report(
+        "simulation.monte_carlo",
+        wall_s=common.benchmark_mean(benchmark),
+        trials=REPLICAS,
+        text=study.render(),
+    )
 
     for key, simulated in study.empirical.items():
         analytical = study.analytical[key]
@@ -40,8 +46,11 @@ def test_benchmark_braking_comparison(benchmark):
         compare_braking_under_faults, rounds=1, iterations=1
     )
 
-    print()
-    print(comparison.render())
+    common.report(
+        "simulation.braking",
+        wall_s=common.benchmark_mean(benchmark),
+        text=comparison.render(),
+    )
 
     fs = comparison.summaries["fs"]
     nlft = comparison.summaries["nlft"]

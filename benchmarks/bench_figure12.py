@@ -9,17 +9,26 @@ and the +55% NLFT gain in degraded mode.
 
 import pytest
 
+import common
+
 from repro.experiments import compute_figure12, series_rows
 
 
 def test_benchmark_figure12(benchmark):
     result = benchmark(compute_figure12)
 
-    print()
-    print("Figure 12 data (hours, R fs/full, R fs/degraded, R nlft/full, R nlft/degraded):")
-    for row in series_rows(result):
-        print("  " + "  ".join(f"{value:10.4f}" for value in row))
-    print(result.render())
+    series = "\n".join(
+        "  " + "  ".join(f"{value:10.4f}" for value in row)
+        for row in series_rows(result)
+    )
+    common.report(
+        "figures.figure12",
+        wall_s=common.benchmark_mean(benchmark),
+        text=(
+            "Figure 12 data (hours, R fs/full, R fs/degraded, R nlft/full, "
+            "R nlft/degraded):\n" + series + "\n" + result.render()
+        ),
+    )
 
     r = result.r_one_year
     assert r["fs/degraded"] == pytest.approx(0.45, abs=0.02)

@@ -6,14 +6,19 @@ Asserts the paper's finding: "The main reliability bottleneck is the wheel
 node subsystem."
 """
 
+import common
+
 from repro.experiments import compute_figure13
 
 
 def test_benchmark_figure13(benchmark):
     result = benchmark(compute_figure13)
 
-    print()
-    print(result.render())
+    common.report(
+        "figures.figure13",
+        wall_s=common.benchmark_mean(benchmark),
+        text=result.render(),
+    )
 
     assert result.bottleneck_is_wheel_subsystem
     # The duplex CU outlives the simplex wheel subsystem for both node types.

@@ -7,14 +7,19 @@ negligible while far below the repair rate, and the NLFT advantage grows
 with the fault rate.
 """
 
+import common
+
 from repro.experiments import compute_figure14
 
 
 def test_benchmark_figure14(benchmark):
     result = benchmark(compute_figure14)
 
-    print()
-    print(result.render())
+    common.report(
+        "figures.figure14",
+        wall_s=common.benchmark_mean(benchmark),
+        text=result.render(),
+    )
 
     top_scale = max(result.rate_scales)
     for node_type in ("fs", "nlft"):

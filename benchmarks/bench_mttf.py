@@ -8,18 +8,24 @@ years (almost +60%).
 
 import pytest
 
+import common
+
 from repro.experiments import compute_mttf_table
 
 
 def test_benchmark_mttf_table(benchmark):
     table = benchmark(compute_mttf_table)
 
-    print()
-    print(table.render())
-    print("subsystem MTTFs (years):")
-    for key, subsystems in sorted(table.subsystem_mttf_years.items()):
-        rendered = ", ".join(f"{name}={value:.2f}" for name, value in subsystems.items())
-        print(f"  {key[0]}/{key[1]}: {rendered}")
+    subsystem_lines = "\n".join(
+        f"  {key[0]}/{key[1]}: "
+        + ", ".join(f"{name}={value:.2f}" for name, value in subsystems.items())
+        for key, subsystems in sorted(table.subsystem_mttf_years.items())
+    )
+    common.report(
+        "figures.mttf_table",
+        wall_s=common.benchmark_mean(benchmark),
+        text=table.render() + "\nsubsystem MTTFs (years):\n" + subsystem_lines,
+    )
 
     assert table.mttf_years[("fs", "degraded")] == pytest.approx(1.2, abs=0.1)
     assert table.mttf_years[("nlft", "degraded")] == pytest.approx(1.9, abs=0.1)

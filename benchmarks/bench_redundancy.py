@@ -7,14 +7,19 @@ quantify the paper's "fewer redundant nodes" cost argument, and importance
 measures make the Figure 13 bottleneck statement quantitative.
 """
 
+import common
+
 from repro.experiments import compute_importance_table, compute_redundancy_table
 
 
 def test_benchmark_redundancy_study(benchmark):
     result = benchmark.pedantic(compute_redundancy_table, rounds=1, iterations=1)
 
-    print()
-    print(result.render())
+    common.report(
+        "redundancy.dimensioning",
+        wall_s=common.benchmark_mean(benchmark),
+        text=result.render(),
+    )
 
     # The paper's cost claim: NLFT reaches the target with one node less.
     assert result.nodes_needed["fs"] == 5
@@ -31,8 +36,11 @@ def test_benchmark_redundancy_study(benchmark):
 def test_benchmark_importance(benchmark):
     result = benchmark(compute_importance_table)
 
-    print()
-    print(result.render())
+    common.report(
+        "redundancy.importance",
+        wall_s=common.benchmark_mean(benchmark),
+        text=result.render(),
+    )
 
     assert result.wheel_subsystem_is_always_the_bottleneck
     for report in result.reports.values():

@@ -8,14 +8,19 @@ reserved recovery slack, and the slack bounds how many recoveries can be
 guaranteed.
 """
 
+import common
+
 from repro.experiments import compute_schedulability
 
 
 def test_benchmark_schedulability(benchmark):
     result = benchmark(compute_schedulability)
 
-    print()
-    print(result.render())
+    common.report(
+        "schedulability.analysis",
+        wall_s=common.benchmark_mean(benchmark),
+        text=result.render(),
+    )
 
     assert result.schedulable_plain
     assert result.schedulable_ft

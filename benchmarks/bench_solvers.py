@@ -1,18 +1,29 @@
-"""Ablation benchmark — CTMC transient solver back-ends.
+"""Ablation benchmark — CTMC transient solver back-ends and the fast path.
 
-Run:  pytest benchmarks/bench_solvers.py --benchmark-only -s
+Run:  pytest benchmarks/bench_solvers.py --benchmark-only -s [--json PATH]
 
 Times the three independent transient solvers (matrix exponential,
 uniformization, Kolmogorov ODE) on the paper's largest model (the 5-state
 NLFT degraded wheel subsystem) and verifies they agree to tight tolerance.
 This is the DESIGN.md ablation for the choice of default solver.
+
+The grid benchmark is the PR's solver fast-path gate: a dense R(t) grid
+solved with the SolverCache (one scaled decomposition propagated along the
+grid) must be at least 2x faster than the reference path (one independent
+matrix exponential per point) while agreeing within solver tolerance.
 """
 
 import numpy as np
 import pytest
 
+import common
+from repro import perf
 from repro.models import BbwParameters, build_wn_nlft_degraded
-from repro.reliability import transient_distribution
+from repro.reliability import (
+    clear_solver_cache,
+    transient_distribution,
+    transient_distributions,
+)
 from repro.units import HOURS_PER_YEAR
 
 #: Uniformization must sum ~LAMBDA*t Poisson terms; with the paper's stiff
@@ -23,6 +34,11 @@ from repro.units import HOURS_PER_YEAR
 #: the matrix exponential is the right default, which is why it is ours.
 HORIZON_HOURS = 100.0
 
+#: The fast-path grid gate: points on the R(t) grid and required speedup.
+GRID_POINTS = 201
+REQUIRED_SPEEDUP = 2.0
+BEST_OF = 3
+
 
 @pytest.fixture(scope="module")
 def chain():
@@ -31,7 +47,8 @@ def chain():
 
 @pytest.fixture(scope="module")
 def reference(chain):
-    return transient_distribution(chain, HORIZON_HOURS, method="expm")
+    with perf.reference_path():
+        return transient_distribution(chain, HORIZON_HOURS, method="expm")
 
 
 @pytest.mark.parametrize("method", ["expm", "uniformization", "ode"])
@@ -40,6 +57,45 @@ def test_benchmark_transient_solver(benchmark, chain, reference, method):
         lambda: transient_distribution(chain, HORIZON_HOURS, method=method)
     )
     assert np.allclose(result, reference, atol=1e-6)
+    common.report(
+        f"solvers.point_{method}",
+        wall_s=common.benchmark_mean(benchmark),
+        horizon_hours=HORIZON_HOURS,
+    )
+
+
+def test_benchmark_transient_grid_fast_vs_reference(chain):
+    """The PR 3 acceptance gate: dense-grid transients >= 2x faster on the
+    cached fast path, within tolerance of the reference path."""
+    times = list(np.linspace(0.0, HORIZON_HOURS, GRID_POINTS))
+
+    with perf.reference_path():
+        ref_result = transient_distributions(chain, times, method="expm")
+        ref_s = common.best_of(
+            BEST_OF, lambda: transient_distributions(chain, times, method="expm")
+        )
+
+    def fast_cold():
+        clear_solver_cache()
+        return transient_distributions(chain, times, method="expm")
+
+    fast_result = fast_cold()
+    fast_s = common.best_of(BEST_OF, fast_cold)
+    speedup = ref_s / max(fast_s, 1e-12)
+
+    common.report(
+        "solvers.grid_expm_fast",
+        wall_s=fast_s,
+        trials=GRID_POINTS,
+        reference_s=round(ref_s, 6),
+        speedup=round(speedup, 2),
+    )
+    assert np.allclose(fast_result, ref_result, atol=1e-9)
+    assert np.allclose(fast_result.sum(axis=1), 1.0, atol=1e-12)
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"solver fast path must be >= {REQUIRED_SPEEDUP}x the reference on "
+        f"a {GRID_POINTS}-point grid, measured {speedup:.2f}x"
+    )
 
 
 def test_benchmark_mttf_exact_vs_integration(benchmark, chain):
@@ -54,3 +110,4 @@ def test_benchmark_mttf_exact_vs_integration(benchmark, chain):
         rounds=1, iterations=1,
     )
     assert integrated == pytest.approx(exact, rel=1e-3)
+    common.report("solvers.mttf_integration", wall_s=common.benchmark_mean(benchmark))

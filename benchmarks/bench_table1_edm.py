@@ -13,6 +13,8 @@ assignment and asserts the reproduced claims:
   minorities, coverage is high.
 """
 
+import common
+
 from repro.experiments import run_coverage_campaign
 from repro.faults.outcomes import OutcomeClass
 
@@ -25,8 +27,12 @@ def test_benchmark_table1_campaign(benchmark):
         rounds=1, iterations=1,
     )
 
-    print()
-    print(result.render())
+    common.report(
+        "campaign.table1",
+        wall_s=common.benchmark_mean(benchmark),
+        trials=EXPERIMENTS,
+        text=result.render(),
+    )
 
     mechanisms = result.stats.mechanism_counts()
     for expected in (

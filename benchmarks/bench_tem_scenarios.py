@@ -6,14 +6,19 @@ Asserts the exact copy counts and outcomes of the figure: scenario (i)
 delivers after two copies; (ii)-(iv) run a third copy and mask the error.
 """
 
+import common
+
 from repro.experiments import render_scenarios, run_tem_scenarios
 
 
 def test_benchmark_tem_scenarios(benchmark):
     results = benchmark(run_tem_scenarios)
 
-    print()
-    print(render_scenarios(results))
+    common.report(
+        "tem.scenarios",
+        wall_s=common.benchmark_mean(benchmark),
+        text=render_scenarios(results),
+    )
 
     assert results["i"].copies_run == 2
     assert results["i"].outcome == "ok" and results["i"].delivered

@@ -1,0 +1,72 @@
+"""Compare a benchmark JSON run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json BASELINE.json [--threshold 2.0]
+
+Every bench name present in *both* files is compared on wall-clock: the
+current run may be at most ``threshold`` times slower than the baseline
+(generous on purpose — CI machines are slow and noisy; the gate exists to
+catch order-of-magnitude regressions, not jitter).  Benches present only
+on one side are reported but never fail the check, so adding or retiring
+benchmarks does not require a lock-step baseline update.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "repro-bench-v1"
+
+
+def load(path: str) -> "dict[str, dict]":
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("schema") != SCHEMA:
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r} (want {SCHEMA!r})")
+    return {entry["bench"]: entry for entry in data.get("results", [])}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="JSON emitted by this run (--json PATH)")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="max allowed wall-clock ratio current/baseline (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    regressions = []
+    for name in sorted(set(current) | set(baseline)):
+        if name not in current:
+            print(f"  (baseline only)  {name}")
+            continue
+        if name not in baseline:
+            print(f"  (new bench)      {name}")
+            continue
+        now = float(current[name].get("wall_s") or 0.0)
+        then = float(baseline[name].get("wall_s") or 0.0)
+        if then <= 0.0:
+            continue
+        ratio = now / then
+        verdict = "REGRESSION" if ratio > args.threshold else "ok"
+        print(f"  {verdict:<10} {name}: {now:.6f}s vs baseline {then:.6f}s "
+              f"({ratio:.2f}x)")
+        if ratio > args.threshold:
+            regressions.append(name)
+
+    if regressions:
+        print(f"\n{len(regressions)} bench(es) regressed beyond "
+              f"{args.threshold:.1f}x: {', '.join(regressions)}")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

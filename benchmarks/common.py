@@ -1,0 +1,123 @@
+"""Shared benchmark reporting: one narration style, one JSON schema.
+
+Every ``bench_*.py`` file reports through :func:`report` instead of ad-hoc
+prints, so benchmark output is uniform and — when the run is started with
+``--json PATH`` (see ``conftest.py``) — every reported measurement is also
+written to a machine-readable file:
+
+    pytest benchmarks/bench_solvers.py --benchmark-only -s --json out.json
+
+The JSON is a list of per-bench entries under a versioned schema::
+
+    {"schema": "repro-bench-v1",
+     "results": [{"bench": "solvers.grid_expm_fast", "wall_s": 0.003,
+                  "trials": 201, "trials_per_s": 67000.0, ...}, ...]}
+
+``benchmarks/check_regression.py`` compares two such files; CI runs it
+against the committed ``BENCH_pr3.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+SCHEMA = "repro-bench-v1"
+
+
+class BenchSession:
+    """Accumulates the measurements of one pytest session."""
+
+    def __init__(self) -> None:
+        self.entries: List[Dict[str, Any]] = []
+
+    def record(
+        self,
+        name: str,
+        wall_s: float,
+        trials: Optional[int] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"bench": name, "wall_s": round(float(wall_s), 6)}
+        if trials is not None:
+            entry["trials"] = int(trials)
+            if wall_s > 0:
+                entry["trials_per_s"] = round(trials / wall_s, 3)
+        for key, value in extra.items():
+            if value is not None:
+                entry[key] = value
+        self.entries.append(entry)
+        return entry
+
+    def emit(self, path: "str | Path") -> None:
+        payload = {"schema": SCHEMA, "results": self.entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+#: The session-wide sink ``conftest.py`` drains into ``--json PATH``.
+SESSION = BenchSession()
+
+
+def report(
+    name: str,
+    wall_s: Optional[float] = None,
+    trials: Optional[int] = None,
+    text: Optional[str] = None,
+    **extra: Any,
+) -> None:
+    """Print one standardised bench banner (plus optional rendered body)
+    and record the measurement for JSON emission.
+
+    ``extra`` key/values (speedups, per-mode timings) go verbatim into the
+    JSON entry and onto the banner line.
+    """
+    line = f"[bench] {name}"
+    if wall_s is not None:
+        line += f": {wall_s:.3f} s"
+        if trials is not None and wall_s > 0:
+            line += f" ({trials / wall_s:,.0f} trials/s)"
+    for key, value in extra.items():
+        if isinstance(value, float):
+            line += f"  {key}={value:.3f}"
+        elif value is not None:
+            line += f"  {key}={value}"
+    print()
+    print(line)
+    if text:
+        print(text)
+    if wall_s is not None:
+        SESSION.record(name, wall_s, trials=trials, **extra)
+
+
+@contextlib.contextmanager
+def timed() -> Iterator[Dict[str, float]]:
+    """Measure a with-block's wall clock: ``with timed() as t: ...`` then
+    read ``t["wall_s"]``."""
+    box: Dict[str, float] = {}
+    started = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box["wall_s"] = time.perf_counter() - started
+
+
+def best_of(repeats: int, fn: Any) -> float:
+    """Minimum wall clock of *repeats* calls — the standard noise guard for
+    speedup assertions on shared CI machines."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def benchmark_mean(benchmark: Any) -> Optional[float]:
+    """Mean per-round wall clock of a pytest-benchmark fixture, if it ran."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        return None

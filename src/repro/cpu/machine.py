@@ -19,8 +19,9 @@ executor inspect it to drive comparison, voting and recovery.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import perf
 from ..errors import MachineError, MachineHalted, ProgramError
 from .assembler import AssembledProgram
 from .exceptions import (
@@ -28,9 +29,17 @@ from .exceptions import (
     HardwareException,
     IllegalOpcodeError,
 )
-from .isa import Instruction, decode, register_name, sign_extend_16
+from .isa import (
+    _DECODE_CACHE,
+    REGISTER_NAMES,
+    Instruction,
+    decode,
+    decode_cached,
+    register_name,
+    sign_extend_16,
+)
 from .memory import Memory
-from .mmu import ACCESS_EXECUTE, ACCESS_READ, ACCESS_WRITE, Mmu
+from .mmu import ACCESS_EXECUTE, ACCESS_READ, ACCESS_WRITE, KERNEL_DOMAIN, Mmu
 from .registers import (
     FLAG_NEGATIVE,
     FLAG_ZERO,
@@ -54,7 +63,7 @@ def _to_signed(value: int) -> int:
     return value - 0x1_0000_0000 if value & 0x8000_0000 else value
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class RunResult:
     """Outcome of one :meth:`Machine.run` invocation.
 
@@ -79,6 +88,47 @@ class RunResult:
         return self.halted and self.exception is None
 
 
+#: Mnemonic -> Machine handler-method name (fast-path dispatch table).
+_FAST_HANDLERS: Dict[str, str] = {
+    "NOP": "_fx_nop",
+    "HALT": "_fx_halt",
+    "MOVE": "_fx_move",
+    "MOVEI": "_fx_movei",
+    "MOVEHI": "_fx_movehi",
+    "LOAD": "_fx_load",
+    "STORE": "_fx_store",
+    "PUSH": "_fx_push",
+    "POP": "_fx_pop",
+    "ADD": "_fx_add",
+    "ADDI": "_fx_addi",
+    "SUB": "_fx_sub",
+    "SUBI": "_fx_subi",
+    "MUL": "_fx_mul",
+    "MULI": "_fx_muli",
+    "DIV": "_fx_div",
+    "DIVI": "_fx_divi",
+    "AND": "_fx_and",
+    "ANDI": "_fx_andi",
+    "OR": "_fx_or",
+    "ORI": "_fx_ori",
+    "XOR": "_fx_xor",
+    "XORI": "_fx_xori",
+    "SHL": "_fx_shl",
+    "SHR": "_fx_shr",
+    "CMP": "_fx_cmp",
+    "CMPI": "_fx_cmpi",
+    "BRA": "_fx_bra",
+    "BEQ": "_fx_beq",
+    "BNE": "_fx_bne",
+    "BLT": "_fx_blt",
+    "BGE": "_fx_bge",
+    "JMP": "_fx_jmp",
+    "JSR": "_fx_jsr",
+    "RTS": "_fx_rts",
+    "SIG": "_fx_sig",
+}
+
+
 class Machine:
     """A simulated single-core COTS processor.
 
@@ -91,6 +141,12 @@ class Machine:
         Toggle the corresponding EDMs (fault-injection ablations).
     cycle_ticks:
         Simulator ticks per CPU cycle (links machine time to DES time).
+    fast:
+        Select the fast execution path (decoded-instruction cache, opcode
+        dispatch table, batched cycle accounting in :meth:`run`).  ``None``
+        (the default) resolves from the global :mod:`repro.perf` switch.
+        Fast and reference paths are bit-identical in every architectural
+        effect — the differential test gate enforces it.
     """
 
     def __init__(
@@ -100,6 +156,7 @@ class Machine:
         ecc_enabled: bool = True,
         mmu_enabled: bool = True,
         cycle_ticks: int = DEFAULT_CYCLE_TICKS,
+        fast: Optional[bool] = None,
     ) -> None:
         self.registers = RegisterFile()
         self.memory = Memory(memory_words, rom_limit=rom_words, ecc_enabled=ecc_enabled)
@@ -110,6 +167,7 @@ class Machine:
         self.signature = 0
         self._halted = False
         self._exception_log: List[HardwareException] = []
+        self.fast = perf.fast_enabled() if fast is None else bool(fast)
 
     # ------------------------------------------------------------------
     # Program loading
@@ -170,7 +228,12 @@ class Machine:
         if self._halted:
             raise MachineHalted("machine is halted; call prepare() first")
         try:
-            self._step_inner()
+            if self.fast:
+                cycles = self._fetch_execute_fast()
+                self.instruction_count += 1
+                self.cycle_count += cycles
+            else:
+                self._step_inner()
         except HardwareException as exc:
             self._exception_log.append(exc)
             raise
@@ -200,6 +263,8 @@ class Machine:
         exception, which the budget-timer machinery converts into a timing
         EDM event.
         """
+        if self.fast:
+            return self._run_fast(max_steps, stop_on_exception)
         start_steps = self.instruction_count
         start_cycles = self.cycle_count
         exception: Optional[HardwareException] = None
@@ -215,6 +280,43 @@ class Machine:
             exception=exception,
             steps=self.instruction_count - start_steps,
             cycles=self.cycle_count - start_cycles,
+        )
+
+    def _run_fast(self, max_steps: int, stop_on_exception: bool) -> RunResult:
+        """Fast :meth:`run` loop: inlined stepping, batched counter update.
+
+        The instruction/cycle counters are accumulated in locals and flushed
+        once (also on exception propagation), so the loop pays two integer
+        adds per instruction instead of two attribute round-trips.  A failed
+        instruction contributes neither steps nor cycles — exactly as in the
+        reference path, where the counters are bumped only after a
+        successful execute.
+        """
+        steps = 0
+        cycles = 0
+        exception: Optional[HardwareException] = None
+        fetch_execute = self._fetch_execute_fast
+        log = self._exception_log
+        try:
+            while not self._halted and steps < max_steps:
+                try:
+                    cost = fetch_execute()
+                except HardwareException as exc:
+                    log.append(exc)
+                    exception = exc
+                    if stop_on_exception:
+                        break
+                else:
+                    steps += 1
+                    cycles += cost
+        finally:
+            self.instruction_count += steps
+            self.cycle_count += cycles
+        return RunResult(
+            halted=self._halted,
+            exception=exception,
+            steps=steps,
+            cycles=cycles,
         )
 
     # ------------------------------------------------------------------
@@ -349,6 +451,323 @@ class Machine:
         }[name]
 
     # ------------------------------------------------------------------
+    # Fast execution path
+    # ------------------------------------------------------------------
+    # The fast path keeps every architectural effect — register values,
+    # memory state, flags, cycle counts, EDM exceptions, the exception log —
+    # bit-identical to the reference interpreter above; the differential
+    # test suite (tests/cpu/test_fastpath_differential.py) enforces this.
+    # It removes *interpretation overhead only*: per-fetch decode (memoized
+    # in repro.cpu.isa), mnemonic string chains (opcode dispatch table),
+    # register-name translation (direct table indexing), and per-access
+    # method calls for the common no-error memory case (ECC and bus errors
+    # fall back to Memory.read/write, which own those semantics).
+
+    def _fetch_execute_fast(self) -> int:
+        """Fetch, decode and execute one instruction; returns its cycle cost.
+
+        Counter accounting is the caller's job (:meth:`step` updates the
+        counters per instruction, :meth:`_run_fast` in a batch).
+        """
+        values = self.registers._values
+        pc = values["PC"]
+        mmu = self.mmu
+        if mmu.enabled and mmu._domain != KERNEL_DOMAIN:
+            # Inline of Mmu.check's allow scan; any non-allowed outcome
+            # (cold cache or violation) defers to check() itself, which
+            # owns the statistics and the exception.
+            visible = mmu._visible.get(mmu._domain)
+            if visible is None:
+                mmu.check(pc, ACCESS_EXECUTE)
+            else:
+                for base, end, permissions in visible:
+                    if base <= pc < end and "x" in permissions:
+                        break
+                else:
+                    mmu.check(pc, ACCESS_EXECUTE)
+        mem = self.memory
+        if 0 <= pc < mem.size_words and pc not in mem._error_bits:
+            word = mem._clean.get(pc, 0)
+        else:
+            word = mem.read(pc)
+        entry = _DECODE_CACHE.get(word)
+        if entry is None:
+            entry = decode_cached(word)
+        ins, cycles = entry
+        if ins is None:
+            raise IllegalOpcodeError(
+                f"illegal opcode {word >> 24 & 0xFF:#04x} at address {pc:#x}",
+                address=pc,
+            )
+        values["PC"] = (pc + 1) & WORD_MASK
+        _DISPATCH[ins.mnemonic](self, ins)
+        return cycles
+
+    def _mem_read_fast(self, address: int) -> int:
+        """Data read: no-error words bypass the ECC machinery entirely."""
+        mem = self.memory
+        if 0 <= address < mem.size_words and address not in mem._error_bits:
+            return mem._clean.get(address, 0)
+        return mem.read(address)
+
+    def _mem_write_fast(self, address: int, value: int) -> None:
+        """Data write: in-bounds RAM writes store directly (ROM and bus
+        violations fall back to Memory.write for its exact exceptions)."""
+        mem = self.memory
+        if 0 <= address < mem.size_words and not (
+            mem._rom_sealed and address < mem.rom_limit
+        ):
+            mem._clean[address] = value & WORD_MASK
+            mem._error_bits.pop(address, None)
+        else:
+            mem.write(address, value)
+
+    def _set_arith_flags_fast(self, values: Dict[str, int], result: int) -> None:
+        """Inline of RegisterFile.update_arith_flags (bits Z=0, N=1, C=2)."""
+        truncated = result & WORD_MASK
+        sr = values["SR"] & ~0b111
+        if truncated == 0:
+            sr |= 0b001
+        if truncated & 0x8000_0000:
+            sr |= 0b010
+        if (result != truncated and result >= 0) or result < 0:
+            sr |= 0b100
+        values["SR"] = sr
+
+    # --- moves -----------------------------------------------------------
+    def _fx_nop(self, ins: Instruction) -> None:
+        return
+
+    def _fx_halt(self, ins: Instruction) -> None:
+        self._halted = True
+
+    def _fx_move(self, ins: Instruction) -> None:
+        values = self.registers._values
+        values[REGISTER_NAMES[ins.rd]] = values[REGISTER_NAMES[ins.ra]]
+
+    def _fx_movei(self, ins: Instruction) -> None:
+        self.registers._values[REGISTER_NAMES[ins.rd]] = ins.imm & WORD_MASK
+
+    def _fx_movehi(self, ins: Instruction) -> None:
+        values = self.registers._values
+        name = REGISTER_NAMES[ins.rd]
+        values[name] = ((ins.imm & 0xFFFF) << 16) | (values[name] & 0xFFFF)
+
+    # --- memory ----------------------------------------------------------
+    def _fx_load(self, ins: Instruction) -> None:
+        values = self.registers._values
+        address = (values[REGISTER_NAMES[ins.ra]] + ins.imm) & WORD_MASK
+        mmu = self.mmu
+        if mmu.enabled and mmu._domain != KERNEL_DOMAIN:
+            mmu.check(address, ACCESS_READ)
+        values[REGISTER_NAMES[ins.rd]] = self._mem_read_fast(address)
+
+    def _fx_store(self, ins: Instruction) -> None:
+        values = self.registers._values
+        address = (values[REGISTER_NAMES[ins.ra]] + ins.imm) & WORD_MASK
+        mmu = self.mmu
+        if mmu.enabled and mmu._domain != KERNEL_DOMAIN:
+            mmu.check(address, ACCESS_WRITE)
+        self._mem_write_fast(address, values[REGISTER_NAMES[ins.rd]])
+
+    def _fx_push(self, ins: Instruction) -> None:
+        values = self.registers._values
+        sp = (values["SP"] - 1) & WORD_MASK
+        mmu = self.mmu
+        if mmu.enabled and mmu._domain != KERNEL_DOMAIN:
+            mmu.check(sp, ACCESS_WRITE)
+        self._mem_write_fast(sp, values[REGISTER_NAMES[ins.rd]])
+        values["SP"] = sp
+
+    def _fx_pop(self, ins: Instruction) -> None:
+        values = self.registers._values
+        sp = values["SP"]
+        mmu = self.mmu
+        if mmu.enabled and mmu._domain != KERNEL_DOMAIN:
+            mmu.check(sp, ACCESS_READ)
+        values[REGISTER_NAMES[ins.rd]] = self._mem_read_fast(sp)
+        values["SP"] = (sp + 1) & WORD_MASK
+
+    # --- ALU -------------------------------------------------------------
+    def _fx_add(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] + values[REGISTER_NAMES[ins.rb]]
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result & WORD_MASK
+
+    def _fx_addi(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] + (ins.imm & WORD_MASK)
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result & WORD_MASK
+
+    def _fx_sub(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] - values[REGISTER_NAMES[ins.rb]]
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result & WORD_MASK
+
+    def _fx_subi(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] - (ins.imm & WORD_MASK)
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result & WORD_MASK
+
+    def _fx_mul(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = _to_signed(values[REGISTER_NAMES[ins.ra]]) * _to_signed(
+            values[REGISTER_NAMES[ins.rb]]
+        )
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result & WORD_MASK
+
+    def _fx_muli(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = _to_signed(values[REGISTER_NAMES[ins.ra]]) * _to_signed(
+            ins.imm & WORD_MASK
+        )
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result & WORD_MASK
+
+    def _fx_div(self, ins: Instruction) -> None:
+        values = self.registers._values
+        b = values[REGISTER_NAMES[ins.rb]]
+        if (b & WORD_MASK) == 0:
+            raise DivisionByZeroError("integer division by zero")
+        result = int(_to_signed(values[REGISTER_NAMES[ins.ra]]) / _to_signed(b))
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result & WORD_MASK
+
+    def _fx_divi(self, ins: Instruction) -> None:
+        values = self.registers._values
+        b = ins.imm & WORD_MASK
+        if b == 0:
+            raise DivisionByZeroError("integer division by zero")
+        result = int(_to_signed(values[REGISTER_NAMES[ins.ra]]) / _to_signed(b))
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result & WORD_MASK
+
+    def _fx_and(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] & values[REGISTER_NAMES[ins.rb]]
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result
+
+    def _fx_andi(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] & ins.imm & WORD_MASK
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result
+
+    def _fx_or(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] | values[REGISTER_NAMES[ins.rb]]
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result
+
+    def _fx_ori(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] | (ins.imm & WORD_MASK)
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result
+
+    def _fx_xor(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] ^ values[REGISTER_NAMES[ins.rb]]
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result
+
+    def _fx_xori(self, ins: Instruction) -> None:
+        values = self.registers._values
+        result = values[REGISTER_NAMES[ins.ra]] ^ (ins.imm & WORD_MASK)
+        self._set_arith_flags_fast(values, result)
+        values[REGISTER_NAMES[ins.rd]] = result
+
+    def _fx_shl(self, ins: Instruction) -> None:
+        values = self.registers._values
+        values[REGISTER_NAMES[ins.rd]] = (
+            values[REGISTER_NAMES[ins.ra]] << (ins.imm & 31)
+        ) & WORD_MASK
+
+    def _fx_shr(self, ins: Instruction) -> None:
+        values = self.registers._values
+        values[REGISTER_NAMES[ins.rd]] = (
+            values[REGISTER_NAMES[ins.ra]] & WORD_MASK
+        ) >> (ins.imm & 31)
+
+    # --- compare / control flow -----------------------------------------
+    def _fx_compare(self, a: int, b: int) -> None:
+        values = self.registers._values
+        diff = _to_signed(a) - _to_signed(b)
+        sr = values["SR"] & ~0b11
+        if diff == 0:
+            sr |= 0b01
+        if diff < 0:
+            sr |= 0b10
+        values["SR"] = sr
+
+    def _fx_cmp(self, ins: Instruction) -> None:
+        values = self.registers._values
+        self._fx_compare(
+            values[REGISTER_NAMES[ins.ra]], values[REGISTER_NAMES[ins.rb]]
+        )
+
+    def _fx_cmpi(self, ins: Instruction) -> None:
+        self._fx_compare(
+            self.registers._values[REGISTER_NAMES[ins.ra]], ins.imm & WORD_MASK
+        )
+
+    def _fx_bra(self, ins: Instruction) -> None:
+        values = self.registers._values
+        values["PC"] = (values["PC"] + ins.imm) & WORD_MASK
+
+    def _fx_beq(self, ins: Instruction) -> None:
+        values = self.registers._values
+        if values["SR"] & 0b01:
+            values["PC"] = (values["PC"] + ins.imm) & WORD_MASK
+
+    def _fx_bne(self, ins: Instruction) -> None:
+        values = self.registers._values
+        if not values["SR"] & 0b01:
+            values["PC"] = (values["PC"] + ins.imm) & WORD_MASK
+
+    def _fx_blt(self, ins: Instruction) -> None:
+        values = self.registers._values
+        if values["SR"] & 0b10:
+            values["PC"] = (values["PC"] + ins.imm) & WORD_MASK
+
+    def _fx_bge(self, ins: Instruction) -> None:
+        values = self.registers._values
+        if not values["SR"] & 0b10:
+            values["PC"] = (values["PC"] + ins.imm) & WORD_MASK
+
+    def _fx_jmp(self, ins: Instruction) -> None:
+        values = self.registers._values
+        values["PC"] = values[REGISTER_NAMES[ins.ra]]
+
+    def _fx_jsr(self, ins: Instruction) -> None:
+        values = self.registers._values
+        sp = (values["SP"] - 1) & WORD_MASK
+        mmu = self.mmu
+        if mmu.enabled and mmu._domain != KERNEL_DOMAIN:
+            mmu.check(sp, ACCESS_WRITE)
+        self._mem_write_fast(sp, values["PC"])
+        values["SP"] = sp
+        values["PC"] = ins.imm & WORD_MASK
+
+    def _fx_rts(self, ins: Instruction) -> None:
+        values = self.registers._values
+        sp = values["SP"]
+        mmu = self.mmu
+        if mmu.enabled and mmu._domain != KERNEL_DOMAIN:
+            mmu.check(sp, ACCESS_READ)
+        values["PC"] = self._mem_read_fast(sp)
+        values["SP"] = (sp + 1) & WORD_MASK
+
+    def _fx_sig(self, ins: Instruction) -> None:
+        self.signature = (self.signature * 31 + (ins.imm & 0xFFFF)) & WORD_MASK
+
+    # ------------------------------------------------------------------
     # I/O convenience (memory-mapped task inputs/outputs)
     # ------------------------------------------------------------------
     def write_words(self, base: int, values: Sequence[int]) -> None:
@@ -375,3 +794,12 @@ class Machine:
             f"Machine(pc={self.registers['PC']:#x}, halted={self._halted}, "
             f"cycles={self.cycle_count})"
         )
+
+
+#: Mnemonic -> unbound handler, resolved once at import time and shared by
+#: every machine (campaigns build a fresh Machine per experiment, so the
+#: dispatch table must not be rebuilt per instance).
+_DISPATCH: "Dict[str, Callable[[Machine, Instruction], None]]" = {
+    mnemonic: getattr(Machine, handler)
+    for mnemonic, handler in _FAST_HANDLERS.items()
+}

@@ -29,7 +29,7 @@ from .exceptions import BusError, EccUncorrectableError
 from .registers import WORD_BITS, WORD_MASK
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class EccStatistics:
     """Counters of ECC activity since construction or :meth:`reset`."""
 
@@ -58,6 +58,11 @@ class Memory:
         When False the memory behaves as plain RAM: injected flips corrupt
         reads silently.  Campaigns use this to quantify the ECC contribution.
     """
+
+    __slots__ = (
+        "size_words", "rom_limit", "ecc_enabled",
+        "_clean", "_error_bits", "_rom_sealed", "ecc_stats",
+    )
 
     def __init__(self, size_words: int, rom_limit: int = 0, ecc_enabled: bool = True):
         if size_words <= 0:
@@ -173,6 +178,26 @@ class Memory:
                 del self._error_bits[address]
         else:
             errors.add(bit)
+
+    def state_digest(self) -> str:
+        """Deterministic digest of the full memory state.
+
+        Hashes every stored word (address, clean value) plus every latent
+        error-bit set in address order — the differential test gate uses it
+        to assert fast- and reference-path machines end bit-identical
+        without comparing dicts element-wise in the test body.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for address in sorted(self._clean):
+            value = self._clean[address]
+            if value:
+                h.update(f"{address}:{value};".encode())
+        for address in sorted(self._error_bits):
+            bits = ",".join(str(b) for b in sorted(self._error_bits[address]))
+            h.update(f"e{address}:{bits};".encode())
+        return h.hexdigest()
 
     def error_word_count(self) -> int:
         """Number of words currently holding latent bit errors."""

@@ -28,7 +28,7 @@ ACCESS_EXECUTE = "x"
 KERNEL_DOMAIN = "kernel"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Region:
     """A contiguous protected address range.
 
@@ -76,11 +76,18 @@ class Mmu:
     fault-injection campaigns.
     """
 
+    __slots__ = ("enabled", "_regions", "_domain", "violations", "_visible")
+
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._regions: List[Region] = []
         self._domain: str = KERNEL_DOMAIN
         self.violations = 0
+        # domain -> [(base, end, permissions)] in table order: the region
+        # table is scanned on every instruction fetch and memory access, so
+        # the per-domain filtered view is materialised once per (domain,
+        # table) instead of re-filtered per access.
+        self._visible: Dict[str, List["tuple[int, int, str]"]] = {}
 
     # ------------------------------------------------------------------
     # Configuration
@@ -88,6 +95,7 @@ class Mmu:
     def add_region(self, region: Region) -> None:
         """Install a region in the table."""
         self._regions.append(region)
+        self._visible.clear()
 
     def regions_for(self, domain: str) -> List[Region]:
         """Regions visible to *domain* (its own plus shared regions)."""
@@ -120,10 +128,15 @@ class Mmu:
         """
         if not self.enabled or self._domain == KERNEL_DOMAIN:
             return
-        for region in self._regions:
-            if region.domain not in (None, self._domain):
-                continue
-            if region.contains(address) and region.allows(access):
+        visible = self._visible.get(self._domain)
+        if visible is None:
+            visible = self._visible[self._domain] = [
+                (r.base, r.base + r.size, r.permissions)
+                for r in self._regions
+                if r.domain is None or r.domain == self._domain
+            ]
+        for base, end, permissions in visible:
+            if base <= address < end and access in permissions:
                 return
         self.violations += 1
         raise AddressError(

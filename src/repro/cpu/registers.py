@@ -35,7 +35,7 @@ FLAG_CARRY = 2
 FLAG_OVERFLOW = 3
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Context:
     """An immutable snapshot of the full register file.
 
@@ -51,6 +51,8 @@ class Context:
 
 class RegisterFile:
     """Mutable 32-bit register file with fault-injection support."""
+
+    __slots__ = ("_values",)
 
     def __init__(self) -> None:
         self._values: Dict[str, int] = {name: 0 for name in ALL_REGISTERS}

@@ -182,6 +182,8 @@ def run_coverage_campaign(
     journal_path: Optional[Union[str, Path]] = None,
     progress: bool = False,
     profile: bool = False,
+    chunk_size: Optional[int] = None,
+    batch_replies: bool = False,
 ) -> CoverageTableResult:
     """Run the E5 campaign and estimate the paper's parameters.
 
@@ -201,6 +203,11 @@ def run_coverage_campaign(
         worker processes, per-trial wall-clock budget, and checkpoint
         journal for interrupt/resume.  The defaults preserve the historic
         serial in-process behaviour and output bit-for-bit.
+    chunk_size / batch_replies:
+        Worker-dispatch batching knobs (see
+        :class:`repro.harness.SupervisorConfig`): trials shipped per
+        worker message, and chunk-granular replies amortising per-trial
+        IPC.  Outcomes are bit-identical either way.
     progress / profile:
         Observability knobs (:mod:`repro.obs`): a live stderr progress
         line (silent when stderr is not a TTY), and opt-in cProfile
@@ -227,6 +234,8 @@ def run_coverage_campaign(
             journal_path=journal_path,
             master_seed=seed,
             campaign=f"e5-coverage-n{experiments}",
+            chunk_size=chunk_size,
+            batch_replies=batch_replies,
             progress=ProgressReporter("E5 coverage") if progress else None,
             profile_top_k=DEFAULT_TOP_K if profile else 0,
         ),

@@ -234,6 +234,11 @@ class TemInjectionHarness:
 class _SteppedTem:
     """Step-accurate copy executor shared by the harness entry points."""
 
+    __slots__ = (
+        "executable", "inputs", "injector", "monitor",
+        "budget_steps", "fault", "global_step", "job_step_base", "injected",
+    )
+
     def __init__(
         self,
         executable: MachineExecutable,
@@ -280,24 +285,56 @@ class _SteppedTem:
             )
         if executable.confine_with_mmu:
             machine.mmu.enter_domain(executable.TASK_DOMAIN)
+        # The stepping loop below is the hottest code of every injection
+        # campaign.  Per-step work is only ever needed at two boundaries —
+        # the fault-arrival step and, for active stuck-at faults, the
+        # re-assertion after every instruction — so everything between
+        # boundaries executes as one Machine.run() chunk (whose internal
+        # loop batches the counter bookkeeping).  The budget check, the
+        # arrival threshold and the step accounting compare exactly as the
+        # original step-by-step expressions did: a chunk never crosses the
+        # budget or the arrival step, and a failed instruction advances the
+        # global step counter without counting against the copy's budget.
+        injector = self.injector
+        budget_steps = self.budget_steps
+        global_step = self.global_step
+        # Fault not yet injected: arrival step, or "never" when already
+        # injected / not step-triggered.
+        arrival = self.fault.at_step if (
+            not self.injected and self.fault.at_step is not None
+        ) else None
         try:
             steps_this_copy = 0
-            while not machine.halted:
-                if steps_this_copy >= self.budget_steps:
+            while not machine._halted:
+                if steps_this_copy >= budget_steps:
                     return None, "execution_time"
-                if not self.injected and self.fault.at_step is not None:
-                    if self.global_step >= self.fault.at_step:
-                        self.injector.apply(self.fault)
-                        self.injected = True
-                try:
-                    machine.step()
-                except HardwareException as exc:
-                    self.global_step += 1
-                    return None, exc.mechanism
-                self.injector.reassert_permanent()
-                self.global_step += 1
-                steps_this_copy += 1
+                if arrival is not None and global_step >= arrival:
+                    injector.apply(self.fault)
+                    self.injected = True
+                    arrival = None
+                if injector._stuck:
+                    # Permanent fault active: single-step so the stuck-at
+                    # is re-asserted after every instruction.
+                    try:
+                        machine.step()
+                    except HardwareException as exc:
+                        global_step += 1
+                        return None, exc.mechanism
+                    injector.reassert_permanent()
+                    global_step += 1
+                    steps_this_copy += 1
+                    continue
+                limit = budget_steps - steps_this_copy
+                if arrival is not None:
+                    limit = min(limit, arrival - global_step)
+                result = machine.run(max_steps=limit, stop_on_exception=True)
+                if result.exception is not None:
+                    global_step += result.steps + 1
+                    return None, result.exception.mechanism
+                global_step += result.steps
+                steps_this_copy += result.steps
         finally:
+            self.global_step = global_step
             machine.mmu.enter_kernel()
         if self.monitor is not None:
             try:

@@ -29,6 +29,17 @@ DEFAULT_TARGET_WEIGHTS = {
     FaultTarget.DATA_MEMORY: 0.20,
 }
 
+#: Pre-normalised (targets, probabilities) for the default weights — the
+#: per-fault normalisation is pure overhead in large random campaigns.
+def _normalised_table(table: dict) -> "tuple[list, np.ndarray]":
+    targets = list(table)
+    probabilities = np.array([table[t] for t in targets], dtype=float)
+    probabilities /= probabilities.sum()
+    return targets, probabilities
+
+
+_DEFAULT_TARGET_TABLE = _normalised_table(DEFAULT_TARGET_WEIGHTS)
+
 
 def random_fault(
     rng: np.random.Generator,
@@ -51,10 +62,10 @@ def random_fault(
     """
     if max_step <= 0:
         raise ConfigurationError("max_step must be positive")
-    table = weights if weights is not None else DEFAULT_TARGET_WEIGHTS
-    targets = list(table)
-    probabilities = np.array([table[t] for t in targets], dtype=float)
-    probabilities /= probabilities.sum()
+    if weights is None:
+        targets, probabilities = _DEFAULT_TARGET_TABLE
+    else:
+        targets, probabilities = _normalised_table(weights)
     target = targets[int(rng.choice(len(targets), p=probabilities))]
     bit = int(rng.integers(0, 32))
     step = int(rng.integers(0, max_step))

@@ -119,7 +119,17 @@ class SupervisorConfig:
         Campaign name, recorded in the journal header (resume guard).
     chunk_size:
         Trials dispatched per worker message (``None`` = auto).  Results
-        still stream back — and timeouts apply — per individual trial.
+        still stream back — and timeouts apply — per individual trial,
+        unless ``batch_replies`` is set.
+    batch_replies:
+        When True, workers reply once per *chunk* (one pipe message
+        carrying every trial's result) instead of once per trial —
+        amortising the pickle/IPC round-trip for campaigns of many cheap
+        trials.  Results, journal entries, per-trial metrics and resume
+        behaviour are identical to streaming mode; the trade-off is
+        timeout granularity: the wall-clock budget becomes
+        ``timeout_s * len(chunk)`` per chunk, and a chunk that times out
+        loses its completed-but-unreported trials to a retry.
     result_encoder / result_decoder:
         JSON codec for trial results in the journal.  The default handles
         :class:`ExperimentRecord` and plain JSON-serialisable values.
@@ -153,6 +163,7 @@ class SupervisorConfig:
     master_seed: int = 0
     campaign: str = "campaign"
     chunk_size: Optional[int] = None
+    batch_replies: bool = False
     result_encoder: Optional[Callable[[Any], Any]] = None
     result_decoder: Optional[Callable[[Any], Any]] = None
     collect_metrics: bool = True
@@ -352,8 +363,9 @@ def _worker_main(
     conn: "mp_connection.Connection",
     collect_metrics: bool,
     profiled: bool,
+    batch_replies: bool = False,
 ) -> None:
-    """Worker loop: receive trial chunks, stream one result per trial.
+    """Worker loop: receive trial chunks, reply per trial (or per chunk).
 
     Every per-trial exception is caught and reported — a worker only dies
     on genuinely fatal conditions (signals, interpreter errors), which the
@@ -361,6 +373,10 @@ def _worker_main(
     the trial's observability extras (metrics snapshot, wall-clock and —
     when profiling — the rendered cProfile stats), since plain dicts and
     strings are the only profile form that crosses the pipe.
+
+    With ``batch_replies`` the per-trial tuples are accumulated and sent
+    as one ``("batch", replies)`` message per chunk, amortising the
+    pickle/IPC round-trip for cheap trials.
     """
     # The supervisor owns SIGINT handling; workers must not die to Ctrl-C
     # racing ahead of the supervisor's orderly shutdown.
@@ -381,6 +397,7 @@ def _worker_main(
             return
         if message is None:
             return
+        batch: List["tuple[str, int, Any, Optional[dict]]"] = []
         for trial_id, payload in message:
             try:
                 result, snapshot, duration, profile_text = _run_one_trial(
@@ -395,8 +412,16 @@ def _worker_main(
                 reply = ("ok", trial_id, result, extra)
             except Exception as exc:  # noqa: BLE001 — isolation boundary
                 reply = ("error", trial_id, f"{type(exc).__name__}: {exc}", None)
+            if batch_replies:
+                batch.append(reply)
+                continue
             try:
                 conn.send(reply)
+            except (BrokenPipeError, OSError):
+                return
+        if batch_replies:
+            try:
+                conn.send(("batch", batch))
             except (BrokenPipeError, OSError):
                 return
 
@@ -411,11 +436,14 @@ class _Worker:
         master_seed: int,
         collect_metrics: bool = True,
         profiled: bool = False,
+        batch_replies: bool = False,
     ) -> None:
         self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.batch_replies = batch_replies
         self.process = ctx.Process(
             target=_worker_main,
-            args=(trial_fn, master_seed, child_conn, collect_metrics, profiled),
+            args=(trial_fn, master_seed, child_conn, collect_metrics,
+                  profiled, batch_replies),
             daemon=True,
         )
         self.process.start()
@@ -430,7 +458,13 @@ class _Worker:
     def dispatch(self, chunk: List["tuple[int, Any]"], timeout_s: Optional[float]) -> None:
         self.conn.send(chunk)
         self.assigned.extend(chunk)
-        self.deadline = (time.monotonic() + timeout_s) if timeout_s else None
+        if timeout_s:
+            # Batch mode yields no per-trial progress messages, so the
+            # deadline covers the whole chunk.
+            scale = len(chunk) if self.batch_replies else 1
+            self.deadline = time.monotonic() + timeout_s * scale
+        else:
+            self.deadline = None
 
     def trial_finished(self, timeout_s: Optional[float]) -> None:
         """Called after a result arrived: the next assigned trial starts now."""
@@ -701,6 +735,7 @@ class CampaignSupervisor:
                     ctx, self.trial_fn, self.config.master_seed,
                     collect_metrics=self.config.collect_metrics,
                     profiled=self.config.profile_top_k > 0,
+                    batch_replies=self.config.batch_replies,
                 )
             except OSError:
                 if attempt > self.config.max_retries:
@@ -811,34 +846,39 @@ class CampaignSupervisor:
                 for conn in ready:
                     worker = next(w for w in busy if w.conn is conn)
                     try:
-                        kind, trial_id, body, extra = conn.recv()
+                        message = conn.recv()
                     except (EOFError, OSError):
                         reap_worker(
                             worker, OutcomeClass.HARNESS_CRASH,
                             f"worker died (exitcode {worker.process.exitcode})",
                         )
                         continue
-                    # Match the finished trial inside the worker's chunk.
-                    payload = None
-                    while worker.assigned:
-                        queued_id, queued_payload = worker.assigned.popleft()
-                        if queued_id == trial_id:
-                            payload = queued_payload
-                            break
-                        pending.appendleft((queued_id, queued_payload))
-                    if kind == "ok":
-                        extra = extra or {}
-                        self._record_success(
-                            state, trial_id, body, attempts.get(trial_id, 0) + 1,
-                            metrics=extra.get("metrics"),
-                            duration_s=extra.get("duration_s"),
-                            profile_text=extra.get("profile"),
-                        )
-                        attempts.pop(trial_id, None)
-                        retry_at.pop(trial_id, None)
-                    else:
-                        crash_or_retry(trial_id, payload, str(body))
-                    worker.trial_finished(config.timeout_s)
+                    # Streaming mode delivers one reply per message; batch
+                    # mode one ("batch", replies) message per chunk.  The
+                    # per-reply bookkeeping is identical either way.
+                    replies = message[1] if message[0] == "batch" else [message]
+                    for kind, trial_id, body, extra in replies:
+                        # Match the finished trial inside the worker's chunk.
+                        payload = None
+                        while worker.assigned:
+                            queued_id, queued_payload = worker.assigned.popleft()
+                            if queued_id == trial_id:
+                                payload = queued_payload
+                                break
+                            pending.appendleft((queued_id, queued_payload))
+                        if kind == "ok":
+                            extra = extra or {}
+                            self._record_success(
+                                state, trial_id, body, attempts.get(trial_id, 0) + 1,
+                                metrics=extra.get("metrics"),
+                                duration_s=extra.get("duration_s"),
+                                profile_text=extra.get("profile"),
+                            )
+                            attempts.pop(trial_id, None)
+                            retry_at.pop(trial_id, None)
+                        else:
+                            crash_or_retry(trial_id, payload, str(body))
+                        worker.trial_finished(config.timeout_s)
 
                 now = time.monotonic()
                 for worker in list(workers):

@@ -1,0 +1,75 @@
+"""Global fast-path switch shared by the performance-critical layers.
+
+The repository keeps *two* implementations of every hot path:
+
+* a **reference path** — the straightforward code whose semantics define
+  correctness (the historic implementations, kept verbatim);
+* a **fast path** — decoded-instruction caches, dispatch tables, solver
+  caches and batched loops that must be *bit-identical* (CPU, campaign
+  engine, uniformization) or equal within solver tolerance (``expm`` grid
+  propagation) to the reference path.
+
+This module is the single switch that selects between them.  The
+differential test gate (``tests/cpu/test_fastpath_differential.py``,
+``tests/property/test_solver_equivalence.py`` and the golden-outcome
+fixture) runs both paths against each other; production code and all
+published experiment numbers use the fast path (the default).
+
+Usage::
+
+    from repro import perf
+
+    perf.fast_enabled()          # -> bool (default True; env REPRO_FAST=0
+                                 #    starts a process on the reference path)
+    perf.set_fast(False)         # switch globally
+    with perf.reference_path():  # temporarily force the reference path
+        ...
+    with perf.fast_path():       # temporarily force the fast path
+        ...
+
+Components read the switch at well-defined points: :class:`repro.cpu.Machine`
+resolves it at construction (``Machine(fast=...)`` overrides), the CTMC
+solvers at every call, the campaign engine at dispatch time.  Worker
+processes inherit the flag through ``fork``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+_fast: bool = os.environ.get("REPRO_FAST", "1") != "0"
+
+
+def fast_enabled() -> bool:
+    """True when fast paths are globally enabled (the default)."""
+    return _fast
+
+
+def set_fast(enabled: bool) -> None:
+    """Globally enable or disable fast paths."""
+    global _fast
+    _fast = bool(enabled)
+
+
+@contextlib.contextmanager
+def reference_path() -> Iterator[None]:
+    """Force the reference path inside the ``with`` block."""
+    previous = _fast
+    set_fast(False)
+    try:
+        yield
+    finally:
+        set_fast(previous)
+
+
+@contextlib.contextmanager
+def fast_path() -> Iterator[None]:
+    """Force the fast path inside the ``with`` block."""
+    previous = _fast
+    set_fast(True)
+    try:
+        yield
+    finally:
+        set_fast(previous)

@@ -59,6 +59,8 @@ from .rbd import (
 )
 from .sensitivity import SweepPoint, SweepResult, sweep
 from .sharpe_lang import SharpeModel, evaluate_expression, parse_sharpe
+from .solver_cache import SolverCache
+from .solver_cache import clear as clear_solver_cache
 from .solvers import steady_state, transient_distribution, transient_distributions
 
 __all__ = [
@@ -77,6 +79,7 @@ __all__ = [
     "Parallel",
     "Series",
     "SharpeModel",
+    "SolverCache",
     "SweepPoint",
     "SweepResult",
     "Transition",
@@ -84,6 +87,7 @@ __all__ = [
     "analyse_importance",
     "birnbaum_importance",
     "block_event",
+    "clear_solver_cache",
     "crossing_time",
     "evaluate_expression",
     "expected_downtime_hours",

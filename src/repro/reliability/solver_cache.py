@@ -1,0 +1,249 @@
+"""Cross-call cache for CTMC transient solves (the solver fast path).
+
+Transient analysis dominates the reliability experiments: Figures 12-14
+evaluate R(t) on dense time grids, the availability and importance studies
+re-solve the *same* chain at the same horizons many times, and Monte-Carlo
+validation sweeps repeat whole grids.  The reference solvers recompute
+everything per call — ``transient_distributions`` with the default ``expm``
+method is N independent Pade matrix exponentials for an N-point grid.
+
+This module keeps one :class:`SolverCache` entry per generator matrix with
+three reusable artefacts:
+
+``uniformization vectors``
+    The DTMC powers ``v_k = pi0 @ P^k`` of Jensen's method depend only on
+    the chain and the initial distribution — not on ``t``.  They are grown
+    lazily and shared across every time point of a grid and across calls.
+    Because the cached vectors are produced by the *identical* sequence of
+    vector-matrix products the reference loop performs, the fast path is
+    **bit-identical** to the reference path.
+
+``expm step matrices``
+    A time grid is solved by *one scaled decomposition*: propagate
+    ``pi(t_{i}) = pi(t_{i-1}) @ expm(Q dt_i)`` along the sorted grid,
+    caching ``expm(Q dt)`` per distinct step.  A uniform N-point grid costs
+    one matrix exponential instead of N.  Exact in exact arithmetic (the
+    matrix-exponential semigroup property); within solver tolerance of the
+    reference in floating point — the property suite bounds the deviation.
+
+``single-point results``
+    ``pi(t)`` memoized per ``(method, t, tol)``.  The first call computes
+    the reference algorithm itself, so hits are bit-identical replays.
+
+The cache is keyed by the generator's bytes, so *any* change to the chain
+(a perturbed rate in a sensitivity study, a different parameter set) misses
+cleanly.  All caches are bounded; overflow evicts wholesale (campaign
+access patterns are loops over a handful of chains, not adversarial).
+
+The global switch lives in :mod:`repro.perf`; the solvers consult
+:func:`repro.perf.fast_enabled` per call, so ``perf.reference_path()``
+bypasses the cache without clearing it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Bounded-cache sizes (entries / per-entry artefacts).
+MAX_CHAINS = 32
+MAX_STEP_MATRICES = 64
+MAX_POINT_RESULTS = 4_096
+MAX_UNIFORMIZATION_VECTORS = 200_000
+
+
+class _UniformizationVectors:
+    """Lazily grown ``v_k = pi0 @ P^k`` sequence for one (chain, pi0).
+
+    The chains in this repo are small (tens of states), so even a long
+    cached prefix is a few tens of megabytes; past the cap the solver keeps
+    iterating on local state without storing.
+    """
+
+    __slots__ = ("p", "vectors")
+
+    def __init__(self, pi0: np.ndarray, p: np.ndarray) -> None:
+        self.p = p
+        self.vectors: List[np.ndarray] = [pi0.copy()]
+
+    def advance(self, vector: np.ndarray, k_next: int) -> np.ndarray:
+        """``v_{k_next}`` given ``vector == v_{k_next - 1}``.
+
+        Serves from the cached prefix when available; otherwise applies the
+        reference recurrence ``vector @ p``, storing the result only while
+        the cache is below its size cap (beyond it the caller simply keeps
+        iterating on local state — still bit-identical, just not reused).
+        """
+        vectors = self.vectors
+        if k_next < len(vectors):
+            return vectors[k_next]
+        advanced = vector @ self.p
+        if k_next == len(vectors) and len(vectors) < MAX_UNIFORMIZATION_VECTORS:
+            vectors.append(advanced)
+        return advanced
+
+
+class _ChainEntry:
+    """Cached artefacts of one generator matrix."""
+
+    __slots__ = ("q", "_uniformization", "_step_matrices", "_point_results")
+
+    def __init__(self, q: np.ndarray) -> None:
+        self.q = q
+        # pi0 bytes -> (rate, _UniformizationVectors)
+        self._uniformization: Dict[bytes, "tuple[float, _UniformizationVectors]"] = {}
+        # quantized dt -> expm(q * dt)
+        self._step_matrices: Dict[float, np.ndarray] = {}
+        # (method, t, tol, pi0 bytes) -> pi(t)
+        self._point_results: Dict[Tuple[Any, ...], np.ndarray] = {}
+
+    # -- uniformization ------------------------------------------------
+    def uniformization_vectors(
+        self, pi0: np.ndarray
+    ) -> "tuple[float, _UniformizationVectors]":
+        key = pi0.tobytes()
+        cached = self._uniformization.get(key)
+        if cached is None:
+            # Identical preparation to the reference implementation
+            # (solvers._uniformization): inflated rate, P = I + Q/rate.
+            rate = float(np.max(-np.diag(self.q)))
+            if rate > 0.0:
+                rate *= 1.02
+                p = np.eye(self.q.shape[0]) + self.q / rate
+            else:
+                p = np.eye(self.q.shape[0])
+            cached = (rate, _UniformizationVectors(pi0, p))
+            self._uniformization[key] = cached
+        return cached
+
+    # -- expm step matrices --------------------------------------------
+    def step_matrix(self, dt: float) -> np.ndarray:
+        """``expm(Q dt)`` cached per quantized step size.
+
+        The step is quantized to 12 significant digits so float-noise
+        differences between nominally equal grid spacings (np.linspace
+        deltas differ in the last ulp) hit the same entry; the relative
+        perturbation this introduces is ~1e-12, far inside solver
+        tolerance.
+        """
+        from scipy.linalg import expm
+
+        key = float(f"{dt:.12e}")
+        cached = self._step_matrices.get(key)
+        if cached is None:
+            if len(self._step_matrices) >= MAX_STEP_MATRICES:
+                self._step_matrices.clear()
+            cached = expm(self.q * key)
+            self._step_matrices[key] = cached
+        return cached
+
+    # -- single-point memo ---------------------------------------------
+    def point_result(self, key: Tuple[Any, ...]) -> Optional[np.ndarray]:
+        return self._point_results.get(key)
+
+    def store_point_result(self, key: Tuple[Any, ...], value: np.ndarray) -> None:
+        if len(self._point_results) >= MAX_POINT_RESULTS:
+            self._point_results.clear()
+        self._point_results[key] = value
+
+
+class SolverCache:
+    """Bounded per-process cache of :class:`_ChainEntry` keyed by Q bytes."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, _ChainEntry] = {}
+
+    def entry(self, q: np.ndarray) -> _ChainEntry:
+        """The cache entry for generator *q* (created on first use)."""
+        key = q.tobytes()
+        entry = self._entries.get(key)
+        if entry is None:
+            if len(self._entries) >= MAX_CHAINS:
+                self._entries.clear()
+            entry = _ChainEntry(q.copy())
+            self._entries[key] = entry
+        return entry
+
+    def clear(self) -> None:
+        """Drop everything (tests; memory pressure)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide cache the solvers use when the fast path is enabled.
+GLOBAL_CACHE = SolverCache()
+
+
+def clear() -> None:
+    """Clear the process-wide solver cache."""
+    GLOBAL_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Fast algorithms (cache-backed, reference-equivalent)
+# ----------------------------------------------------------------------
+
+def uniformization_cached(
+    pi0: np.ndarray, q: np.ndarray, t: float, tol: float
+) -> np.ndarray:
+    """Jensen's method with shared DTMC-power vectors — bit-identical to
+    the reference ``solvers._uniformization``.
+
+    The loop structure, weight recurrence, early-termination test and tail
+    correction are copied verbatim from the reference; only the source of
+    ``v_k`` changes, and the cached vectors are produced by the identical
+    ``vector @ p`` recurrence.
+    """
+    entry = GLOBAL_CACHE.entry(q)
+    rate, vectors = entry.uniformization_vectors(pi0)
+    if rate == 0.0:
+        return pi0.copy()
+    lt = rate * t
+    k_max = int(lt + 8.0 * math.sqrt(lt) + 20.0)
+    result = np.zeros_like(pi0)
+    vector = vectors.vectors[0]
+    log_weight = -lt
+    accumulated = 0.0
+    for k in range(k_max + 1):
+        weight = math.exp(log_weight)
+        result += weight * vector
+        accumulated += weight
+        if accumulated >= 1.0 - tol:
+            break
+        vector = vectors.advance(vector, k + 1)
+        log_weight += math.log(lt) - math.log(k + 1)
+    if accumulated < 1.0:
+        result += (1.0 - accumulated) * vector
+    return result
+
+
+def expm_grid_propagated(
+    pi0: np.ndarray, q: np.ndarray, times: "List[float]"
+) -> Dict[float, np.ndarray]:
+    """Unnormalised ``pi(t)`` for every t in *times* by step propagation.
+
+    Sorts the distinct times ascending and walks the grid with cached
+    ``expm(Q dt)`` step matrices; a uniform grid costs one matrix
+    exponential.  Returns raw (un-clipped) vectors keyed by time — the
+    caller applies the same ``_clip`` post-processing as the reference.
+    """
+    entry = GLOBAL_CACHE.entry(q)
+    out: Dict[float, np.ndarray] = {}
+    current = pi0
+    current_t = 0.0
+    for t in sorted(set(times)):
+        if t == 0.0:
+            out[t] = pi0.copy()
+            continue
+        dt = t - current_t
+        if dt > 0.0:
+            current = current @ entry.step_matrix(dt)
+            current_t = t
+        out[t] = current
+    return out

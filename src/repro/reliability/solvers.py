@@ -13,6 +13,15 @@ in the test suite:
 ``ode``
     Integrate the Kolmogorov forward equations dpi/dt = pi Q with scipy's
     solve_ivp; useful for dense time grids.
+
+All transient entry points consult :func:`repro.perf.fast_enabled` per call.
+On the fast path, results and reusable intermediates (uniformization DTMC
+powers, expm step matrices) are served from
+:mod:`repro.reliability.solver_cache`; the uniformization fast path and
+single-point memo hits are bit-identical to the reference algorithms, the
+expm *grid* fast path replaces N independent matrix exponentials by one
+scaled decomposition propagated along the grid (within solver tolerance —
+see ``tests/property/test_solver_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -24,8 +33,10 @@ import numpy as np
 from scipy.integrate import solve_ivp
 from scipy.linalg import expm
 
+from .. import perf
 from ..errors import ModelError
 from ..obs import metrics as obs_metrics
+from . import solver_cache
 from .ctmc import MarkovChain
 
 _METHODS = ("expm", "uniformization", "ode")
@@ -43,6 +54,22 @@ def transient_distribution(
     if t == 0:
         return pi0
     q = chain.generator_matrix()
+    if perf.fast_enabled():
+        entry = solver_cache.GLOBAL_CACHE.entry(q)
+        key = (method, float(t), float(tol), pi0.tobytes())
+        cached = entry.point_result(key)
+        if cached is None:
+            with obs_metrics.span(f"solver.{method}"):
+                if method == "expm":
+                    cached = _clip(pi0 @ expm(q * t))
+                elif method == "uniformization":
+                    cached = _clip(
+                        solver_cache.uniformization_cached(pi0, q, t, tol)
+                    )
+                else:
+                    cached = _clip(_ode(pi0, q, [t])[-1])
+            entry.store_point_result(key, cached)
+        return cached.copy()
     with obs_metrics.span(f"solver.{method}"):
         if method == "expm":
             return _clip(pi0 @ expm(q * t))
@@ -58,15 +85,27 @@ def transient_distributions(
 
     For the ``ode`` method all times are solved in one integration pass,
     which is much faster than repeated single-point solves on dense grids.
+    On the fast path the ``expm`` method solves the whole grid with one
+    scaled decomposition (step-matrix propagation) instead of one matrix
+    exponential per point.
     """
     times = [float(t) for t in times]
+    if not times:
+        raise ModelError("time grid must not be empty")
     if any(t < 0 for t in times):
         raise ModelError("all times must be non-negative")
-    if method == "ode" and times == sorted(times) and times and times[-1] > 0:
+    if method == "ode" and times == sorted(times) and times[-1] > 0:
         pi0 = chain.initial_distribution
         q = chain.generator_matrix()
         with obs_metrics.span("solver.ode"):
             return np.vstack([_clip(row) for row in _ode(pi0, q, times)])
+    if method == "expm" and perf.fast_enabled() and len(times) > 1:
+        pi0 = chain.initial_distribution
+        q = chain.generator_matrix()
+        with obs_metrics.span("solver.expm"):
+            grid = solver_cache.expm_grid_propagated(pi0, q, times)
+        # t == 0 rows return pi0 exactly as the per-point reference does.
+        return np.vstack([pi0 if t == 0.0 else _clip(grid[t]) for t in times])
     return np.vstack([transient_distribution(chain, t, method=method, tol=tol) for t in times])
 
 

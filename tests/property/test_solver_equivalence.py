@@ -1,0 +1,134 @@
+"""Property tests: CTMC solver equivalence across methods and paths.
+
+Three independent claims, over randomly generated generator matrices:
+
+1. the three transient solvers (matrix exponential, uniformization,
+   Kolmogorov ODE) agree within solver tolerance and always return a
+   probability distribution;
+2. the cached fast path (:mod:`repro.reliability.solver_cache`) returns
+   *bit-identical* results to the reference path for point solves, and
+   stays within far-below-solver tolerance on dense grids — with repeat
+   calls (cache hits) bit-identical to the first (cold) call;
+3. invalid inputs (negative times, empty grids) are rejected with the
+   same :class:`ModelError` on both paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.errors import ModelError
+from repro.reliability import (
+    MarkovChain,
+    clear_solver_cache,
+    transient_distribution,
+    transient_distributions,
+)
+
+rates = st.floats(min_value=1e-4, max_value=10.0, allow_nan=False)
+#: t = 0 is a meaningful boundary, but *denormal*-tiny positive times make
+#: the LSODA reference integrator's step-size control crawl forever — they
+#: are numerically meaningless inputs, not a solver property worth testing.
+times = st.one_of(
+    st.just(0.0), st.floats(min_value=1e-3, max_value=20.0, allow_nan=False)
+)
+
+
+@st.composite
+def chains(draw):
+    n_states = draw(st.integers(min_value=2, max_value=5))
+    count = n_states * (n_states - 1)
+    rate_list = draw(
+        st.lists(st.one_of(st.just(0.0), rates), min_size=count, max_size=count)
+    )
+    states = [f"s{i}" for i in range(n_states)]
+    chain = MarkovChain(states)
+    index = 0
+    for i in range(n_states):
+        for j in range(n_states):
+            if i != j:
+                if rate_list[index] > 0:
+                    chain.add_transition(states[i], states[j], rate_list[index])
+                index += 1
+    chain.set_initial(states[0])
+    return chain
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_solver_cache()
+    yield
+    clear_solver_cache()
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(chain=chains(), t=times)
+def test_three_methods_agree_and_are_distributions(chain, t):
+    results = {
+        method: transient_distribution(chain, t, method=method)
+        for method in ("expm", "uniformization", "ode")
+    }
+    for method, pi in results.items():
+        assert np.all(pi >= 0.0), method
+        assert pi.sum() == pytest.approx(1.0, abs=1e-8), method
+    assert np.allclose(results["expm"], results["uniformization"], atol=1e-5)
+    assert np.allclose(results["expm"], results["ode"], atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(chain=chains(), t=times)
+@pytest.mark.parametrize("method", ["expm", "uniformization", "ode"])
+def test_point_solve_fast_is_bit_identical_to_reference(method, chain, t):
+    with perf.reference_path():
+        reference = transient_distribution(chain, t, method=method)
+    clear_solver_cache()
+    with perf.fast_path():
+        cold = transient_distribution(chain, t, method=method)
+        warm = transient_distribution(chain, t, method=method)
+    assert np.array_equal(cold, reference)
+    assert np.array_equal(warm, cold)
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(chain=chains(), horizon=st.floats(min_value=0.5, max_value=20.0))
+def test_grid_solve_fast_matches_reference(chain, horizon):
+    grid = list(np.linspace(0.0, horizon, 31))
+    with perf.reference_path():
+        reference = transient_distributions(chain, grid, method="expm")
+    clear_solver_cache()
+    with perf.fast_path():
+        cold = transient_distributions(chain, grid, method="expm")
+        warm = transient_distributions(chain, grid, method="expm")
+    assert np.allclose(cold, reference, atol=1e-9)
+    assert np.allclose(cold.sum(axis=1), 1.0, atol=1e-9)
+    assert np.array_equal(warm, cold)
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(chain=chains(), t=times)
+def test_cache_off_equals_cache_on(chain, t):
+    """The global switch must only change speed, never results."""
+    with perf.fast_path():
+        fast = transient_distribution(chain, t, method="uniformization")
+    with perf.reference_path():
+        off = transient_distribution(chain, t, method="uniformization")
+    assert np.array_equal(fast, off)
+
+
+@pytest.mark.parametrize("enabled", [False, True])
+def test_invalid_inputs_rejected_on_both_paths(enabled):
+    chain = MarkovChain(["up", "down"])
+    chain.add_transition("up", "down", 1e-3)
+    chain.set_initial("up")
+    manager = perf.fast_path() if enabled else perf.reference_path()
+    with manager:
+        with pytest.raises(ModelError):
+            transient_distribution(chain, -1.0)
+        with pytest.raises(ModelError):
+            transient_distributions(chain, [0.0, 1.0, -2.0])
+        with pytest.raises(ModelError):
+            transient_distributions(chain, [])
+        with pytest.raises(ModelError):
+            transient_distribution(chain, 1.0, method="laplace")
