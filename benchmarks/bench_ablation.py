@@ -9,12 +9,11 @@ coverage taxonomy is re-estimated across three different workloads.
 
 import common
 
-from repro.experiments import compute_ablation_table, compute_workload_table
-
 
 def test_benchmark_edm_ablation(benchmark):
+    # 1 000 trials = E11's full 1 200 scaled by 5/6 (seed is the driver's).
     result = benchmark.pedantic(
-        lambda: compute_ablation_table(experiments=1_000, seed=424_242),
+        lambda: common.run_experiment("ablation_table", scale=1_000 / 1_200),
         rounds=1, iterations=1,
     )
 
@@ -40,8 +39,9 @@ def test_benchmark_edm_ablation(benchmark):
 
 
 def test_benchmark_workload_robustness(benchmark):
+    # 600 trials = E12's full 800 scaled by 3/4 (seed is the driver's).
     result = benchmark.pedantic(
-        lambda: compute_workload_table(experiments=600, seed=1999),
+        lambda: common.run_experiment("workload_table", scale=600 / 800),
         rounds=1, iterations=1,
     )
 

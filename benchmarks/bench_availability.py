@@ -9,11 +9,9 @@ NLFT, across service responsiveness.
 
 import common
 
-from repro.experiments import compute_availability_table
-
 
 def test_benchmark_availability(benchmark):
-    result = benchmark(compute_availability_table)
+    result = benchmark(lambda: common.run_experiment("availability_table"))
 
     common.report(
         "availability.table",

@@ -14,14 +14,13 @@ Two parts:
 
 import common
 
-from repro.experiments import compare_braking_under_faults, run_simulation_study
-
+#: 250 replicas = E8a's full 300 scaled by 5/6.
 REPLICAS = 250
 
 
 def test_benchmark_mission_monte_carlo(benchmark):
     study = benchmark.pedantic(
-        lambda: run_simulation_study(replicas=REPLICAS, mission_hours=8_760.0, seed=17),
+        lambda: common.run_experiment("simulation_study", scale=REPLICAS / 300),
         rounds=1, iterations=1,
     )
 
@@ -43,7 +42,7 @@ def test_benchmark_mission_monte_carlo(benchmark):
 
 def test_benchmark_braking_comparison(benchmark):
     comparison = benchmark.pedantic(
-        compare_braking_under_faults, rounds=1, iterations=1
+        lambda: common.run_experiment("braking_comparison"), rounds=1, iterations=1
     )
 
     common.report(

@@ -11,11 +11,11 @@ import pytest
 
 import common
 
-from repro.experiments import compute_figure12, series_rows
+from repro.experiments import series_rows
 
 
 def test_benchmark_figure12(benchmark):
-    result = benchmark(compute_figure12)
+    result = benchmark(lambda: common.run_experiment("figure12"))
 
     series = "\n".join(
         "  " + "  ".join(f"{value:10.4f}" for value in row)

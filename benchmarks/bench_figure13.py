@@ -8,11 +8,9 @@ node subsystem."
 
 import common
 
-from repro.experiments import compute_figure13
-
 
 def test_benchmark_figure13(benchmark):
-    result = benchmark(compute_figure13)
+    result = benchmark(lambda: common.run_experiment("figure13"))
 
     common.report(
         "figures.figure13",

@@ -9,11 +9,9 @@ with the fault rate.
 
 import common
 
-from repro.experiments import compute_figure14
-
 
 def test_benchmark_figure14(benchmark):
-    result = benchmark(compute_figure14)
+    result = benchmark(lambda: common.run_experiment("figure14"))
 
     common.report(
         "figures.figure14",

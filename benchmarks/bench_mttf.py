@@ -10,11 +10,9 @@ import pytest
 
 import common
 
-from repro.experiments import compute_mttf_table
-
 
 def test_benchmark_mttf_table(benchmark):
-    table = benchmark(compute_mttf_table)
+    table = benchmark(lambda: common.run_experiment("mttf_table"))
 
     subsystem_lines = "\n".join(
         f"  {key[0]}/{key[1]}: "

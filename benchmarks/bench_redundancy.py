@@ -9,11 +9,11 @@ measures make the Figure 13 bottleneck statement quantitative.
 
 import common
 
-from repro.experiments import compute_importance_table, compute_redundancy_table
-
 
 def test_benchmark_redundancy_study(benchmark):
-    result = benchmark.pedantic(compute_redundancy_table, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: common.run_experiment("redundancy_table"), rounds=1, iterations=1,
+    )
 
     common.report(
         "redundancy.dimensioning",
@@ -34,7 +34,7 @@ def test_benchmark_redundancy_study(benchmark):
 
 
 def test_benchmark_importance(benchmark):
-    result = benchmark(compute_importance_table)
+    result = benchmark(lambda: common.run_experiment("importance_table"))
 
     common.report(
         "redundancy.importance",

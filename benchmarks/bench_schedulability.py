@@ -10,11 +10,9 @@ guaranteed.
 
 import common
 
-from repro.experiments import compute_schedulability
-
 
 def test_benchmark_schedulability(benchmark):
-    result = benchmark(compute_schedulability)
+    result = benchmark(lambda: common.run_experiment("schedulability"))
 
     common.report(
         "schedulability.analysis",

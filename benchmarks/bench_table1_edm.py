@@ -15,15 +15,15 @@ assignment and asserts the reproduced claims:
 
 import common
 
-from repro.experiments import run_coverage_campaign
 from repro.faults.outcomes import OutcomeClass
 
+#: 1 500 trials = E5's full 2 000 scaled by 3/4.
 EXPERIMENTS = 1_500
 
 
 def test_benchmark_table1_campaign(benchmark):
     result = benchmark.pedantic(
-        lambda: run_coverage_campaign(experiments=EXPERIMENTS, seed=2005),
+        lambda: common.run_experiment("coverage_table", scale=EXPERIMENTS / 2_000),
         rounds=1, iterations=1,
     )
 

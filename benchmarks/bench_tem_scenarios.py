@@ -8,16 +8,15 @@ delivers after two copies; (ii)-(iv) run a third copy and mask the error.
 
 import common
 
-from repro.experiments import render_scenarios, run_tem_scenarios
-
 
 def test_benchmark_tem_scenarios(benchmark):
-    results = benchmark(run_tem_scenarios)
+    timeline = benchmark(lambda: common.run_experiment("tem_timeline"))
+    results = timeline.scenarios
 
     common.report(
         "tem.scenarios",
         wall_s=common.benchmark_mean(benchmark),
-        text=render_scenarios(results),
+        text=timeline.render(),
     )
 
     assert results["i"].copies_run == 2

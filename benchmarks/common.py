@@ -121,3 +121,27 @@ def benchmark_mean(benchmark: Any) -> Optional[float]:
         return float(benchmark.stats.stats.mean)
     except AttributeError:
         return None
+
+
+def experiment(experiment_id: str) -> Any:
+    """Resolve one registered experiment by id (the benchmark's subject)."""
+    from repro.experiments import registry
+
+    return registry.load_all().get(experiment_id)
+
+
+def run_experiment(experiment_id: str, **config_kwargs: Any) -> Any:
+    """Run a registered experiment inside its own activated run context.
+
+    Experiment-shaped benchmarks resolve their subject through the
+    registry — the same path as the report runner and the CLI — instead of
+    importing ``compute_*`` functions directly.  ``config_kwargs`` become
+    the :class:`repro.runtime.RunConfig` (``scale`` dials campaign sizes,
+    ``jobs`` / ``timeout_s`` shape the supervisor).
+    """
+    from repro import runtime
+
+    exp = experiment(experiment_id)
+    context = runtime.RunContext(runtime.RunConfig(**config_kwargs))
+    with runtime.activate(context):
+        return exp.run(context)

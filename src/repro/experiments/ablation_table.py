@@ -167,3 +167,29 @@ def compute_ablation_table(
             ),
         )
     return AblationResult(experiments=experiments, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="ablation_table",
+    index="E11",
+    title="EDM ablation (extension)",
+    anchors=("Section 4 (extension: detection-mechanism ablation)",),
+    tags=("campaign",),
+)
+def _experiment(ctx) -> AblationResult:
+    cfg = ctx.config
+    return compute_ablation_table(
+        experiments=cfg.campaign_size(1_200, 300),
+        workers=cfg.jobs,
+        timeout_s=cfg.timeout_s,
+        journal_path=cfg.journal_path("e11"),
+        progress=cfg.progress,
+        profile=cfg.profile,
+    )

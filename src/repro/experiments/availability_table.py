@@ -99,3 +99,20 @@ def compute_availability_table(
         availability=availability,
         downtime_per_year=downtime,
     )
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="availability_table",
+    index="E13",
+    title="Availability under maintenance (extension)",
+    anchors=("Section 5 (extension: availability with repair)",),
+)
+def _experiment(ctx) -> AvailabilityResult:
+    return compute_availability_table()

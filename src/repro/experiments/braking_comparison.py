@@ -1,0 +1,24 @@
+"""E8b - functional braking comparison (FS vs NLFT under the same faults).
+
+The driver itself lives in :mod:`repro.experiments.simulation_study`
+(:func:`compare_braking_under_faults` shares the BBW simulation plumbing
+with the Monte-Carlo study).  This module gives the comparison its own
+registry entry so the one-experiment-per-module invariant holds: E8a
+(``simulation_study``) and E8b are separate report sections with separate
+ids.
+"""
+
+from __future__ import annotations
+
+from .registry import experiment
+from .simulation_study import BrakingComparison, compare_braking_under_faults
+
+
+@experiment(
+    id="braking_comparison",
+    index="E8b",
+    title="Functional braking comparison",
+    anchors=("Section 2 (brake-by-wire case study)", "Figure 1"),
+)
+def _experiment(ctx) -> BrakingComparison:
+    return compare_braking_under_faults()

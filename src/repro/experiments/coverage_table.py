@@ -268,3 +268,29 @@ def run_coverage_campaign(
         if value is not None:
             estimates[name] = value
     return CoverageTableResult(stats=stats, estimates=estimates, intervals=intervals)
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="coverage_table",
+    index="E5",
+    title="Table 1 - EDM campaign and coverage parameters",
+    anchors=("Table 1", "Section 4 (fault-injection campaign)"),
+    tags=("campaign",),
+)
+def _experiment(ctx) -> CoverageTableResult:
+    cfg = ctx.config
+    return run_coverage_campaign(
+        experiments=cfg.campaign_size(2_000, 300),
+        workers=cfg.jobs,
+        timeout_s=cfg.timeout_s,
+        journal_path=cfg.journal_path("e5"),
+        progress=cfg.progress,
+        profile=cfg.profile,
+    )

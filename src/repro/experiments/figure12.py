@@ -90,3 +90,20 @@ def series_rows(result: Figure12Result) -> List[Tuple[float, float, float, float
         )
         for i, t in enumerate(result.times_hours)
     ]
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="figure12",
+    index="E1",
+    title="Figure 12 - system reliability over one year",
+    anchors=("Figure 12", "Section 5.2 (reliability analysis)"),
+)
+def _experiment(ctx) -> Figure12Result:
+    return compute_figure12()

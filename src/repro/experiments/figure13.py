@@ -75,3 +75,20 @@ def compute_figure13(
             ]
     r_one_year = {name: values[-1] for name, values in curves.items()}
     return Figure13Result(times_hours=times, curves=curves, r_one_year=r_one_year)
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="figure13",
+    index="E3",
+    title="Figure 13 - subsystem reliabilities",
+    anchors=("Figure 13", "Section 5.2 (subsystem decomposition)"),
+)
+def _experiment(ctx) -> Figure13Result:
+    return compute_figure13()

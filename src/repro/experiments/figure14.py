@@ -99,3 +99,20 @@ def compute_figure14(
         coverages=list(coverages),
         reliability=reliability,
     )
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="figure14",
+    index="E4",
+    title="Figure 14 - coverage / fault-rate sensitivity",
+    anchors=("Figure 14", "Section 5.3 (sensitivity analysis)"),
+)
+def _experiment(ctx) -> Figure14Result:
+    return compute_figure14()

@@ -75,3 +75,20 @@ def compute_importance_table(
                 model.fault_tree, at_hours
             )
     return ImportanceResult(at_hours=at_hours, reports=reports)
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="importance_table",
+    index="E10",
+    title="Subsystem importance (extension)",
+    anchors=("Section 5.2 (extension: Birnbaum importance)",),
+)
+def _experiment(ctx) -> ImportanceResult:
+    return compute_importance_table()

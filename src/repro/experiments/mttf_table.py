@@ -95,3 +95,20 @@ def compute_mttf_table(params: BbwParameters | None = None) -> MttfTableResult:
         mttf_years=mttf_years,
         subsystem_mttf_years=subsystem,
     )
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="mttf_table",
+    index="E2",
+    title="Headline table - R(1y) and MTTF",
+    anchors=("Section 5.2 (headline reliability / MTTF claims)",),
+)
+def _experiment(ctx) -> MttfTableResult:
+    return compute_mttf_table()

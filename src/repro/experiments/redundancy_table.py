@@ -125,3 +125,20 @@ def compute_redundancy_table(
         for node_type in ("fs", "nlft")
     }
     return RedundancyResult(points=points, nodes_needed=needed, ceiling=ceiling)
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="redundancy_table",
+    index="E9",
+    title="Redundancy dimensioning (extension)",
+    anchors=("Section 5 (extension: node-count dimensioning)",),
+)
+def _experiment(ctx) -> RedundancyResult:
+    return compute_redundancy_table()

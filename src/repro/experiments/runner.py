@@ -1,8 +1,10 @@
 """Run every experiment and print the paper-comparable output.
 
-``python -m repro.experiments.runner`` regenerates all tables and figures;
-each benchmark in ``benchmarks/`` drives exactly one of these entries (see
-DESIGN.md's per-experiment index).
+``python -m repro.experiments.runner`` regenerates all tables and figures.
+The section index is not hand-wired here: it is resolved through the
+declarative experiment registry (:mod:`repro.experiments.registry`), the
+same source of truth behind ``python -m repro --list`` / ``run <id>`` and
+each benchmark in ``benchmarks/`` (see DESIGN.md's per-experiment index).
 
 The runner is fault-tolerant in the same spirit as the system it
 reproduces: each section runs isolated, a failing section prints an
@@ -36,22 +38,11 @@ from pathlib import Path
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
+from .. import runtime
 from ..obs import metrics as obs_metrics
 from ..obs import profile as obs_profile
 from ..obs.export import MAX_PROFILE_CHARS, MetricsSink, SectionMetrics
-from .ablation_table import compute_ablation_table
-from .availability_table import compute_availability_table
-from .coverage_table import run_coverage_campaign
-from .importance_table import compute_importance_table
-from .redundancy_table import compute_redundancy_table
-from .workload_table import compute_workload_table
-from .figure12 import compute_figure12
-from .figure13 import compute_figure13
-from .figure14 import compute_figure14
-from .mttf_table import compute_mttf_table
-from .schedulability_table import compute_schedulability
-from .simulation_study import compare_braking_under_faults, run_simulation_study
-from .tem_timeline import render_scenarios, run_tem_scenarios
+from . import registry as experiment_registry
 
 
 def _banner(title: str) -> str:
@@ -106,6 +97,32 @@ class RunnerReport:
         return "\n".join(parts)
 
 
+def build_run_config(
+    fast: bool = False,
+    jobs: int = 0,
+    timeout: Optional[float] = None,
+    resume: Optional[Path] = None,
+    progress: bool = False,
+    profile: bool = False,
+) -> runtime.RunConfig:
+    """The :class:`repro.runtime.RunConfig` of one runner invocation.
+
+    The runner CLI's historic ``--fast`` flag selects *smoke-test campaign
+    sizes* (``RunConfig.smoke``); the fast/reference *execution path*
+    (``RunConfig.fast``) is inherited from the ambient run context so
+    ``perf.set_fast`` / ``REPRO_FAST`` keep working unchanged.
+    """
+    return runtime.RunConfig(
+        fast=runtime.current().fast,
+        smoke=fast,
+        jobs=jobs,
+        timeout_s=timeout,
+        resume_dir=str(resume) if resume is not None else None,
+        progress=progress,
+        profile=profile,
+    )
+
+
 def build_sections(
     fast: bool = False,
     jobs: int = 0,
@@ -113,71 +130,37 @@ def build_sections(
     resume: Optional[Path] = None,
     progress: bool = False,
     profile: bool = False,
+    context: Optional[runtime.RunContext] = None,
 ) -> "Dict[str, Callable[[], str]]":
-    """The experiment index E1-E13.
+    """The experiment index E1-E13, resolved through the registry.
 
-    ``jobs`` / ``timeout`` / ``resume`` apply to the campaign-shaped
-    sections (fault-injection campaigns and Monte-Carlo replicas), which
-    run through the campaign supervisor; ``progress`` / ``profile`` are
-    their observability knobs (:mod:`repro.obs`).
+    Every section is one registered :class:`~repro.experiments.registry.
+    Experiment`; its driver derives all knobs — campaign sizes, worker
+    count, per-trial timeout, journal paths, observability switches — from
+    the section's run context.  The keyword arguments build that context
+    (``fast`` selects smoke campaign sizes, ``jobs`` / ``timeout`` /
+    ``resume`` shape the campaign supervisor, ``progress`` / ``profile``
+    are the :mod:`repro.obs` knobs); pass ``context`` instead to supply a
+    ready-made one.
     """
+    if context is None:
+        context = runtime.RunContext(build_run_config(
+            fast=fast, jobs=jobs, timeout=timeout, resume=resume,
+            progress=progress, profile=profile,
+        ))
 
-    def journal(name: str) -> "Optional[str]":
-        if resume is None:
-            return None
-        return str(Path(resume) / f"{name}.jsonl")
+    def make_section(exp: experiment_registry.Experiment) -> Callable[[], str]:
+        return lambda: exp.render(exp.run(context))
 
     return {
-        "E1  Figure 12 - system reliability over one year":
-            lambda: compute_figure12().render(),
-        "E2  Headline table - R(1y) and MTTF":
-            lambda: compute_mttf_table().render(),
-        "E3  Figure 13 - subsystem reliabilities":
-            lambda: compute_figure13().render(),
-        "E4  Figure 14 - coverage / fault-rate sensitivity":
-            lambda: compute_figure14().render(),
-        "E5  Table 1 - EDM campaign and coverage parameters":
-            lambda: run_coverage_campaign(
-                experiments=300 if fast else 2_000,
-                workers=jobs, timeout_s=timeout, journal_path=journal("e5"),
-                progress=progress, profile=profile,
-            ).render(),
-        "E6  Figure 3 - TEM scenarios":
-            lambda: render_scenarios(run_tem_scenarios()),
-        "E7  Fault-tolerant schedulability":
-            lambda: compute_schedulability().render(),
-        "E8a Monte-Carlo vs Markov models":
-            lambda: run_simulation_study(
-                replicas=60 if fast else 300,
-                workers=jobs, timeout_s=timeout, journal_path=journal("e8a"),
-                progress=progress, profile=profile,
-            ).render(),
-        "E8b Functional braking comparison":
-            lambda: compare_braking_under_faults().render(),
-        "E9  Redundancy dimensioning (extension)":
-            lambda: compute_redundancy_table().render(),
-        "E10 Subsystem importance (extension)":
-            lambda: compute_importance_table().render(),
-        "E11 EDM ablation (extension)":
-            lambda: compute_ablation_table(
-                experiments=300 if fast else 1_200,
-                workers=jobs, timeout_s=timeout, journal_path=journal("e11"),
-                progress=progress, profile=profile,
-            ).render(),
-        "E12 Coverage across workloads (extension)":
-            lambda: compute_workload_table(
-                experiments=200 if fast else 800,
-                workers=jobs, timeout_s=timeout, journal_path=journal("e12"),
-                progress=progress, profile=profile,
-            ).render(),
-        "E13 Availability under maintenance (extension)":
-            lambda: compute_availability_table().render(),
+        exp.section_title: make_section(exp)
+        for exp in experiment_registry.load_all()
     }
 
 
 def _drain_hot_trials() -> "List[dict]":
-    """Pull this section's hottest-trial profiles off the process-wide
-    collector (empty when --profile is off)."""
+    """Pull this section's hottest-trial profiles off the active run
+    context's collector (empty when --profile is off)."""
     collector = obs_profile.collector()
     if collector is None:
         return []
@@ -201,14 +184,16 @@ def run_sections(
     Every section executes inside its own metrics capture
     (:func:`repro.obs.metrics.capture`), so the snapshot attached to its
     :class:`SectionReport` — and exported through *sink*, when given — is
-    exactly what that section recorded, with no cross-section bleed.
+    exactly what that section recorded, with no cross-section bleed.  The
+    capture merges upstream on exit, so the run context's base registry
+    still accumulates the whole-run aggregate.
     """
     reports: List[SectionReport] = []
     for title, section in sections.items():
         started = perf_counter()
         error: Optional[str] = None
         text = ""
-        with obs_metrics.capture() as registry:
+        with obs_metrics.capture(merge_upstream=True) as registry:
             try:
                 text = section()
             except Exception as exc:  # noqa: BLE001 — per-section containment
@@ -255,18 +240,32 @@ def run_report(
     progress: bool = False,
     profile: bool = False,
     metrics_path: "Optional[Path | str]" = None,
+    config: Optional[runtime.RunConfig] = None,
 ) -> RunnerReport:
-    """Run E1-E13 with per-section containment; structured result."""
-    sections = build_sections(
-        fast=fast, jobs=jobs, timeout=timeout, resume=resume,
-        progress=progress, profile=profile,
-    )
+    """Run E1-E13 with per-section containment; structured result.
+
+    The whole run executes inside one activated
+    :class:`repro.runtime.RunContext`, so every layer — perf mode, metrics
+    registry stack, profile collector, solver cache, campaign workers —
+    resolves through the same context and concurrent reports never share
+    state.  Pass ``config`` (e.g. loaded via
+    :meth:`repro.runtime.RunConfig.from_file`) to override the keyword
+    knobs wholesale.
+    """
+    if config is None:
+        config = build_run_config(
+            fast=fast, jobs=jobs, timeout=timeout, resume=resume,
+            progress=progress, profile=profile,
+        )
+    context = runtime.RunContext(config)
+    sections = build_sections(context=context)
     sink = MetricsSink(metrics_path) if metrics_path is not None else None
     try:
-        if profile:
-            with obs_profile.enabled():
-                return run_sections(sections, sink=sink)
-        return run_sections(sections, sink=sink)
+        with runtime.activate(context):
+            if config.profile:
+                with obs_profile.enabled():
+                    return run_sections(sections, sink=sink)
+            return run_sections(sections, sink=sink)
     finally:
         if sink is not None:
             sink.close()

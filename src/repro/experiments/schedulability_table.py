@@ -135,3 +135,20 @@ def compute_schedulability(
         max_faults_tolerated=max_tolerable_faults(task_list, comparison_cost),
         hypothesis=hypothesis,
     )
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="schedulability",
+    index="E7",
+    title="Fault-tolerant schedulability",
+    anchors=("Section 3.3 (scheduling for temporal error masking)",),
+)
+def _experiment(ctx) -> SchedulabilityResult:
+    return compute_schedulability()

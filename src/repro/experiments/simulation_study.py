@@ -313,3 +313,30 @@ def compare_braking_under_faults(
         simulation.run(7.0)
         summaries[kind] = simulation.summary()
     return BrakingComparison(summaries=summaries)
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="simulation_study",
+    index="E8a",
+    title="Monte-Carlo vs Markov models",
+    anchors=("Section 5.2 (model validation)",),
+    tags=("campaign",),
+)
+def _experiment(ctx) -> SimulationStudyResult:
+    cfg = ctx.config
+    return run_simulation_study(
+        replicas=cfg.campaign_size(300, 60),
+        mission_hours=cfg.horizon_hours,
+        workers=cfg.jobs,
+        timeout_s=cfg.timeout_s,
+        journal_path=cfg.journal_path("e8a"),
+        progress=cfg.progress,
+        profile=cfg.profile,
+    )

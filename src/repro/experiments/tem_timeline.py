@@ -118,3 +118,35 @@ def render_scenarios(results: Dict[str, ScenarioResult]) -> str:
     )
     details = "\n\n".join(result.render() for result in results.values())
     return table + "\n\n" + details
+
+
+@dataclasses.dataclass
+class TemTimelineResult:
+    """All four Figure 3 scenarios, wrapped as one renderable result."""
+
+    scenarios: Dict[str, ScenarioResult]
+
+    def render(self) -> str:
+        return render_scenarios(self.scenarios)
+
+
+def compute_tem_timeline() -> TemTimelineResult:
+    """Run all Figure 3 scenarios as a single result object."""
+    return TemTimelineResult(scenarios=run_tem_scenarios())
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="tem_timeline",
+    index="E6",
+    title="Figure 3 - TEM scenarios",
+    anchors=("Figure 3", "Section 3.2 (temporal error masking)"),
+)
+def _experiment(ctx) -> TemTimelineResult:
+    return compute_tem_timeline()

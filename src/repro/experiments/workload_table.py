@@ -160,3 +160,29 @@ def compute_workload_table(
             ),
         )
     return WorkloadTableResult(experiments_per_workload=experiments, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+
+from .registry import experiment
+
+
+@experiment(
+    id="workload_table",
+    index="E12",
+    title="Coverage across workloads (extension)",
+    anchors=("Section 4 (extension: workload sensitivity of coverage)",),
+    tags=("campaign",),
+)
+def _experiment(ctx) -> WorkloadTableResult:
+    cfg = ctx.config
+    return compute_workload_table(
+        experiments=cfg.campaign_size(800, 200),
+        workers=cfg.jobs,
+        timeout_s=cfg.timeout_s,
+        journal_path=cfg.journal_path("e12"),
+        progress=cfg.progress,
+        profile=cfg.profile,
+    )

@@ -50,6 +50,7 @@ from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Union
 
+from .. import runtime
 from ..errors import ConfigurationError
 from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
 from ..obs import metrics as obs_metrics
@@ -117,6 +118,15 @@ class SupervisorConfig:
         ``derive_seed(master_seed, i)``.
     campaign:
         Campaign name, recorded in the journal header (resume guard).
+    start_method:
+        ``multiprocessing`` start method for worker processes (``None`` =
+        ``fork`` where available, else the platform default).  Every
+        worker receives the supervisor's effective
+        :class:`repro.runtime.RunConfig` in its bootstrap payload and
+        activates a matching :class:`repro.runtime.RunContext` before
+        running trials, so campaigns are mode-correct (fast/reference,
+        metrics) under ``spawn`` and ``forkserver`` too — not only
+        "inherited through fork".
     chunk_size:
         Trials dispatched per worker message (``None`` = auto).  Results
         still stream back — and timeouts apply — per individual trial,
@@ -162,6 +172,7 @@ class SupervisorConfig:
     journal_path: Optional[Union[str, Path]] = None
     master_seed: int = 0
     campaign: str = "campaign"
+    start_method: Optional[str] = None
     chunk_size: Optional[int] = None
     batch_replies: bool = False
     result_encoder: Optional[Callable[[Any], Any]] = None
@@ -179,6 +190,14 @@ class SupervisorConfig:
             raise ConfigurationError("timeout_s must be positive")
         if self.profile_top_k < 0:
             raise ConfigurationError("profile_top_k must be >= 0")
+        if (
+            self.start_method is not None
+            and self.start_method not in multiprocessing.get_all_start_methods()
+        ):
+            raise ConfigurationError(
+                f"start_method {self.start_method!r} unavailable; choose "
+                f"from {multiprocessing.get_all_start_methods()}"
+            )
 
     def backoff_s(self, attempt: int) -> float:
         """Delay before retry number *attempt* (1-based)."""
@@ -364,6 +383,7 @@ def _worker_main(
     collect_metrics: bool,
     profiled: bool,
     batch_replies: bool = False,
+    run_config: Optional[runtime.RunConfig] = None,
 ) -> None:
     """Worker loop: receive trial chunks, reply per trial (or per chunk).
 
@@ -377,12 +397,38 @@ def _worker_main(
     With ``batch_replies`` the per-trial tuples are accumulated and sent
     as one ``("batch", replies)`` message per chunk, amortising the
     pickle/IPC round-trip for cheap trials.
+
+    ``run_config`` is the supervisor's effective run configuration,
+    shipped explicitly in the bootstrap payload: the worker activates a
+    matching :class:`repro.runtime.RunContext` for its whole lifetime, so
+    the fast/reference mode (and every other config-scoped knob) is
+    correct regardless of the ``multiprocessing`` start method — a
+    ``spawn`` worker must not silently fall back to environment defaults.
     """
     # The supervisor owns SIGINT handling; workers must not die to Ctrl-C
     # racing ahead of the supervisor's orderly shutdown.
     with contextlib.suppress(ValueError, OSError):
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     supervisor_pid = os.getppid()
+    worker_ctx = runtime.RunContext(
+        run_config if run_config is not None else runtime.RunConfig()
+    )
+    with runtime.activate(worker_ctx):
+        _worker_loop(
+            trial_fn, master_seed, conn, collect_metrics, profiled,
+            batch_replies, supervisor_pid,
+        )
+
+
+def _worker_loop(
+    trial_fn: TrialFn,
+    master_seed: int,
+    conn: "mp_connection.Connection",
+    collect_metrics: bool,
+    profiled: bool,
+    batch_replies: bool,
+    supervisor_pid: int,
+) -> None:
     while True:
         try:
             # Poll rather than block: with the fork start method, sibling
@@ -437,13 +483,14 @@ class _Worker:
         collect_metrics: bool = True,
         profiled: bool = False,
         batch_replies: bool = False,
+        run_config: Optional[runtime.RunConfig] = None,
     ) -> None:
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.batch_replies = batch_replies
         self.process = ctx.Process(
             target=_worker_main,
             args=(trial_fn, master_seed, child_conn, collect_metrics,
-                  profiled, batch_replies),
+                  profiled, batch_replies, run_config),
             daemon=True,
         )
         self.process.start()
@@ -724,8 +771,23 @@ class CampaignSupervisor:
     def _make_context(self) -> "multiprocessing.context.BaseContext":
         # fork keeps closures usable as trial functions and is the fast
         # path on Linux; fall back to the platform default elsewhere.
+        # Either way the effective RunConfig travels in the bootstrap
+        # payload (_worker_main), never implicitly "through fork".
+        if self.config.start_method is not None:
+            return multiprocessing.get_context(self.config.start_method)
         methods = multiprocessing.get_all_start_methods()
         return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    def _worker_run_config(self) -> runtime.RunConfig:
+        """The run configuration shipped to every worker.
+
+        A snapshot of the active context — including a transient
+        ``fast_path()``/``reference_path()`` override in force at spawn
+        time — with the parallel/interactive knobs stripped: a worker is
+        always a serial, progress-less executor of its own trials.
+        """
+        ctx = runtime.current()
+        return ctx.config.replace(fast=ctx.fast, jobs=0, progress=False)
 
     def _spawn_worker(self, ctx: "multiprocessing.context.BaseContext") -> Optional[_Worker]:
         """Spawn one worker, retrying transient start failures with backoff."""
@@ -736,6 +798,7 @@ class CampaignSupervisor:
                     collect_metrics=self.config.collect_metrics,
                     profiled=self.config.profile_top_k > 0,
                     batch_replies=self.config.batch_replies,
+                    run_config=self._worker_run_config(),
                 )
             except OSError:
                 if attempt > self.config.max_retries:

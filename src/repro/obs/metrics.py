@@ -14,8 +14,11 @@ The observability substrate of the campaign engine.  Design constraints:
 * **ambient registry** — instrumented library code records into the
   *active* registry (:func:`active`); the campaign supervisor swaps in a
   fresh registry per trial (:func:`capture`) so per-trial metrics can be
-  shipped back from forked workers, while code outside any campaign simply
-  accumulates into the process-wide default registry.
+  shipped back from worker processes.  The active registry is resolved
+  through the active :class:`repro.runtime.RunContext` — each context
+  owns its base registry and capture stack, so two concurrent runs never
+  bleed metrics into each other; code outside any activated context
+  simply accumulates into the process-default context's registry.
 
 Snapshot schema (JSON)::
 
@@ -34,8 +37,10 @@ Empty kinds are omitted.  Wall-clock fields (``total_s``/``min_s``/
 deterministic projection used by reproducibility tests is
 :func:`stable_view` (counters plus timer/histogram event counts).
 
-Single-threaded by design: trials, the DES and the solvers all run on one
-thread per process, so no locking is needed (or provided).
+Registries are single-threaded by design: trials, the DES and the solvers
+all run on one thread per run context, so no locking is needed (or
+provided).  Concurrency happens *across* contexts, which never share a
+registry.
 """
 
 from __future__ import annotations
@@ -44,6 +49,8 @@ import contextlib
 import math
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from .. import runtime as _runtime
 
 #: Default histogram bucket upper bounds, in seconds (durations).
 DEFAULT_DURATION_BOUNDS_S = (
@@ -237,39 +244,53 @@ def _bucket_index(bounds: Sequence[float], value: float) -> int:
 
 
 # ----------------------------------------------------------------------
-# The ambient (active) registry
+# The ambient (active) registry — resolved through the run context
 # ----------------------------------------------------------------------
 
-_default_registry = MetricsRegistry()
-_registry_stack: List[MetricsRegistry] = [_default_registry]
-
-
 def active() -> MetricsRegistry:
-    """The registry instrumented code currently records into."""
-    return _registry_stack[-1]
+    """The registry instrumented code currently records into.
+
+    Resolution goes through the active :class:`repro.runtime.RunContext`:
+    the top of that context's capture stack, which bottoms out at the
+    context's base registry.
+    """
+    return _runtime.current().active_metrics()
 
 
 def default_registry() -> MetricsRegistry:
-    """The process-wide base registry (bottom of the capture stack)."""
-    return _default_registry
+    """The active context's base registry (bottom of its capture stack).
+
+    Outside any activated context this is the process-default context's
+    registry — the historic process-wide default.
+    """
+    return _runtime.current().metrics
 
 
 @contextlib.contextmanager
-def capture(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+def capture(
+    registry: Optional[MetricsRegistry] = None,
+    merge_upstream: bool = False,
+) -> Iterator[MetricsRegistry]:
     """Swap in a fresh (or given) registry as the active one.
 
-    Everything instrumented code records inside the ``with`` block lands in
-    the captured registry only — the previous active registry is *not*
-    updated automatically; callers that want the capture reflected upstream
-    merge the snapshot explicitly (as the campaign supervisor does once per
-    campaign, and the experiment runner once per section).
+    By default everything instrumented code records inside the ``with``
+    block lands in the captured registry only — the previous active
+    registry is *not* updated automatically; callers that want the capture
+    reflected upstream either merge the snapshot explicitly (as the
+    campaign supervisor does once per campaign) or pass
+    ``merge_upstream=True``, which folds the captured snapshot into the
+    enclosing registry on exit (as the experiment runner does per section,
+    so section metrics also land in the run-level aggregate).
     """
     registry = registry if registry is not None else MetricsRegistry()
-    _registry_stack.append(registry)
+    stack = _runtime.current().metrics_stack
+    stack.append(registry)
     try:
         yield registry
     finally:
-        _registry_stack.pop()
+        stack.pop()
+        if merge_upstream:
+            stack[-1].merge_snapshot(registry.snapshot())
 
 
 # Module-level conveniences: record into the active registry.

@@ -29,6 +29,8 @@ import io
 import pstats
 from typing import Any, Callable, Iterator, List, Optional, Tuple
 
+from .. import runtime as _runtime
+
 #: Default number of hottest trials to keep.
 DEFAULT_TOP_K = 3
 
@@ -94,34 +96,32 @@ class ProfileCollector:
 
 
 # ----------------------------------------------------------------------
-# Module-level collector (enabled by the experiment runner's --profile)
+# Context-scoped collector (enabled by the experiment runner's --profile)
 # ----------------------------------------------------------------------
 
-_collector: Optional[ProfileCollector] = None
-
-
 def collector() -> Optional[ProfileCollector]:
-    """The process-wide collector, or None when profiling is off."""
-    return _collector
+    """The active context's collector, or None when profiling is off."""
+    return _runtime.current().profile_collector
 
 
 @contextlib.contextmanager
 def enabled(top_k: int = DEFAULT_TOP_K) -> Iterator[ProfileCollector]:
-    """Enable the process-wide collector inside the ``with`` block."""
-    global _collector
-    previous = _collector
-    _collector = ProfileCollector(top_k=top_k)
+    """Enable the active context's collector inside the ``with`` block."""
+    ctx = _runtime.current()
+    previous = ctx.profile_collector
+    ctx.profile_collector = ProfileCollector(top_k=top_k)
     try:
-        yield _collector
+        yield ctx.profile_collector
     finally:
-        _collector = previous
+        ctx.profile_collector = previous
 
 
 def record_hot_trial(trial: HotTrial) -> None:
-    """Offer a profiled trial to the process-wide collector (no-op when
-    profiling is off)."""
-    if _collector is not None:
-        _collector.record(trial)
+    """Offer a profiled trial to the active context's collector (no-op
+    when profiling is off)."""
+    active = _runtime.current().profile_collector
+    if active is not None:
+        active.record(trial)
 
 
 # ----------------------------------------------------------------------

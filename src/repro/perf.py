@@ -1,4 +1,4 @@
-"""Global fast-path switch shared by the performance-critical layers.
+"""Fast-path switch — a thin shim over the active run context.
 
 The repository keeps *two* implementations of every hot path:
 
@@ -9,19 +9,20 @@ The repository keeps *two* implementations of every hot path:
   engine, uniformization) or equal within solver tolerance (``expm`` grid
   propagation) to the reference path.
 
-This module is the single switch that selects between them.  The
-differential test gate (``tests/cpu/test_fastpath_differential.py``,
-``tests/property/test_solver_equivalence.py`` and the golden-outcome
-fixture) runs both paths against each other; production code and all
-published experiment numbers use the fast path (the default).
+This module selects between them.  Since the context-scoped runtime
+(:mod:`repro.runtime`) the switch is no longer a module global: it lives
+on the active :class:`repro.runtime.RunContext`, so two runs with opposite
+settings can execute concurrently in one process.  Code that never
+activates a context resolves through the process-default context, which
+preserves the historic global behaviour (default fast; ``REPRO_FAST=0``
+starts a process on the reference path).
 
 Usage::
 
     from repro import perf
 
-    perf.fast_enabled()          # -> bool (default True; env REPRO_FAST=0
-                                 #    starts a process on the reference path)
-    perf.set_fast(False)         # switch globally
+    perf.fast_enabled()          # -> bool for the *active* context
+    perf.set_fast(False)         # switch the active context
     with perf.reference_path():  # temporarily force the reference path
         ...
     with perf.fast_path():       # temporarily force the fast path
@@ -30,46 +31,45 @@ Usage::
 Components read the switch at well-defined points: :class:`repro.cpu.Machine`
 resolves it at construction (``Machine(fast=...)`` overrides), the CTMC
 solvers at every call, the campaign engine at dispatch time.  Worker
-processes inherit the flag through ``fork``.
+processes receive the effective mode in their bootstrap payload
+(:mod:`repro.harness.supervisor`), so campaigns are mode-correct under
+``spawn`` as well as ``fork``.
 """
 
 from __future__ import annotations
 
 import contextlib
-import os
 from typing import Iterator
 
-_fast: bool = os.environ.get("REPRO_FAST", "1") != "0"
+from . import runtime
 
 
 def fast_enabled() -> bool:
-    """True when fast paths are globally enabled (the default)."""
-    return _fast
+    """True when the active context runs the fast paths (the default)."""
+    return runtime.current().fast
 
 
 def set_fast(enabled: bool) -> None:
-    """Globally enable or disable fast paths."""
-    global _fast
-    _fast = bool(enabled)
+    """Enable or disable fast paths on the active context."""
+    runtime.current().fast = bool(enabled)
 
 
 @contextlib.contextmanager
-def reference_path() -> Iterator[None]:
+def _forced(enabled: bool) -> Iterator[None]:
+    ctx = runtime.current()
+    previous = ctx.fast
+    ctx.fast = enabled
+    try:
+        yield
+    finally:
+        ctx.fast = previous
+
+
+def reference_path() -> "contextlib.AbstractContextManager[None]":
     """Force the reference path inside the ``with`` block."""
-    previous = _fast
-    set_fast(False)
-    try:
-        yield
-    finally:
-        set_fast(previous)
+    return _forced(False)
 
 
-@contextlib.contextmanager
-def fast_path() -> Iterator[None]:
+def fast_path() -> "contextlib.AbstractContextManager[None]":
     """Force the fast path inside the ``with`` block."""
-    previous = _fast
-    set_fast(True)
-    try:
-        yield
-    finally:
-        set_fast(previous)
+    return _forced(True)

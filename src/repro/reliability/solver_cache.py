@@ -35,9 +35,13 @@ The cache is keyed by the generator's bytes, so *any* change to the chain
 cleanly.  All caches are bounded; overflow evicts wholesale (campaign
 access patterns are loops over a handful of chains, not adversarial).
 
-The global switch lives in :mod:`repro.perf`; the solvers consult
-:func:`repro.perf.fast_enabled` per call, so ``perf.reference_path()``
-bypasses the cache without clearing it.
+The fast/reference switch lives on the active
+:class:`repro.runtime.RunContext` (via the :mod:`repro.perf` shims); the
+solvers consult :func:`repro.perf.fast_enabled` per call, so
+``perf.reference_path()`` bypasses the cache without clearing it.  The
+cache itself is context-scoped too (:func:`active_cache` resolves
+``runtime.current().solver_cache``), so concurrent runs never share —
+or evict — each other's artefacts.
 """
 
 from __future__ import annotations
@@ -46,6 +50,8 @@ import math
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from .. import runtime as _runtime
 
 #: Bounded-cache sizes (entries / per-entry artefacts).
 MAX_CHAINS = 32
@@ -176,13 +182,14 @@ class SolverCache:
         return len(self._entries)
 
 
-#: The process-wide cache the solvers use when the fast path is enabled.
-GLOBAL_CACHE = SolverCache()
+def active_cache() -> SolverCache:
+    """The active run context's solver cache (created on first use)."""
+    return _runtime.current().solver_cache
 
 
 def clear() -> None:
-    """Clear the process-wide solver cache."""
-    GLOBAL_CACHE.clear()
+    """Clear the active context's solver cache."""
+    active_cache().clear()
 
 
 # ----------------------------------------------------------------------
@@ -200,7 +207,7 @@ def uniformization_cached(
     ``v_k`` changes, and the cached vectors are produced by the identical
     ``vector @ p`` recurrence.
     """
-    entry = GLOBAL_CACHE.entry(q)
+    entry = active_cache().entry(q)
     rate, vectors = entry.uniformization_vectors(pi0)
     if rate == 0.0:
         return pi0.copy()
@@ -233,7 +240,7 @@ def expm_grid_propagated(
     exponential.  Returns raw (un-clipped) vectors keyed by time — the
     caller applies the same ``_clip`` post-processing as the reference.
     """
-    entry = GLOBAL_CACHE.entry(q)
+    entry = active_cache().entry(q)
     out: Dict[float, np.ndarray] = {}
     current = pi0
     current_t = 0.0

@@ -55,7 +55,7 @@ def transient_distribution(
         return pi0
     q = chain.generator_matrix()
     if perf.fast_enabled():
-        entry = solver_cache.GLOBAL_CACHE.entry(q)
+        entry = solver_cache.active_cache().entry(q)
         key = (method, float(t), float(tol), pi0.tobytes())
         cached = entry.point_result(key)
         if cached is None:

@@ -1,0 +1,53 @@
+"""Context-scoped runtime: per-run configuration and execution state.
+
+``repro.runtime`` replaces the process-global switches the cross-cutting
+layers used to coordinate through (``repro.perf._fast``, the process-wide
+metrics capture stack, the global solver cache) with one explicit seam:
+
+* :class:`RunConfig` — a frozen, picklable, JSON-serialisable description
+  of one run (fast/reference mode, jobs, timeout, root seed, resume dir,
+  observability knobs, horizons);
+* :class:`RunContext` — the config plus the run's live service objects
+  (metrics registry + capture stack, profile collector, solver cache,
+  root RNG), carried on a :class:`contextvars.ContextVar`.
+
+Every layer resolves through :func:`current`; code that never activates a
+context falls back to the process-default context, which preserves the
+historic global behaviour bit-for-bit.  ``perf.set_fast`` /
+``perf.fast_path()`` / ``obs.metrics.capture()`` remain as thin shims over
+the active context, so existing call sites keep working.
+
+Two campaigns with opposite settings can now run concurrently in one
+process::
+
+    import threading
+    from repro import runtime
+
+    def campaign(fast):
+        ctx = runtime.RunContext(runtime.RunConfig(fast=fast))
+        with runtime.activate(ctx):
+            ...  # this thread's solvers/CPU/campaign use ctx only
+
+    threads = [threading.Thread(target=campaign, args=(f,)) for f in (True, False)]
+"""
+
+from .config import DEFAULT_HORIZON_HOURS, RunConfig
+from .context import (
+    RunContext,
+    activate,
+    current,
+    current_or_none,
+    default_context,
+    reset_default_context,
+)
+
+__all__ = [
+    "DEFAULT_HORIZON_HOURS",
+    "RunConfig",
+    "RunContext",
+    "activate",
+    "current",
+    "current_or_none",
+    "default_context",
+    "reset_default_context",
+]

@@ -1,0 +1,168 @@
+"""The frozen per-run configuration (:class:`RunConfig`).
+
+One :class:`RunConfig` captures everything a run of the reproduction can
+be parameterised with — the fast/reference execution mode, the campaign
+supervisor's parallelism and timeout knobs, the root seed, the resume
+directory and the observability switches.  It is
+
+* **frozen** — a config never changes after construction; "switching
+  mode" means activating a different :class:`repro.runtime.RunContext`;
+* **plain data** — every field is a primitive, so a config pickles across
+  ``multiprocessing`` start methods (the campaign supervisor ships it in
+  the worker bootstrap payload — workers are mode-correct under ``spawn``,
+  not just "inherited through fork") and serialises to JSON
+  (:meth:`to_dict` / :meth:`from_dict` / :meth:`from_file`, the CLI's
+  ``--config FILE``).
+
+Two axes are easy to conflate and deliberately separate:
+
+``fast``
+    Which *implementation* runs: the fast paths (decoded-instruction
+    caches, solver caches, batched campaign stepping) or the reference
+    paths whose semantics define correctness.  Both produce the same
+    results (bit-identical or within solver tolerance — see the
+    differential test gate).  Defaults to the ``REPRO_FAST`` environment
+    variable (unset/``1`` = fast).
+
+``smoke``
+    How *much* work runs: smoke-test campaign sizes (the experiment
+    runner's historic ``--fast`` CLI flag) instead of the full
+    paper-scale trial counts.  ``scale`` further multiplies campaign
+    sizes for tests that need tiny-but-real runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..errors import ConfigurationError
+
+#: Default reliability-curve horizon (hours in one year, the paper's
+#: mission time).
+DEFAULT_HORIZON_HOURS = 8_760.0
+
+
+def _env_fast() -> bool:
+    """Fast paths are the default; ``REPRO_FAST=0`` starts on reference."""
+    return os.environ.get("REPRO_FAST", "1") != "0"
+
+
+@dataclasses.dataclass(frozen=True)
+class RunConfig:
+    """Immutable description of one run.
+
+    Attributes
+    ----------
+    fast:
+        Execute the fast paths (default, from ``REPRO_FAST``) or the
+        reference paths (``False``).
+    jobs:
+        Crash-isolated worker processes for campaign-shaped experiments
+        (0 = serial in-process).
+    timeout_s:
+        Per-trial wall-clock budget for campaign trials (``None`` = no
+        budget).
+    root_seed:
+        Root seed of the run's RNG (:attr:`repro.runtime.RunContext.rng`).
+        Experiment campaigns keep their own historic per-experiment seeds
+        so published numbers stay stable; the root RNG seeds everything
+        that is new.
+    resume_dir:
+        Directory for per-campaign JSONL checkpoint journals
+        (:meth:`journal_path`); ``None`` disables journaling.
+    smoke:
+        Smoke-test campaign sizes instead of paper-scale sizes.
+    scale:
+        Multiplier applied on top of the smoke/full campaign sizes
+        (:meth:`campaign_size`); ``1.0`` reproduces the published counts.
+    metrics:
+        Collect :mod:`repro.obs.metrics` during the run.
+    progress:
+        Show the live campaign progress line (TTY stderr only).
+    profile:
+        Capture cProfile statistics of the hottest campaign trials.
+    budget_s:
+        Campaign-level wall-clock budget handed to the supervisor
+        (``None`` = unbounded).
+    horizon_hours:
+        Reliability-curve horizon for experiments that sweep R(t).
+    """
+
+    fast: bool = dataclasses.field(default_factory=_env_fast)
+    jobs: int = 0
+    timeout_s: Optional[float] = None
+    root_seed: int = 0
+    resume_dir: Optional[str] = None
+    smoke: bool = False
+    scale: float = 1.0
+    metrics: bool = True
+    progress: bool = False
+    profile: bool = False
+    budget_s: Optional[float] = None
+    horizon_hours: float = DEFAULT_HORIZON_HOURS
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ConfigurationError("jobs must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if self.budget_s is not None and self.budget_s <= 0:
+            raise ConfigurationError("budget_s must be positive")
+        if self.horizon_hours <= 0:
+            raise ConfigurationError("horizon_hours must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived knobs
+    # ------------------------------------------------------------------
+    def campaign_size(self, full: int, smoke: int) -> int:
+        """Trial count for one campaign: smoke/full choice times scale."""
+        base = smoke if self.smoke else full
+        return max(1, int(round(base * self.scale)))
+
+    def journal_path(self, name: str) -> Optional[str]:
+        """The checkpoint-journal path of campaign *name* (or ``None``)."""
+        if self.resume_dir is None:
+            return None
+        return str(Path(self.resume_dir) / f"{name}.jsonl")
+
+    # ------------------------------------------------------------------
+    # Serialisation (CLI --config, worker bootstrap)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON dict of every field."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        """Build from a (possibly partial) mapping; unknown keys fail."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunConfig keys: {sorted(unknown)}; "
+                f"known keys: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "RunConfig":
+        """Load a JSON config file (the CLI's ``--config FILE``)."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(f"cannot read config {path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"config {path} must hold a JSON object of RunConfig fields"
+            )
+        return cls.from_dict(data)
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with *changes* applied (frozen-dataclass convenience)."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,69 @@
+"""Regression: campaign workers are mode-correct under the spawn start method.
+
+Under ``fork`` a worker inherits the parent's module state wholesale, so a
+fast/reference override "just works" by accident.  Under ``spawn`` the
+worker is a fresh interpreter: without explicit propagation it would come
+up in the *default* mode and silently run the wrong execution path.  The
+supervisor therefore ships its effective :class:`repro.runtime.RunConfig`
+in the worker bootstrap payload; each worker activates a matching context
+before touching a trial.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import perf, runtime
+from repro.faults.outcomes import ExperimentRecord, OutcomeClass
+from repro.harness import CampaignSupervisor, SupervisorConfig
+
+pytestmark = pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="platform lacks the spawn start method",
+)
+
+
+def _mode_probe_trial(payload, seed):
+    """Record the execution mode the worker process actually resolves."""
+    mode = "fast" if perf.fast_enabled() else "reference"
+    return ExperimentRecord(OutcomeClass.NO_EFFECT, f"mode={mode}")
+
+
+def _run_spawned(workers=2, trials=6):
+    result = CampaignSupervisor(
+        _mode_probe_trial,
+        SupervisorConfig(
+            workers=workers,
+            start_method="spawn",
+            master_seed=1,
+            campaign="spawn-mode-probe",
+        ),
+    ).run(list(range(trials)))
+    records = result.statistics().records
+    assert len(records) == trials
+    assert result.statistics().harness_failures == 0
+    return {record.fault_description for record in records}
+
+
+@pytest.mark.parametrize("fast", [False, True])
+def test_spawned_workers_inherit_context_mode(fast):
+    """Every spawned worker runs in the supervisor's context mode — also
+    the non-default one, which fork-style inheritance cannot explain."""
+    context = runtime.RunContext(runtime.RunConfig(fast=fast))
+    with runtime.activate(context):
+        modes = _run_spawned()
+    expected = "fast" if fast else "reference"
+    assert modes == {f"mode={expected}"}
+
+
+def test_spawned_workers_follow_transient_override():
+    """A ``reference_path()`` override in force at spawn time is effective
+    worker state, not just the frozen config."""
+    with perf.reference_path():
+        modes = _run_spawned()
+    assert modes == {"mode=reference"}
+
+
+def test_start_method_validated():
+    with pytest.raises(Exception, match="start_method"):
+        SupervisorConfig(workers=1, start_method="no-such-method")

@@ -1,0 +1,95 @@
+"""Acceptance: two opposite-mode run contexts, concurrently, no cross-talk.
+
+Two threads each activate their own :class:`repro.runtime.RunContext` —
+one forced to the fast execution path, one to the reference path — and run
+the same seeded E5 mini-campaign at the same time.  Both must reproduce
+the committed golden fixture (``tests/faults/golden_campaign_e5.json``)
+exactly: the fast and reference pipelines are result-identical, and
+context scoping means neither thread's mode, metrics or caches bleed into
+the other.  Every single trial additionally asserts the mode it actually
+ran under, so a cross-talk bug cannot hide behind result identity.
+"""
+
+import json
+import threading
+
+from repro import perf, runtime
+from repro.harness import CampaignSupervisor, SupervisorConfig
+from repro.obs import metrics as obs_metrics
+
+from tests.faults.test_golden_campaign import (
+    EXPERIMENTS,
+    GOLDEN_PATH,
+    MAX_COPIES,
+    SEED,
+    _e5_trial,
+    _freeze,
+    _payloads,
+)
+
+
+def test_concurrent_fast_and_reference_campaigns_reproduce_golden():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    payloads = _payloads()
+    start_line = threading.Barrier(2, timeout=60)
+    results = {}
+    errors = {}
+    mode_mismatches = {}
+
+    def run_campaign(fast_mode):
+        context = runtime.RunContext(runtime.RunConfig(fast=fast_mode))
+        mismatches = mode_mismatches[fast_mode] = []
+
+        def checked_trial(payload, seed):
+            if perf.fast_enabled() != fast_mode:
+                mismatches.append(seed)
+            return _e5_trial(payload, seed)
+
+        try:
+            with runtime.activate(context):
+                # Both campaigns genuinely overlap: neither starts its
+                # trials before the other thread has activated its context.
+                start_line.wait()
+                with obs_metrics.capture() as captured:
+                    run = CampaignSupervisor(
+                        checked_trial,
+                        SupervisorConfig(
+                            master_seed=SEED,
+                            campaign=f"e5-concurrent-{fast_mode}",
+                        ),
+                    ).run(payloads)
+                results[fast_mode] = (_freeze(run), captured)
+        except BaseException as exc:  # noqa: BLE001 - reported by the main thread
+            errors[fast_mode] = exc
+
+    threads = [
+        threading.Thread(target=run_campaign, args=(fast_mode,))
+        for fast_mode in (True, False)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+        assert not thread.is_alive(), "concurrent campaign did not finish"
+    assert not errors, errors
+
+    for fast_mode in (True, False):
+        frozen, captured = results[fast_mode]
+        # Every trial saw exactly the mode its context prescribes.
+        assert mode_mismatches[fast_mode] == [], (
+            f"fast={fast_mode}: {len(mode_mismatches[fast_mode])} trials "
+            "observed the other context's execution mode"
+        )
+        # Fixture equality covers experiments/seed/outcomes/mechanisms and
+        # the deterministic metrics view (fast and reference pipelines are
+        # result-identical by design).
+        assert {
+            **frozen,
+            "experiments": EXPERIMENTS,
+            "seed": SEED,
+            "max_copies": MAX_COPIES,
+        } == frozen
+        assert frozen == golden, f"fast={fast_mode} diverged from the fixture"
+        # Each thread captured its metrics in its own registry.
+        assert not obs_metrics.snapshot_is_empty(captured.snapshot())
+    assert results[True][1] is not results[False][1]
