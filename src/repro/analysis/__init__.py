@@ -1,0 +1,94 @@
+"""reprolint — static analysis for determinism, seeds and context hygiene.
+
+The repo's correctness story rests on invariants nothing used to enforce
+mechanically: bit-identical checkpoint/resume needs **no wall-clock and no
+unseeded randomness** in simulation code; the fast-vs-reference
+differential gates need **no iteration order leaks** on result paths; the
+context-scoped runtime needs **no module-level mutable state** and **no
+process-default singleton access** from library code.  This package
+checks those invariants at lint time — masking determinism faults before
+they escalate to flaky golden-fixture failures, the same
+detect-early-mask-early stance the source paper takes for node failures.
+
+Layout:
+
+* :mod:`~repro.analysis.findings` — the :class:`Finding` record;
+* :mod:`~repro.analysis.base` — :class:`Checker` base, import resolution;
+* :mod:`~repro.analysis.registry` — the plugin registry
+  (:func:`register_checker`);
+* :mod:`~repro.analysis.checkers` — the built-in rules (DET001/002/003,
+  CTX001/002, SIM001);
+* :mod:`~repro.analysis.suppressions` — ``# reprolint: disable=RULE --
+  reason`` comments (reason mandatory);
+* :mod:`~repro.analysis.baseline` — the committed ratchet
+  (``analysis/baseline.json``);
+* :mod:`~repro.analysis.engine` — discovery, per-file parallel analysis;
+* :mod:`~repro.analysis.report` / :mod:`~repro.analysis.cli` — output and
+  the ``python -m repro.analysis`` entry point.
+
+Run ``python -m repro.analysis --list-rules`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from .base import Checker, ImportMap, ModuleSource, path_in_scope  # noqa: F401
+from .baseline import Baseline, BaselineEntry, BaselineError  # noqa: F401
+from .cli import main  # noqa: F401
+from .engine import (  # noqa: F401
+    AnalysisResult,
+    analyze_file,
+    changed_files,
+    discover_files,
+    find_repo_root,
+    run_analysis,
+)
+from .findings import ERROR, WARNING, Finding, sort_findings  # noqa: F401
+from .registry import (  # noqa: F401
+    all_rule_ids,
+    build_checkers,
+    checker_rule_ids,
+    get_checker,
+    is_known_rule,
+    register_checker,
+    rule_descriptions,
+)
+from .report import (  # noqa: F401
+    REPORT_SCHEMA,
+    parse_json_report,
+    render_json,
+    render_json_dict,
+    render_text,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Checker",
+    "ERROR",
+    "Finding",
+    "ImportMap",
+    "ModuleSource",
+    "REPORT_SCHEMA",
+    "WARNING",
+    "all_rule_ids",
+    "analyze_file",
+    "build_checkers",
+    "changed_files",
+    "checker_rule_ids",
+    "discover_files",
+    "find_repo_root",
+    "get_checker",
+    "is_known_rule",
+    "main",
+    "parse_json_report",
+    "path_in_scope",
+    "register_checker",
+    "render_json",
+    "render_json_dict",
+    "render_text",
+    "rule_descriptions",
+    "run_analysis",
+    "sort_findings",
+]

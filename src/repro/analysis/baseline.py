@@ -1,0 +1,220 @@
+"""The committed baseline: pre-existing, justified findings that don't fail.
+
+``analysis/baseline.json`` lets the linter land green on a tree with known
+violations and then *ratchet*: new findings fail, baselined findings pass,
+and baseline entries whose finding has been fixed are reported stale so
+the file only ever shrinks.
+
+Entries match findings on ``(rule, path, key)`` — deliberately **not** on
+line numbers, so unrelated edits that shift code do not invalidate the
+baseline.  Every entry carries a mandatory non-empty ``reason``: the
+baseline is the successor of ``tools/check_globals.py``'s allowlist, and
+keeps its property that each exemption documents *why* the state of
+affairs is acceptable.
+
+File schema (JSON)::
+
+    {
+      "version": 1,
+      "tool": "reprolint",
+      "entries": [
+        {"rule": "CTX001", "path": "src/repro/cpu/isa.py",
+         "key": "OPCODES", "reason": "..."},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .findings import WARNING, Finding
+
+BASELINE_VERSION = 1
+
+#: Default location, relative to the repo root.
+DEFAULT_BASELINE_PATH = "analysis/baseline.json"
+
+#: Reason given to entries minted by ``--write-baseline``; deliberately
+#: conspicuous so review replaces it with a real justification.
+PLACEHOLDER_REASON = "TODO: justify this exemption"
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file (bad schema, empty reason, duplicates)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One justified exemption."""
+
+    rule: str
+    path: str
+    key: str
+    reason: str
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.key)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"rule": self.rule, "path": self.path,
+                "key": self.key, "reason": self.reason}
+
+
+class Baseline:
+    """The set of baseline entries, with matching and staleness tracking."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self._entries: Dict[Tuple[str, str, str], BaselineEntry] = {}
+        for entry in entries:
+            if not entry.reason.strip():
+                raise BaselineError(
+                    f"baseline entry {entry.rule} {entry.path} {entry.key!r} "
+                    "has an empty reason — every exemption must be justified"
+                )
+            if entry.identity in self._entries:
+                raise BaselineError(
+                    f"duplicate baseline entry {entry.rule} {entry.path} {entry.key!r}"
+                )
+            self._entries[entry.identity] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, identity: Tuple[str, str, str]) -> bool:
+        return identity in self._entries
+
+    def entries(self) -> List[BaselineEntry]:
+        """All entries, stable-sorted by (path, rule, key)."""
+        return sorted(
+            self._entries.values(), key=lambda e: (e.path, e.rule, e.key)
+        )
+
+    def covers(self, finding: Finding) -> bool:
+        return (finding.rule, finding.path, finding.key) in self._entries
+
+    # ------------------------------------------------------------------
+    # Application (the ratchet)
+    # ------------------------------------------------------------------
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings by baseline coverage.
+
+        Returns ``(new, baselined, stale_entries)``:
+
+        * *new* — findings not covered (they fail the gate);
+        * *baselined* — covered findings, marked ``baselined=True``
+          (reported, never failing);
+        * *stale_entries* — entries that covered nothing: the violation
+          was fixed but the exemption lingers.  Reported as warnings so
+          the baseline ratchets down.
+        """
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        matched = set()
+        for finding in findings:
+            identity = (finding.rule, finding.path, finding.key)
+            if identity in self._entries:
+                matched.add(identity)
+                baselined.append(finding.with_baselined())
+            else:
+                new.append(finding)
+        stale = [e for i, e in self._entries.items() if i not in matched]
+        stale.sort(key=lambda e: (e.path, e.rule, e.key))
+        return new, baselined, stale
+
+    # ------------------------------------------------------------------
+    # File I/O
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        return cls.from_dict(data, origin=str(path))
+
+    @classmethod
+    def from_dict(cls, data: Any, origin: str = "<dict>") -> "Baseline":
+        if not isinstance(data, dict) or data.get("tool") != "reprolint":
+            raise BaselineError(f"{origin}: not a reprolint baseline file")
+        if data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"{origin}: unsupported baseline version {data.get('version')!r}"
+            )
+        entries = []
+        for raw in data.get("entries", []):
+            missing = {"rule", "path", "key", "reason"} - set(raw)
+            if missing:
+                raise BaselineError(
+                    f"{origin}: entry {raw!r} missing fields {sorted(missing)}"
+                )
+            entries.append(BaselineEntry(
+                rule=raw["rule"], path=raw["path"],
+                key=raw["key"], reason=raw["reason"],
+            ))
+        return cls(entries)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": BASELINE_VERSION,
+            "tool": "reprolint",
+            "entries": [e.to_dict() for e in self.entries()],
+        }
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+
+def merged_with_findings(
+    baseline: Baseline, new_findings: Sequence[Finding]
+) -> Baseline:
+    """A baseline extended to cover *new_findings* (``--write-baseline``).
+
+    Existing entries keep their reasons; minted entries get
+    :data:`PLACEHOLDER_REASON` for review to replace.  Stale entries are
+    dropped — writing the baseline is the ratchet's downward click.
+    """
+    live, _, _ = baseline.apply(new_findings)
+    entries = {e.identity: e for e in baseline.entries()}
+    covered = {(f.rule, f.path, f.key) for f in new_findings}
+    entries = {i: e for i, e in entries.items() if i in covered}
+    for finding in live:
+        entry = BaselineEntry(
+            rule=finding.rule, path=finding.path,
+            key=finding.key, reason=PLACEHOLDER_REASON,
+        )
+        entries.setdefault(entry.identity, entry)
+    return Baseline(list(entries.values()))
+
+
+def stale_warnings(stale: Sequence[BaselineEntry]) -> List[Finding]:
+    """Render stale baseline entries as SUP002-style warnings."""
+    out = []
+    for entry in stale:
+        out.append(Finding(
+            rule=entry.rule,
+            severity=WARNING,
+            path=entry.path,
+            line=1,
+            col=0,
+            message=(
+                f"stale baseline entry (key {entry.key!r}): the violation "
+                "was fixed — remove the entry from the baseline"
+            ),
+            key=f"stale-baseline:{entry.key}",
+            hint="delete the entry from analysis/baseline.json",
+        ))
+    return out

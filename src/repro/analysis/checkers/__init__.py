@@ -1,0 +1,50 @@
+"""Built-in reprolint rules.
+
+Importing this package registers every built-in checker with the plugin
+registry (:mod:`repro.analysis.registry`); third-party or experiment-local
+rules register the same way — subclass :class:`repro.analysis.Checker`
+and decorate with :func:`repro.analysis.register_checker`.
+
+Rule catalogue (``python -m repro.analysis --list-rules``):
+
+========  ==============================================================
+DET001    no wall-clock reads outside the obs/harness/bench layers
+DET002    no global-state or unseeded randomness (seeds flow from
+          ``derive_seed`` / ``RunContext.root_rng``)
+DET003    no set iteration, OS-ordered listings or ``id()``-keyed
+          sorting on result paths
+CTX001    no module-level mutable state (successor of
+          ``tools/check_globals.py``)
+CTX002    no direct process-default singleton access from library code
+SIM001    integer-tick sim time; explicit event-tie priorities
+SUP001    malformed suppression comment (engine-owned)
+SUP002    unused suppression comment (engine-owned)
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (import for registration side effect)
+    ctx001_module_state,
+    ctx002_singletons,
+    det001_wall_clock,
+    det002_rng,
+    det003_unordered,
+    sim001_sim_time,
+)
+
+from .ctx001_module_state import ModuleStateChecker  # noqa: F401
+from .ctx002_singletons import SingletonAccessChecker  # noqa: F401
+from .det001_wall_clock import WallClockChecker  # noqa: F401
+from .det002_rng import RngDisciplineChecker  # noqa: F401
+from .det003_unordered import UnorderedIterationChecker  # noqa: F401
+from .sim001_sim_time import SimTimeChecker  # noqa: F401
+
+__all__ = [
+    "ModuleStateChecker",
+    "RngDisciplineChecker",
+    "SimTimeChecker",
+    "SingletonAccessChecker",
+    "UnorderedIterationChecker",
+    "WallClockChecker",
+]

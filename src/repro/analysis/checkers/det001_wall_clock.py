@@ -1,0 +1,73 @@
+"""DET001 — no wall-clock reads in simulation code.
+
+Simulated time is the only clock the simulation may observe: checkpoint
+/resume reproduces runs bit-identically (PR 1) precisely because nothing
+on a result path depends on when the host executed it.  A single
+``time.time()`` in a fault handler breaks resume identity and the
+fast-vs-reference differential gate in ways no unit test reliably
+catches.
+
+Wall clocks remain legitimate in the **observability and harness layers**
+(timers, progress ETAs, per-trial timeouts measure the host, not the
+simulation), so ``src/repro/obs/`` and ``src/repro/harness/`` are out of
+scope.  Instrumentation inside simulation modules that genuinely needs a
+host timer (e.g. the DES loop's one-sample-per-run metrics timer) carries
+an inline ``# reprolint: disable=DET001 -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Checker, ModuleSource
+from ..findings import Finding
+from ..registry import register_checker
+
+#: Resolved call targets that read a host clock.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+@register_checker
+class WallClockChecker(Checker):
+    rule_id = "DET001"
+    title = "no wall-clock reads outside the obs/harness/bench layers"
+    hint = (
+        "simulation results must depend only on simulated time; route host "
+        "timing through repro.obs, or add "
+        "`# reprolint: disable=DET001 -- <why>` for pure instrumentation"
+    )
+    invariant = (
+        "bit-identical checkpoint/resume and fast-vs-reference equivalence "
+        "(results never depend on host execution timing)"
+    )
+    include = ("src/repro/",)
+    exclude = ("src/repro/obs/", "src/repro/harness/")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = module.imports
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node)
+            if resolved in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock read {resolved}() in simulation code",
+                    key=resolved,
+                )

@@ -1,0 +1,109 @@
+"""DET002 — seed discipline: no global or unseeded randomness.
+
+Every RNG in the repo must flow from :func:`repro.harness.seeds.derive_seed`
+or ``RunContext.root_rng``: that is what makes a campaign trial a pure
+function of ``(root_seed, trial_id)``, which checkpoint/resume (PR 1) and
+the golden-campaign fixtures (PR 3) rely on.  Three families of call
+break that discipline:
+
+* **global-state draws** — ``random.random()``, ``random.shuffle()``,
+  ``numpy.random.normal()``: the hidden module-level generator's state
+  depends on import order and every previous draw anywhere in the
+  process;
+* **unseeded constructors** — ``random.Random()``,
+  ``numpy.random.default_rng()`` with no arguments: seeded from OS
+  entropy, unreproducible by construction;
+* **global seeding** — ``random.seed``, ``numpy.random.seed``: mutates
+  process-wide state behind every other component's back (exactly the
+  cross-talk the context-scoped runtime removed).
+
+Seeded constructors (``default_rng(derive_seed(...))``,
+``Random(seed)``) pass; this rule polices *where entropy enters*, not
+how it is spent.  Unlike most rules it also covers tests, examples and
+benchmarks — an unseeded test is a flaky test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..base import Checker, ModuleSource
+from ..findings import Finding
+from ..registry import register_checker
+
+#: ``random`` module functions that draw from (or mutate) global state.
+STDLIB_GLOBAL_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+#: Constructors that are fine *when given a seed*.
+SEEDABLE_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "random.SystemRandom",   # never acceptable, but caught as unseeded
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+})
+
+#: numpy.random module-level names that are legitimate building blocks
+#: (explicit-seed machinery), not global-state draws.
+NUMPY_NON_DRAWS = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+
+
+def _classify(resolved: str, call: ast.Call) -> Optional[str]:
+    """The violation message for a resolved call, or None when clean."""
+    if resolved in SEEDABLE_CONSTRUCTORS:
+        if resolved == "random.SystemRandom":
+            return "OS-entropy RNG random.SystemRandom() is unreproducible"
+        if not call.args and not any(k.arg == "seed" for k in call.keywords):
+            return f"unseeded RNG construction {resolved}()"
+        return None
+    parts = resolved.split(".")
+    if parts[0] == "random" and len(parts) == 2 and parts[1] in STDLIB_GLOBAL_FNS:
+        if parts[1] in ("seed", "setstate"):
+            return f"global RNG seeding {resolved}() mutates process-wide state"
+        return f"draw from the global stdlib RNG: {resolved}()"
+    if (
+        len(parts) >= 3
+        and parts[0] == "numpy"
+        and parts[1] == "random"
+        and parts[2] not in NUMPY_NON_DRAWS
+    ):
+        if parts[2] == "seed":
+            return "global RNG seeding numpy.random.seed() mutates process-wide state"
+        return f"draw from the global numpy RNG: {resolved}()"
+    return None
+
+
+@register_checker
+class RngDisciplineChecker(Checker):
+    rule_id = "DET002"
+    title = "no global-state or unseeded randomness; entropy flows from derive_seed"
+    hint = (
+        "derive the generator from repro.harness.seeds.derive_seed or "
+        "RunContext.root_rng, e.g. np.random.default_rng(derive_seed(...))"
+    )
+    invariant = (
+        "a trial is a pure function of (root_seed, trial_id) — the basis of "
+        "checkpoint/resume identity and the golden-campaign fixtures"
+    )
+    include = ("src/repro/", "tests/", "examples/", "benchmarks/")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = module.imports
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node)
+            if resolved is None:
+                continue
+            message = _classify(resolved, node)
+            if message is not None:
+                yield self.finding(module, node, message, key=resolved)

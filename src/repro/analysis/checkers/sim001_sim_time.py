@@ -1,0 +1,152 @@
+"""SIM001 — simulated time is integer ticks with explicit tie-breaking.
+
+The DES engine counts time in integer microsecond ticks
+(:mod:`repro.units`) precisely so that event ordering is exact: float
+timestamps make "simultaneous" a rounding question, and two runs that
+disagree about simultaneity diverge in event order and therefore in
+results.  Two code smells undermine this:
+
+* **float-literal comparisons against sim-time values** — ``if job.deadline
+  < 5000.0`` compares integer ticks against a float written in unstated
+  units; the units helpers (``ms(5)``, ``seconds(0.005)``) keep both the
+  unit and the integer-ness explicit;
+* **implicit event tie-breaking** — ``schedule_at``/``schedule_after``
+  without an explicit ``priority=`` falls back to ``PRIORITY_DEFAULT``
+  and resolves same-tick ties by insertion order alone.  Insertion order
+  is deterministic for one code version but shifts under refactoring;
+  the priority classes (``PRIORITY_FAULT`` < ``PRIORITY_HARDWARE`` <
+  ``PRIORITY_KERNEL`` < ...) are the stated contract for who wins a tie,
+  so every scheduling site must pick one on purpose (``PRIORITY_DEFAULT``
+  is a legitimate, now-explicit choice).
+
+The rule covers the tick-based layers (sim, kernel, node, net, apps,
+core, faults, cpu).  The hour-based reliability models use floats by
+design and are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..base import Checker, ModuleSource
+from ..findings import Finding
+from ..registry import register_checker
+
+#: Terminal-identifier substrings that mark a value as simulated time.
+TIME_NAME_MARKERS = (
+    "now", "time", "deadline", "tick", "release", "arrival", "when",
+    "_at", "expiry", "period",
+)
+
+#: Identifiers that contain a marker but are not sim-time values.
+TIME_NAME_EXCEPTIONS = frozenset({"runtime", "lifetime", "timeout_s"})
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+_SCHEDULE_CALLS = frozenset({"schedule_at", "schedule_after"})
+
+
+def _terminal_identifier(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_time_like(node: ast.expr) -> bool:
+    ident = _terminal_identifier(node)
+    if ident is None:
+        return False
+    lowered = ident.lower()
+    if lowered in TIME_NAME_EXCEPTIONS or lowered.endswith("_s"):
+        return False
+    return any(marker in lowered for marker in TIME_NAME_MARKERS)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # A negated float literal (-0.5) parses as UnaryOp(USub, Constant).
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_float_literal(node.operand)
+    )
+
+
+@register_checker
+class SimTimeChecker(Checker):
+    rule_id = "SIM001"
+    title = "sim time stays integer-ticked; event ties are broken by explicit priority"
+    hint = (
+        "express tick literals through repro.units (ms()/us()/seconds()) "
+        "and pass an explicit priority= (PRIORITY_DEFAULT included) to "
+        "schedule_at/schedule_after"
+    )
+    invariant = (
+        "exact event ordering: two runs agree on simultaneity and on who "
+        "wins a same-tick tie, independent of insertion order"
+    )
+    include = (
+        "src/repro/sim/",
+        "src/repro/kernel/",
+        "src/repro/node/",
+        "src/repro/net/",
+        "src/repro/apps/",
+        "src/repro/core/",
+        "src/repro/faults/",
+        "src/repro/cpu/",
+        "src/repro/experiments/",
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        function_stack: List[str] = []
+
+        def walk(node: ast.AST) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                function_stack.append(node.name)
+                for child in ast.iter_child_nodes(node):
+                    yield from walk(child)
+                function_stack.pop()
+                return
+            if isinstance(node, ast.Compare):
+                yield from check_compare(node)
+            elif isinstance(node, ast.Call):
+                yield from check_call(node)
+            for child in ast.iter_child_nodes(node):
+                yield from walk(child)
+
+        def check_compare(node: ast.Compare) -> Iterator[Finding]:
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, _COMPARE_OPS):
+                    continue
+                for literal, other in ((left, right), (right, left)):
+                    if _is_float_literal(literal) and _is_time_like(other):
+                        ident = _terminal_identifier(other)
+                        yield self.finding(
+                            module, node,
+                            f"sim-time value {ident!r} compared against a "
+                            "float literal — ticks are integers; write the "
+                            "literal via repro.units",
+                            key=f"float-compare:{ident}",
+                        )
+                        break
+
+        def check_call(node: ast.Call) -> Iterator[Finding]:
+            callee = _terminal_identifier(node.func)
+            if callee not in _SCHEDULE_CALLS:
+                return
+            if any(kw.arg == "priority" for kw in node.keywords):
+                return
+            scope = function_stack[-1] if function_stack else "<module>"
+            yield self.finding(
+                module, node,
+                f"{callee}() without an explicit priority= — same-tick "
+                "ties fall back to insertion order",
+                key=f"no-priority:{scope}:{callee}",
+            )
+
+        yield from walk(module.tree)

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro.analysis`` / ``tools/reprolint.py``.
+
+Exit codes: 0 — gate passes (all findings fixed, baselined, or warnings);
+1 — at least one unbaselined error; 2 — usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import (
+    DEFAULT_BASELINE_PATH, Baseline, BaselineError, merged_with_findings,
+)
+from .engine import find_repo_root, run_analysis
+from .registry import all_rule_ids, is_known_rule, rule_descriptions
+from .report import exit_code, render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Static analysis enforcing determinism, seed discipline and "
+            "context hygiene across the simulator."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyse (default: the standard roots)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repo root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE_PATH} under the root)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report every finding as new)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to cover current findings (placeholder "
+             "reasons for new entries; stale entries dropped)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="analyse only files changed since the merge-base with "
+             "--base (falls back to a full scan when git is unavailable)",
+    )
+    parser.add_argument(
+        "--base", default=None,
+        help="base ref for --changed-only (default: origin/main, then main)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = auto, 1 = serial)",
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="include baselined findings in text output",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every rule with its severity and protected invariant",
+    )
+    return parser
+
+
+def _resolve_jobs(requested: int, n_hint: int = 64) -> int:
+    if requested > 0:
+        return requested
+    import os
+
+    count = getattr(os, "process_cpu_count", os.cpu_count)() or 1
+    return max(1, min(8, count, n_hint))
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, info in rule_descriptions().items():
+        lines.append(f"{rule_id}  [{info['severity']}]  {info['title']}")
+        if info.get("invariant"):
+            lines.append(f"        protects: {info['invariant']}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = sorted(r for r in rules if not is_known_rule(r))
+        if unknown:
+            sys.stderr.write(
+                f"reprolint: unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(all_rule_ids())})\n"
+            )
+            return 2
+
+    root = (args.root or find_repo_root()).resolve()
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE_PATH)
+    try:
+        baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    except BaselineError as exc:
+        sys.stderr.write(f"reprolint: {exc}\n")
+        return 2
+
+    result = run_analysis(
+        root,
+        paths=args.paths or None,
+        rules=rules,
+        baseline=baseline,
+        jobs=_resolve_jobs(args.jobs),
+        changed_only=args.changed_only,
+        base_ref=args.base,
+    )
+
+    if args.write_baseline:
+        updated = merged_with_findings(
+            baseline, result.findings + result.baselined
+        )
+        updated.save(baseline_path)
+        sys.stderr.write(
+            f"reprolint: wrote {len(updated)} baseline entries to "
+            f"{baseline_path}\n"
+        )
+        return 0
+
+    report = (
+        render_json(result) if args.format == "json"
+        else render_text(result, show_baselined=args.show_baselined)
+    )
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report, encoding="utf-8")
+        # Keep the one-line summary on stdout so CI logs stay readable.
+        sys.stdout.write(render_text(result).rsplit("\n", 2)[-2] + "\n")
+    else:
+        sys.stdout.write(report)
+    return exit_code(result)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,248 @@
+"""The analysis engine: discovery, per-file parallel analysis, the ratchet.
+
+One :func:`run_analysis` call is one lint pass:
+
+1. **Discover** Python files under the requested roots (default:
+   ``src/repro``, ``tests``, ``examples``, ``benchmarks``, ``tools``),
+   skipping ``__pycache__`` and the checker test fixtures (which are
+   deliberate violations).  With ``changed_only=True`` the file list is
+   narrowed to files touched since the git merge-base, so the gate stays
+   fast as the tree grows.
+2. **Analyse** each file independently — parse once, run every in-scope
+   checker, apply inline suppressions — optionally across a process pool
+   (per-file analysis shares nothing, so it parallelises embarrassingly;
+   results are stable-sorted afterwards so worker scheduling never shows
+   in the report).
+3. **Apply the baseline**: covered findings pass (marked ``baselined``),
+   uncovered *error* findings fail the gate, and stale baseline entries
+   are surfaced as warnings so the baseline only ratchets down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .base import Checker, ModuleSource
+from .baseline import Baseline, BaselineEntry
+from .findings import ERROR, Finding, sort_findings
+from .registry import build_checkers, checker_rule_ids
+from .suppressions import apply_suppressions, parse_suppressions
+
+#: Roots scanned when no explicit paths are given.
+DEFAULT_ROOTS = ("src/repro", "tests", "examples", "benchmarks", "tools")
+
+#: Repo-relative prefixes never scanned.  The fixture tree contains
+#: intentional violations (the checkers' positive test cases).
+GLOBAL_EXCLUDES = (
+    "__pycache__",
+    ".git/",
+    "tests/analysis/fixtures/",
+)
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """Nearest ancestor of *start* (default CWD) containing pyproject.toml."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return here
+
+
+def _excluded(relpath: str) -> bool:
+    return any(
+        part == "__pycache__" for part in relpath.split("/")
+    ) or any(relpath.startswith(p) for p in GLOBAL_EXCLUDES if p.endswith("/"))
+
+
+def discover_files(
+    root: Path, paths: Optional[Sequence[str]] = None
+) -> List[Tuple[Path, str]]:
+    """``(absolute, repo-relative-posix)`` for every Python file in scope.
+
+    *paths* entries may be files or directories, absolute or
+    root-relative.  The result is sorted by relative path, so downstream
+    processing is order-independent.
+    """
+    requested = list(paths) if paths else [r for r in DEFAULT_ROOTS
+                                           if (root / r).exists()]
+    seen = {}
+    for entry in requested:
+        candidate = Path(entry)
+        if not candidate.is_absolute():
+            candidate = root / entry
+        candidate = candidate.resolve()
+        if candidate.is_dir():
+            found = sorted(candidate.rglob("*.py"))
+        elif candidate.suffix == ".py" and candidate.exists():
+            found = [candidate]
+        else:
+            found = []
+        for path in found:
+            try:
+                rel = path.relative_to(root).as_posix()
+            except ValueError:
+                rel = path.as_posix().lstrip("/")
+            if _excluded(rel):
+                continue
+            seen[rel] = path
+    return [(seen[rel], rel) for rel in sorted(seen)]
+
+
+# ----------------------------------------------------------------------
+# Changed-only mode
+# ----------------------------------------------------------------------
+def changed_files(root: Path, base_ref: Optional[str] = None) -> Optional[List[str]]:
+    """Repo-relative paths touched since the merge-base with *base_ref*.
+
+    Tries ``origin/main`` then ``main`` when *base_ref* is not given, and
+    includes uncommitted and untracked files.  Returns None when git is
+    unavailable or the refs don't resolve — callers fall back to a full
+    scan rather than silently linting nothing.
+    """
+
+    def git(*args: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                ["git", "-C", str(root), *args],
+                capture_output=True, text=True, timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    merge_base = None
+    for ref in ([base_ref] if base_ref else ["origin/main", "main"]):
+        out = git("merge-base", "HEAD", ref)
+        if out:
+            merge_base = out.strip()
+            break
+    if merge_base is None:
+        return None
+    committed = git("diff", "--name-only", merge_base, "HEAD")
+    working = git("diff", "--name-only", "HEAD")
+    untracked = git("ls-files", "--others", "--exclude-standard")
+    if committed is None:
+        return None
+    names = set()
+    for chunk in (committed, working or "", untracked or ""):
+        names.update(line.strip() for line in chunk.splitlines() if line.strip())
+    return sorted(n for n in names if n.endswith(".py"))
+
+
+# ----------------------------------------------------------------------
+# Per-file analysis
+# ----------------------------------------------------------------------
+def analyze_file(
+    path: Path, relpath: str, checkers: Sequence[Checker]
+) -> List[Finding]:
+    """All findings for one file: checker hits minus suppressions, plus
+    suppression-hygiene findings (SUP001/SUP002) and parse errors."""
+    try:
+        module = ModuleSource.parse(path, relpath)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="SYNTAX", severity=ERROR, path=relpath,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}", key="syntax-error",
+            hint="fix the parse error",
+        )]
+    raw: List[Finding] = []
+    active = set()
+    for checker in checkers:
+        if checker.applies_to(relpath):
+            raw.extend(checker.check(module))
+            active.add(checker.rule_id)
+    suppressions, problems = parse_suppressions(module.source, relpath)
+    kept, unused = apply_suppressions(
+        raw, suppressions, relpath, active_rules=frozenset(active)
+    )
+    return sort_findings(kept + problems + unused)
+
+
+def _analyze_one(args: Tuple[str, str, Tuple[str, ...]]) -> List[Finding]:
+    """Process-pool worker: re-resolve checkers by rule id, then analyse."""
+    path_str, relpath, rule_ids = args
+    checkers = build_checkers(list(rule_ids))
+    return analyze_file(Path(path_str), relpath, checkers)
+
+
+# ----------------------------------------------------------------------
+# The full pass
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class AnalysisResult:
+    """Outcome of one :func:`run_analysis` pass."""
+
+    #: Unbaselined findings (errors here fail the gate) plus warnings.
+    findings: List[Finding]
+    #: Findings covered by the baseline (reported, never failing).
+    baselined: List[Finding]
+    #: Baseline entries that covered nothing (the violation was fixed).
+    stale_entries: List[BaselineEntry]
+    #: Number of files analysed.
+    files_scanned: int
+    #: Rule ids that ran.
+    rules: List[str]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity != ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """True when the gate passes (no unbaselined errors)."""
+        return not self.errors
+
+
+def run_analysis(
+    root: Path,
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[List[str]] = None,
+    baseline: Optional[Baseline] = None,
+    jobs: int = 1,
+    changed_only: bool = False,
+    base_ref: Optional[str] = None,
+) -> AnalysisResult:
+    """Run the configured checkers over the tree and apply the baseline."""
+    checkers = build_checkers(rules)
+    rule_ids = tuple(c.rule_id for c in checkers)
+    files = discover_files(root, paths)
+    if changed_only:
+        changed = changed_files(root, base_ref)
+        if changed is not None:
+            narrowed = set(changed)
+            files = [(p, rel) for p, rel in files if rel in narrowed]
+    all_findings: List[Finding] = []
+    if jobs > 1 and len(files) > 1:
+        work = [(str(p), rel, rule_ids) for p, rel in files]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for result in pool.map(_analyze_one, work, chunksize=8):
+                all_findings.extend(result)
+    else:
+        for path, rel in files:
+            all_findings.extend(analyze_file(path, rel, checkers))
+    all_findings = sort_findings(all_findings)
+    if baseline is None:
+        baseline = Baseline()
+    new, covered, stale = baseline.apply(all_findings)
+    return AnalysisResult(
+        findings=sort_findings(new),
+        baselined=sort_findings(covered),
+        stale_entries=stale,
+        files_scanned=len(files),
+        rules=sorted(rule_ids) if rules is None else sorted(set(rules)),
+    )
+
+
+def default_rules() -> List[str]:
+    """All registered checker rule ids (what a bare run executes)."""
+    return checker_rule_ids()

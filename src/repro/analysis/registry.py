@@ -1,0 +1,123 @@
+"""The checker plugin registry.
+
+Rules self-register at import time via the :func:`register_checker` class
+decorator, mirroring the experiment registry pattern
+(:mod:`repro.experiments.registry`): importing
+:mod:`repro.analysis.checkers` populates the registry, and everything else
+(the engine, the CLI, ``--list-rules``) resolves rules through it.  Two
+rule ids are *engine-owned* (no checker class): the suppression-hygiene
+rules SUP001/SUP002, emitted while parsing ``# reprolint:`` comments.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Type
+
+from .base import Checker
+from .findings import ERROR, WARNING
+
+#: rule id -> checker class.  Append-only, id-keyed, populated at import
+#: of :mod:`repro.analysis.checkers` — process-global by design, like the
+#: experiment registry (baselined under CTX001 with that justification).
+_CHECKERS: Dict[str, Type[Checker]] = {}
+
+#: Engine-owned rules (emitted by the engine itself, not a checker).
+#: Read-only mapping, so CTX001 has nothing to object to.
+ENGINE_RULES: Mapping[str, Mapping[str, str]] = MappingProxyType({
+    "SYNTAX": {
+        "title": "file does not parse — analysis impossible",
+        "severity": ERROR,
+        "invariant": "every source file is analysable",
+    },
+    "SUP001": {
+        "title": "malformed suppression: `# reprolint: disable=RULE -- reason` "
+                 "needs known rule ids and a non-empty reason",
+        "severity": ERROR,
+        "invariant": "every exemption is a deliberate, reviewable decision",
+    },
+    "SUP002": {
+        "title": "unused suppression: the disable comment matches no finding on its line",
+        "severity": WARNING,
+        "invariant": "exemptions are removed when the code they excused is gone",
+    },
+})
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator: add *cls* to the registry under its ``rule_id``."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    existing = _CHECKERS.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"rule {cls.rule_id} already registered by {existing.__name__}"
+        )
+    if cls.rule_id in ENGINE_RULES:
+        raise ValueError(f"rule {cls.rule_id} is reserved for the engine")
+    _CHECKERS[cls.rule_id] = cls
+    return cls
+
+
+def _load_builtins() -> None:
+    # Importing the package registers every built-in rule (decorator side
+    # effect); idempotent.
+    from . import checkers  # noqa: F401
+
+
+def checker_rule_ids() -> List[str]:
+    """Ids of all registered checker rules, sorted."""
+    _load_builtins()
+    return sorted(_CHECKERS)
+
+
+def all_rule_ids() -> List[str]:
+    """Every known rule id — checkers plus engine-owned — sorted."""
+    _load_builtins()
+    return sorted(set(_CHECKERS) | set(ENGINE_RULES))
+
+
+def is_known_rule(rule_id: str) -> bool:
+    """True for registered checker rules and engine-owned rules."""
+    _load_builtins()
+    return rule_id in _CHECKERS or rule_id in ENGINE_RULES
+
+
+def get_checker(rule_id: str) -> Checker:
+    """Instantiate the checker registered under *rule_id*."""
+    _load_builtins()
+    try:
+        return _CHECKERS[rule_id]()
+    except KeyError:
+        raise KeyError(f"unknown rule {rule_id!r}; known: {', '.join(all_rule_ids())}")
+
+
+def build_checkers(rules: Optional[List[str]] = None) -> List[Checker]:
+    """Instantiate the selected checkers (default: all), in rule-id order.
+
+    Engine-owned ids in *rules* are accepted and skipped here (the engine
+    emits them itself); unknown ids raise ``KeyError``.
+    """
+    _load_builtins()
+    selected = checker_rule_ids() if rules is None else rules
+    out: List[Checker] = []
+    for rule_id in sorted(set(selected)):
+        if rule_id in ENGINE_RULES:
+            continue
+        out.append(get_checker(rule_id))
+    return out
+
+
+def rule_descriptions() -> Dict[str, Dict[str, str]]:
+    """``rule id -> {title, severity, invariant}`` for every known rule."""
+    _load_builtins()
+    out: Dict[str, Dict[str, str]] = {}
+    for rule_id, cls in _CHECKERS.items():
+        out[rule_id] = {
+            "title": cls.title,
+            "severity": cls.severity,
+            "invariant": cls.invariant,
+        }
+    for rule_id, info in ENGINE_RULES.items():
+        out[rule_id] = dict(info)
+    return dict(sorted(out.items()))

@@ -1,0 +1,102 @@
+"""Report rendering: human text and machine JSON.
+
+Both formats are **stable**: repo-relative POSIX paths, findings sorted by
+``(file, line, col, rule, key)``, baseline entries sorted by
+``(path, rule, key)`` — so two runs over the same tree produce
+byte-identical reports on any machine, and CI artifacts diff cleanly
+across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .engine import AnalysisResult
+from .findings import ERROR, Finding
+
+#: Schema identifier carried by every JSON report.
+REPORT_SCHEMA = "reprolint-v1"
+
+
+def render_text(result: AnalysisResult, *, show_baselined: bool = False) -> str:
+    """Human-readable report, one ``path:line:col RULE severity`` per finding."""
+    lines: List[str] = []
+
+    def emit(finding: Finding) -> None:
+        tag = " [baselined]" if finding.baselined else ""
+        lines.append(
+            f"{finding.location} {finding.rule} {finding.severity}{tag}: "
+            f"{finding.message}"
+        )
+        if finding.hint and not finding.baselined:
+            lines.append(f"    hint: {finding.hint}")
+
+    for finding in result.findings:
+        emit(finding)
+    if show_baselined:
+        for finding in result.baselined:
+            emit(finding)
+    for entry in result.stale_entries:
+        lines.append(
+            f"{entry.path} {entry.rule} warning: stale baseline entry "
+            f"(key {entry.key!r}) — violation fixed, remove the entry"
+        )
+    errors = len(result.errors)
+    warnings = len(result.warnings)
+    lines.append(
+        f"reprolint: {errors} error{'s' if errors != 1 else ''}, "
+        f"{warnings} warning{'s' if warnings != 1 else ''}, "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.stale_entries)} stale baseline "
+        f"entr{'ies' if len(result.stale_entries) != 1 else 'y'} "
+        f"({result.files_scanned} files)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json_dict(result: AnalysisResult) -> Dict[str, Any]:
+    """The JSON report as a plain dict (see :data:`REPORT_SCHEMA`)."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "rules": list(result.rules),
+        "counts": {
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "baselined": len(result.baselined),
+            "stale_baseline": len(result.stale_entries),
+            "files": result.files_scanned,
+        },
+        "ok": result.ok,
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "stale_baseline": [e.to_dict() for e in result.stale_entries],
+    }
+
+
+def render_json(result: AnalysisResult) -> str:
+    return json.dumps(render_json_dict(result), indent=2) + "\n"
+
+
+def parse_json_report(data: Dict[str, Any]) -> List[Finding]:
+    """Reconstruct the findings of a JSON report (round-trip helper).
+
+    Returns unbaselined and baselined findings concatenated, in report
+    order.  Raises ``ValueError`` on schema mismatch.
+    """
+    if data.get("schema") != REPORT_SCHEMA:
+        raise ValueError(f"not a {REPORT_SCHEMA} report: {data.get('schema')!r}")
+    findings = [Finding.from_dict(raw) for raw in data.get("findings", [])]
+    findings += [Finding.from_dict(raw) for raw in data.get("baselined", [])]
+    return findings
+
+
+def exit_code(result: AnalysisResult) -> int:
+    """0 when the gate passes, 1 when any unbaselined error remains."""
+    return 0 if result.ok else 1
+
+
+__all__ = [
+    "REPORT_SCHEMA", "render_text", "render_json", "render_json_dict",
+    "parse_json_report", "exit_code", "ERROR",
+]

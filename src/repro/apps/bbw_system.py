@@ -30,7 +30,7 @@ from ..kernel.task import CallableExecutable, TaskSpec
 from ..net import FlexRayBus, NetworkInterface, round_robin_schedule
 from ..node import NlftKernelNode, NodeStatus
 from ..node.fs_node import make_fs_kernel_node
-from ..sim import RandomStreams, Simulator, TraceRecorder
+from ..sim import PRIORITY_DEFAULT, RandomStreams, Simulator, TraceRecorder
 from ..units import ms, seconds, us
 from .brake_controller import distribute_brake_force, membership_mask
 from .pedal import PedalProfile, step_brake
@@ -282,7 +282,10 @@ class BbwSimulation:
         )
         undetected = any(node.stats.undetected > 0 for node in self.nodes.values())
         self.monitor.observe(cu_available, wheels_operational, undetected)
-        self.sim.schedule_after(self.config.control_period, self._vehicle_step, label="vehicle")
+        self.sim.schedule_after(
+            self.config.control_period, self._vehicle_step,
+            priority=PRIORITY_DEFAULT, label="vehicle",
+        )
 
     # ------------------------------------------------------------------
     # Run control
@@ -295,7 +298,10 @@ class BbwSimulation:
         self.bus.start()
         for node in self.nodes.values():
             node.start()
-        self.sim.schedule_after(self.config.control_period, self._vehicle_step, label="vehicle")
+        self.sim.schedule_after(
+            self.config.control_period, self._vehicle_step,
+            priority=PRIORITY_DEFAULT, label="vehicle",
+        )
 
     def run(self, duration_s: float) -> None:
         """Run the simulation for *duration_s* simulated seconds."""
@@ -308,9 +314,13 @@ class BbwSimulation:
     def inject_fault(self, node_name: str, fault_type: FaultType, at_s: float) -> None:
         """Schedule one fault arrival into *node_name* at time *at_s*."""
         node = self.nodes[node_name]
+        # PRIORITY_DEFAULT (not PRIORITY_FAULT) deliberately: scenario-level
+        # injections have always fired after same-tick kernel events, and
+        # the recorded scenario traces depend on that order.
         self.sim.schedule_at(
             seconds(at_s),
             lambda: node.inject_fault(fault_type),
+            priority=PRIORITY_DEFAULT,
             label=f"inject:{node_name}",
         )
 

@@ -190,7 +190,7 @@ def run_sections(
     """
     reports: List[SectionReport] = []
     for title, section in sections.items():
-        started = perf_counter()
+        started = perf_counter()  # reprolint: disable=DET001 -- report wall-clock: per-section elapsed time shown in the [obs] footer, not a simulation input
         error: Optional[str] = None
         text = ""
         with obs_metrics.capture(merge_upstream=True) as registry:
@@ -200,7 +200,7 @@ def run_sections(
                 error = "".join(
                     traceback.format_exception_only(type(exc), exc)
                 ).strip()
-        elapsed = perf_counter() - started
+        elapsed = perf_counter() - started  # reprolint: disable=DET001 -- report wall-clock: same elapsed-time footer as above
         snapshot = registry.snapshot()
         hot_trials = _drain_hot_trials()
         empty = obs_metrics.snapshot_is_empty(snapshot)

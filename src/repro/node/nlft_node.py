@@ -30,7 +30,7 @@ from ..errors import ConfigurationError
 from ..kernel.scheduler import KernelConfig, Scheduler
 from ..kernel.task import TaskSpec
 from ..net.controller import NetworkInterface
-from ..sim import Simulator, TraceRecorder
+from ..sim import PRIORITY_DEFAULT, Simulator, TraceRecorder
 from ..types import Result
 from .base import NodeBase
 from .failures import NodeStatus
@@ -213,7 +213,12 @@ class NlftKernelNode(NodeBase):
             default=None,
         )
         if shortest is not None:
-            self.sim.schedule_after(shortest, self._disturb, label=f"{self.name}:stuck-at")
+            # PRIORITY_DEFAULT deliberately: the re-strike has always fired
+            # after same-tick kernel releases; recorded traces depend on it.
+            self.sim.schedule_after(
+                shortest, self._disturb,
+                priority=PRIORITY_DEFAULT, label=f"{self.name}:stuck-at",
+            )
 
     # ------------------------------------------------------------------
     # Host hooks

@@ -32,7 +32,7 @@ from typing import Callable, List, Optional
 from ..core.integrity import ChecksummedBlock, IntegrityError
 from ..errors import ConfigurationError
 from ..net.controller import NetworkInterface
-from ..sim import EventHandle, Simulator, TraceRecorder
+from ..sim import PRIORITY_DEFAULT, EventHandle, Simulator, TraceRecorder
 
 #: Default event-frame identifiers (low ids win dynamic-segment
 #: arbitration, so recovery traffic has priority over diagnostics).
@@ -132,7 +132,8 @@ class StateRecoveryService:
 
     def _schedule_poll(self) -> None:
         self._poll_event = self.sim.schedule_after(
-            self.poll_period, self._poll, label=f"{self.node_name}:state-sync"
+            self.poll_period, self._poll,
+            priority=PRIORITY_DEFAULT, label=f"{self.node_name}:state-sync",
         )
 
     def _poll(self) -> None:

@@ -1,0 +1,3 @@
+# Deliberate rule violations live here; the directory is excluded from
+# tree scans (engine.GLOBAL_EXCLUDES) and analysed only by the checker
+# tests, under pretend src/repro/ paths.

@@ -1,0 +1,12 @@
+"""CTX001 negative fixture: constants and function-local mutability only."""
+
+LIMIT = 10
+NAMES = ("a", "b")
+
+__all__ = ["LIMIT", "NAMES", "helper"]
+
+
+def helper():
+    local_cache = {}
+    local_cache["x"] = 1
+    return local_cache

@@ -1,0 +1,16 @@
+"""CTX001 positive fixture: module-level mutable state."""
+
+from collections import defaultdict
+
+_CACHE = {}
+RESULTS = []
+_GROUPS = defaultdict(list)
+_SEEN = set()
+
+_COUNTER = 0
+
+
+def bump():
+    global _COUNTER
+    _COUNTER += 1
+    return _COUNTER

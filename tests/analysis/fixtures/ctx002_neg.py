@@ -1,0 +1,7 @@
+"""CTX002 negative fixture: resolves through the active context."""
+
+from repro import runtime
+
+
+def resolve():
+    return runtime.current()

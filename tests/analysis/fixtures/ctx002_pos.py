@@ -1,0 +1,7 @@
+"""CTX002 positive fixture: direct process-default singleton access."""
+
+from repro.runtime.context import default_context
+
+
+def resolve():
+    return default_context()

@@ -1,0 +1,12 @@
+"""DET001 negative fixture: only simulated clocks, plus a suppressed read."""
+
+from time import perf_counter
+
+
+def advance(sim, delay):
+    return sim.now + delay
+
+
+def instrumented(sim):
+    started = perf_counter()  # reprolint: disable=DET001 -- fixture: instrumentation sample
+    return sim.now, started

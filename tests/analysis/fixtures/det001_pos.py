@@ -1,0 +1,13 @@
+"""DET001 positive fixture: wall-clock reads on simulation paths."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp():
+    started = pc()
+    wall = time.time()
+    mono = time.monotonic_ns()
+    today = datetime.now()
+    return started, wall, mono, today

@@ -1,0 +1,13 @@
+"""DET002 negative fixture: every generator is explicitly seeded."""
+
+import random
+
+import numpy as np
+
+
+def make(seed):
+    rng = np.random.default_rng(seed)
+    kw = np.random.default_rng(seed=seed)
+    other = random.Random(seed)
+    seq = np.random.SeedSequence(seed)
+    return rng.normal(), kw, other.random(), seq

@@ -1,0 +1,14 @@
+"""DET002 positive fixture: global-state and unseeded randomness."""
+
+import random
+
+import numpy as np
+
+
+def draws():
+    a = random.random()
+    random.seed(0)
+    unseeded = np.random.default_rng()
+    plain = random.Random()
+    sample = np.random.normal(0.0, 1.0)
+    return a, unseeded, plain, sample

@@ -1,0 +1,13 @@
+"""DET003 negative fixture: every unordered source is sorted or reduced."""
+
+import os
+
+
+def collect(path, items):
+    tags = set(items)
+    ordered = [tag for tag in sorted(tags)]
+    names = sorted(os.listdir(path))
+    total = sum(len(tag) for tag in tags)
+    biggest = max(tag for tag in tags)
+    by_name = sorted(items, key=str)
+    return ordered, names, total, biggest, by_name

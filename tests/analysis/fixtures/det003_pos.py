@@ -1,0 +1,14 @@
+"""DET003 positive fixture: unordered iteration on result paths."""
+
+import os
+
+
+def collect(path, items):
+    results = []
+    for name in {"b", "a"}:
+        results.append(name)
+    tags = set(items)
+    copied = [tag for tag in tags]
+    listed = os.listdir(path)
+    by_address = sorted(items, key=id)
+    return results, copied, listed, by_address

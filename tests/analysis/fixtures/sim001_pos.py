@@ -1,0 +1,11 @@
+"""SIM001 positive fixture: float tick literals and implicit tie-breaking."""
+
+
+def check(sim, job):
+    if job.deadline < 5000.0:
+        return True
+    if sim.now > 1.5:
+        return False
+    sim.schedule_at(10, job.run)
+    sim.schedule_after(5, job.run)
+    return None

@@ -1,0 +1,135 @@
+"""The baseline ratchet: new fails, baselined passes, fixed warns stale."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    Baseline, BaselineEntry, BaselineError, PLACEHOLDER_REASON,
+    merged_with_findings, stale_warnings,
+)
+from repro.analysis.findings import ERROR, Finding
+
+PATH = "src/repro/cpu/isa.py"
+
+
+def finding(rule="CTX001", path=PATH, key="OPCODES", line=10):
+    return Finding(
+        rule=rule, severity=ERROR, path=path, line=line, col=0,
+        message="m", key=key,
+    )
+
+
+def entry(rule="CTX001", path=PATH, key="OPCODES", reason="read-only table"):
+    return BaselineEntry(rule=rule, path=path, key=key, reason=reason)
+
+
+class TestRatchet:
+    def test_new_finding_stays_new(self):
+        new, baselined, stale = Baseline([entry()]).apply(
+            [finding(key="SOMETHING_ELSE")]
+        )
+        assert [f.key for f in new] == ["SOMETHING_ELSE"]
+        assert baselined == []
+        assert [e.key for e in stale] == ["OPCODES"]
+
+    def test_covered_finding_is_baselined_not_failing(self):
+        new, baselined, stale = Baseline([entry()]).apply([finding()])
+        assert new == []
+        assert [f.key for f in baselined] == ["OPCODES"]
+        assert all(f.baselined for f in baselined)
+        assert stale == []
+
+    def test_matching_ignores_line_numbers(self):
+        # Entries match on (rule, path, key); unrelated edits that shift
+        # the code must not invalidate the baseline.
+        new, baselined, _ = Baseline([entry()]).apply([finding(line=999)])
+        assert new == []
+        assert len(baselined) == 1
+
+    def test_fixed_violation_reports_stale_entry(self):
+        new, baselined, stale = Baseline([entry()]).apply([])
+        assert (new, baselined) == ([], [])
+        assert [e.identity for e in stale] == [("CTX001", PATH, "OPCODES")]
+        warnings = stale_warnings(stale)
+        assert [w.severity for w in warnings] == ["warning"]
+
+    def test_same_key_different_rule_is_not_covered(self):
+        new, _, _ = Baseline([entry()]).apply([finding(rule="DET003")])
+        assert len(new) == 1
+
+
+class TestValidation:
+    def test_empty_reason_rejected(self):
+        with pytest.raises(BaselineError, match="empty reason"):
+            Baseline([entry(reason="  ")])
+
+    def test_duplicate_identity_rejected(self):
+        with pytest.raises(BaselineError, match="duplicate"):
+            Baseline([entry(), entry(reason="another wording")])
+
+    def test_wrong_tool_rejected(self):
+        with pytest.raises(BaselineError, match="not a reprolint"):
+            Baseline.from_dict({"version": 1, "tool": "flake8", "entries": []})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(BaselineError, match="version"):
+            Baseline.from_dict({"version": 99, "tool": "reprolint", "entries": []})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(BaselineError, match="missing fields"):
+            Baseline.from_dict({
+                "version": 1, "tool": "reprolint",
+                "entries": [{"rule": "CTX001", "path": PATH}],
+            })
+
+
+class TestFileRoundTrip:
+    def test_save_load_preserves_entries_and_reasons(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        original = Baseline([entry(), entry(key="MNEMONICS", reason="also a table")])
+        original.save(path)
+        loaded = Baseline.load(path)
+        assert [e.to_dict() for e in loaded.entries()] == [
+            e.to_dict() for e in original.entries()
+        ]
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            Baseline.load(path)
+
+    def test_committed_baseline_schema(self, tmp_path):
+        saved = tmp_path / "b.json"
+        Baseline([entry()]).save(saved)
+        data = json.loads(saved.read_text())
+        assert data["tool"] == "reprolint"
+        assert data["version"] == 1
+        assert data["entries"][0]["reason"]
+
+
+class TestWriteBaseline:
+    def test_minted_entries_get_placeholder_reasons(self):
+        merged = merged_with_findings(Baseline(), [finding()])
+        assert [e.reason for e in merged.entries()] == [PLACEHOLDER_REASON]
+
+    def test_existing_reasons_survive(self):
+        merged = merged_with_findings(
+            Baseline([entry(reason="the real reason")]),
+            [finding(), finding(key="NEW_ONE")],
+        )
+        reasons = {e.key: e.reason for e in merged.entries()}
+        assert reasons == {
+            "OPCODES": "the real reason",
+            "NEW_ONE": PLACEHOLDER_REASON,
+        }
+
+    def test_stale_entries_are_dropped(self):
+        merged = merged_with_findings(
+            Baseline([entry(key="FIXED_LONG_AGO")]), [finding()]
+        )
+        assert [e.key for e in merged.entries()] == ["OPCODES"]

@@ -1,0 +1,135 @@
+"""Report rendering: stable text, JSON schema round-trip, exit codes."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.findings import ERROR, WARNING, Finding, sort_findings
+from repro.analysis.report import (
+    REPORT_SCHEMA, exit_code, parse_json_report, render_json, render_json_dict,
+    render_text,
+)
+
+
+def finding(rule="DET001", path="src/repro/sim/a.py", line=3, col=4,
+            key="time.time", severity=ERROR, baselined=False):
+    return Finding(
+        rule=rule, severity=severity, path=path, line=line, col=col,
+        message=f"violation of {rule}", key=key, hint="fix it",
+        baselined=baselined,
+    )
+
+
+def result(findings=(), baselined=(), stale=(), files=5):
+    return AnalysisResult(
+        findings=list(findings), baselined=list(baselined),
+        stale_entries=list(stale), files_scanned=files,
+        rules=["CTX001", "DET001"],
+    )
+
+
+class TestFindingRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        f = finding()
+        assert Finding.from_dict(f.to_dict()) == f
+
+    def test_unknown_fields_rejected(self):
+        data = finding().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown finding fields"):
+            Finding.from_dict(data)
+
+    def test_absolute_paths_rejected(self):
+        with pytest.raises(ValueError, match="repo-relative"):
+            finding(path="/abs/path.py")
+
+    def test_backslash_paths_rejected(self):
+        with pytest.raises(ValueError, match="repo-relative"):
+            finding(path="src\\repro\\a.py")
+
+
+class TestStableOrder:
+    def test_sort_is_path_line_col_rule_key(self):
+        unsorted = [
+            finding(path="src/repro/b.py", line=1),
+            finding(path="src/repro/a.py", line=9),
+            finding(path="src/repro/a.py", line=2, rule="SIM001", key="z"),
+            finding(path="src/repro/a.py", line=2, rule="DET001", key="a"),
+        ]
+        ordered = sort_findings(unsorted)
+        assert [(f.path, f.line, f.rule) for f in ordered] == [
+            ("src/repro/a.py", 2, "DET001"),
+            ("src/repro/a.py", 2, "SIM001"),
+            ("src/repro/a.py", 9, "DET001"),
+            ("src/repro/b.py", 1, "DET001"),
+        ]
+
+
+class TestJsonReport:
+    def test_schema_and_counts(self):
+        data = render_json_dict(result(
+            findings=[finding(), finding(key="w", severity=WARNING)],
+            baselined=[finding(rule="CTX001", key="T", baselined=True)],
+            stale=[BaselineEntry("CTX001", "src/repro/x.py", "GONE", "r")],
+        ))
+        assert data["schema"] == REPORT_SCHEMA
+        assert data["counts"] == {
+            "errors": 1, "warnings": 1, "baselined": 1,
+            "stale_baseline": 1, "files": 5,
+        }
+        assert data["ok"] is False
+
+    def test_round_trip_recovers_all_findings(self):
+        original = result(
+            findings=[finding()],
+            baselined=[finding(rule="CTX001", key="T", baselined=True)],
+        )
+        # Through actual JSON text, as CI artifacts are consumed.
+        recovered = parse_json_report(json.loads(render_json(original)))
+        assert recovered == original.findings + original.baselined
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="reprolint-v1"):
+            parse_json_report({"schema": "something-else"})
+
+    def test_json_is_deterministic(self):
+        r = result(findings=[finding()])
+        assert render_json(r) == render_json(r)
+
+
+class TestTextReport:
+    def test_location_rule_severity_line(self):
+        text = render_text(result(findings=[finding()]))
+        assert "src/repro/sim/a.py:3:4 DET001 error: violation of DET001" in text
+        assert "hint: fix it" in text
+
+    def test_summary_line_counts(self):
+        text = render_text(result(findings=[finding()]))
+        assert text.strip().endswith(
+            "reprolint: 1 error, 0 warnings, 0 baselined, "
+            "0 stale baseline entries (5 files)"
+        )
+
+    def test_baselined_shown_only_on_request(self):
+        r = result(baselined=[finding(baselined=True)])
+        # Default output: just the summary line, no per-finding row.
+        assert render_text(r).count("\n") == 1
+        assert "[baselined]" in render_text(r, show_baselined=True)
+
+
+class TestExitCode:
+    def test_clean_is_zero(self):
+        assert exit_code(result()) == 0
+
+    def test_error_is_one(self):
+        assert exit_code(result(findings=[finding()])) == 1
+
+    def test_warnings_and_baselined_stay_zero(self):
+        r = result(
+            findings=[finding(severity=WARNING)],
+            baselined=[finding(baselined=True)],
+            stale=[BaselineEntry("CTX001", "src/repro/x.py", "GONE", "r")],
+        )
+        assert exit_code(r) == 0

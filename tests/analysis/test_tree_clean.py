@@ -1,0 +1,33 @@
+"""The gate over the real tree: reprolint must pass on this repository.
+
+This is the acceptance bar the CI lint job enforces; running it in the
+test suite means a violation fails locally before it fails in CI, with
+the finding (file:line, rule, hint) in the assertion message.
+"""
+
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_PATH, Baseline
+from repro.analysis.engine import run_analysis
+from repro.analysis.report import render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_reprolint_clean():
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_PATH)
+    result = run_analysis(REPO_ROOT, baseline=baseline, jobs=1)
+    assert result.ok, "\n" + render_text(result)
+    # Warnings (stale baseline entries, unused suppressions) don't fail
+    # the gate, but the committed tree keeps itself free of them too.
+    assert result.warnings == [], "\n" + render_text(result)
+    assert result.stale_entries == [], "\n" + render_text(result)
+    assert result.files_scanned > 100  # the scan actually covered the tree
+
+
+def test_committed_baseline_entries_all_still_match():
+    # Every baseline entry must cover a live finding; fixed violations
+    # must be removed from the baseline (the ratchet only goes down).
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_PATH)
+    result = run_analysis(REPO_ROOT, baseline=baseline, jobs=1)
+    assert len(result.baselined) >= len(baseline)

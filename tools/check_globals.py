@@ -1,165 +1,40 @@
 #!/usr/bin/env python3
-"""Static gate: no new module-level mutable state in ``src/repro/``.
+"""DEPRECATED shim — the module-state gate is now reprolint rule CTX001.
 
-The context-scoped runtime refactor moved every ambient switch and service
-(fast/reference mode, metrics registries, profile collector, solver cache)
-onto :class:`repro.runtime.RunContext`.  This gate keeps it that way: it
-fails CI when a module in ``src/repro/`` introduces module-level mutable
-state that is not on the explicit allowlist below.
+This script used to carry its own AST walker and inline allowlist.  Both
+moved into the pluggable static-analysis suite:
 
-Flagged constructs (at module top level, or ``global`` anywhere):
+* the checker lives in :mod:`repro.analysis.checkers.ctx001_module_state`
+  (same flagged constructs, same finding keys: ``NAME`` for assignments,
+  ``global:NAME`` for ``global`` statements);
+* the allowlist became baseline entries in ``analysis/baseline.json``,
+  one per exemption, each with its justification.
 
-* assignments of mutable literals or comprehensions — ``_CACHE = {}``,
-  ``_SEEN = set()``, ``RESULTS = []``;
-* calls to known-mutable constructors — ``dict()``, ``defaultdict(...)``,
-  ``deque()``, ``ContextVar(...)`` — or to constructors whose name ends in
-  ``Registry`` / ``Cache`` / ``Collector`` / ``Stack``;
-* ``global`` statements (module-level rebinding from function scope).
-
-``__all__`` is always allowed.  Everything else needs an allowlist entry —
-adding one is a deliberate, reviewed act, and the entry documents why the
-state is process-global rather than context-scoped.
-
-Run:  python tools/check_globals.py  (CI runs it in the lint job)
+Run the full suite with ``python -m repro.analysis`` (or
+``python tools/reprolint.py``); this shim only runs the CTX001 subset and
+preserves the historic exit semantics (0 clean, 1 findings) for any
+script still invoking it.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: Constructors that always produce mutable objects.
-MUTABLE_CONSTRUCTORS = {
-    "list", "dict", "set", "bytearray",
-    "defaultdict", "deque", "Counter", "OrderedDict",
-    "ContextVar",
-}
-
-#: Callee-name suffixes that mark service/registry-object construction.
-MUTABLE_SUFFIXES = ("Registry", "Cache", "Collector", "Stack")
-
-#: Names allowed in every module.
-ALWAYS_ALLOWED = {"__all__"}
-
-#: ``path:name`` (assignments) / ``path:global:name`` (global statements)
-#: entries that are deliberately process-global.  Keep each entry justified.
-ALLOWLIST = {
-    # Immutable-in-practice ISA tables: built once at import, read-only.
-    "src/repro/cpu/isa.py:OPCODES",
-    "src/repro/cpu/isa.py:MNEMONICS",
-    "src/repro/cpu/isa.py:THREE_REG",
-    "src/repro/cpu/isa.py:TWO_REG_IMM",
-    "src/repro/cpu/isa.py:BRANCHES",
-    "src/repro/cpu/isa.py:CYCLE_COSTS",
-    "src/repro/cpu/isa.py:REGISTER_INDEX",
-    # Decoded-instruction memo: keyed by immutable encodings, append-only,
-    # shared across contexts by design (decoding is context-independent).
-    "src/repro/cpu/isa.py:_DECODE_CACHE",
-    # Interpreter dispatch tables: built once at import, read-only.
-    "src/repro/cpu/machine.py:_FAST_HANDLERS",
-    "src/repro/cpu/machine.py:_DISPATCH",
-    # Workload program library: built once at import, read-only.
-    "src/repro/cpu/programs.py:PROGRAMS",
-    # Paper-constant tables: read-only reference data.
-    "src/repro/experiments/coverage_table.py:PAPER_PARAMETERS",
-    "src/repro/experiments/mttf_table.py:PAPER",
-    "src/repro/experiments/redundancy_table.py:DEFAULT_LEVELS",
-    "src/repro/experiments/workload_table.py:WORKLOAD_INPUTS",
-    "src/repro/faults/generators.py:DEFAULT_TARGET_WEIGHTS",
-    # Per-worker-process harness memos: deliberately process-local so a
-    # campaign worker builds its golden execution once per process.
-    "src/repro/experiments/ablation_table.py:_HARNESS_CACHE",
-    "src/repro/experiments/coverage_table.py:_HARNESS_CACHE",
-    "src/repro/experiments/workload_table.py:_HARNESS_CACHE",
-    # The experiment registry: append-only, id-keyed, populated at import.
-    "src/repro/experiments/registry.py:REGISTRY",
-    # The runtime's own root: the ContextVar carrying the active context
-    # and the lazily-created process-default fallback.
-    "src/repro/runtime/context.py:_current",
-    "src/repro/runtime/context.py:global:_process_default",
-}
-
-
-def _callee_name(call: ast.Call) -> str:
-    func = call.func
-    if isinstance(func, ast.Name):
-        return func.id
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    return ""
-
-
-def _is_mutable_value(value: ast.expr) -> bool:
-    if isinstance(value, (ast.List, ast.Dict, ast.Set,
-                          ast.ListComp, ast.DictComp, ast.SetComp)):
-        return True
-    if isinstance(value, ast.Call):
-        name = _callee_name(value)
-        return name in MUTABLE_CONSTRUCTORS or name.endswith(MUTABLE_SUFFIXES)
-    return False
-
-
-def _assigned_names(node: ast.stmt) -> List[str]:
-    if isinstance(node, ast.Assign):
-        return [t.id for t in node.targets if isinstance(t, ast.Name)]
-    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-        return [node.target.id]
-    return []
-
-
-def _module_violations(path: Path) -> Iterator[Tuple[int, str, str]]:
-    """Yield ``(line, key, message)`` for one module."""
-    rel = path.relative_to(REPO_ROOT).as_posix()
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
-    for node in tree.body:
-        value = getattr(node, "value", None)
-        if value is None or not _is_mutable_value(value):
-            continue
-        for name in _assigned_names(node):
-            if name in ALWAYS_ALLOWED:
-                continue
-            key = f"{rel}:{name}"
-            yield (
-                node.lineno, key,
-                f"module-level mutable state {name!r}",
-            )
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Global):
-            for name in node.names:
-                key = f"{rel}:global:{name}"
-                yield (
-                    node.lineno, key,
-                    f"'global {name}' rebinds module state from function scope",
-                )
+from repro.analysis.cli import main as reprolint_main  # noqa: E402
 
 
 def main() -> int:
-    violations: List[Tuple[str, int, str]] = []
-    seen_keys = set()
-    for path in sorted(SOURCE_ROOT.rglob("*.py")):
-        for lineno, key, message in _module_violations(path):
-            seen_keys.add(key)
-            if key not in ALLOWLIST:
-                violations.append((key.split(":", 1)[0], lineno, message))
-    stale = sorted(ALLOWLIST - seen_keys)
-    if stale:
-        print("stale allowlist entries (state no longer exists — remove them):")
-        for entry in stale:
-            print(f"  {entry}")
-    if violations:
-        print("new module-level mutable state (move it onto the run context "
-              "via repro.runtime, or allowlist it with a justification):")
-        for rel, lineno, message in violations:
-            print(f"  {rel}:{lineno}: {message}")
-    if violations or stale:
-        return 1
-    print(f"check_globals: OK ({len(seen_keys)} allowlisted, 0 violations)")
-    return 0
+    print(
+        "check_globals.py is deprecated: running the CTX001 subset of "
+        "`python -m repro.analysis` (see analysis/baseline.json for the "
+        "migrated allowlist)",
+        file=sys.stderr,
+    )
+    return reprolint_main(["--rules", "CTX001", "--root", str(REPO_ROOT)])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Entry point for reprolint without setting PYTHONPATH.
+
+``python tools/reprolint.py [args...]`` is exactly
+``PYTHONPATH=src python -m repro.analysis [args...]`` — a convenience for
+hooks and editors that invoke tools by path.  See ``python -m
+repro.analysis --help`` for the CLI and ``analysis/baseline.json`` for the
+committed exemptions.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
