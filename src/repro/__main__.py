@@ -65,6 +65,24 @@ def _run_parser() -> argparse.ArgumentParser:
         help="per-trial wall-clock budget for campaign experiments",
     )
     parser.add_argument(
+        "--resume", type=Path, default=None, metavar="PATH",
+        help="directory for checkpoint journals (and shard leases)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="crash-tolerant shard runner processes for campaign "
+             "experiments (requires --resume)",
+    )
+    parser.add_argument(
+        "--chaos", type=str, default=None, metavar="SPEC",
+        help="deterministic harness chaos spec, e.g. "
+             "'die:40,stall:80,corrupt:0:tear'",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="seed of the chaos corruption-byte generator",
+    )
+    parser.add_argument(
         "--json", type=str, default=None, metavar="PATH",
         help="also write the structured result as JSON ('-' for stdout)",
     )
@@ -85,8 +103,23 @@ def _cmd_run(argv: List[str]) -> int:
         overrides["jobs"] = args.jobs
     if args.timeout is not None:
         overrides["timeout_s"] = args.timeout
+    if args.resume is not None:
+        args.resume.mkdir(parents=True, exist_ok=True)
+        overrides["resume_dir"] = str(args.resume)
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.chaos is not None:
+        overrides["chaos"] = args.chaos
+    if args.chaos_seed is not None:
+        overrides["chaos_seed"] = args.chaos_seed
     if overrides:
         config = config.replace(**overrides)
+    if config.shards and config.resume_dir is None:
+        print(
+            "error: --shards needs --resume PATH (shard journals and "
+            "lease files live there)", file=sys.stderr,
+        )
+        return 2
     exp = experiment_registry.load_all().get(args.experiment)
     context = runtime.RunContext(config)
     with runtime.activate(context):

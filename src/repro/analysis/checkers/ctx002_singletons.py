@@ -35,6 +35,9 @@ SINGLETONS: Mapping[str, Tuple[str, ...]] = MappingProxyType({
     "_process_default": ("src/repro/runtime/",),
     "REGISTRY": ("src/repro/experiments/registry.py",),
     "GLOBAL_CACHE": ("src/repro/reliability/solver_cache.py",),
+    # The per-process installed chaos policy: everyone else goes through
+    # repro.harness.chaos.install() / active_policy().
+    "_ProcessChaos": ("src/repro/harness/chaos.py",),
 })
 
 

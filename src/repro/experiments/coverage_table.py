@@ -36,7 +36,13 @@ from ..faults.campaign import TemInjectionHarness, TemWorkload
 from ..faults.generators import random_fault_list
 from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
 from ..faults.types import Fault
-from ..harness import SupervisorConfig, run_experiment_campaign
+from ..harness import (
+    ChaosPolicy,
+    ShardConfig,
+    SupervisorConfig,
+    run_experiment_campaign,
+    run_sharded_campaign,
+)
 from ..kernel.task import MachineExecutable
 from ..obs.profile import DEFAULT_TOP_K
 from ..obs.progress import ProgressReporter
@@ -118,6 +124,28 @@ def make_brake_workload(
 _HARNESS_CACHE: Dict[int, TemInjectionHarness] = {}
 
 
+def e5_fault_payloads(
+    experiments: int, seed: int = 2005, max_copies: int = 3
+) -> "list[tuple[int, Fault]]":
+    """The deterministic E5 payload list: *experiments* seeded faults.
+
+    The single source of the campaign's fault sequence, shared by
+    :func:`run_coverage_campaign`, the golden-campaign regression gate
+    (``tests/faults/test_golden_campaign.py``), the chaos-equivalence
+    suite and ``tools/chaos_smoke.py`` — all of which rely on the same
+    seed producing the identical fault list.
+    """
+    harness = TemInjectionHarness(make_brake_workload(max_copies=max_copies))
+    faults = random_fault_list(
+        np.random.default_rng(seed),
+        experiments,
+        max_step=max(harness.golden_steps * 2, 2),
+        code_range=(0, assemble(BRAKE_TASK_SOURCE).size),
+        data_range=(0x1800, 0x1902),
+    )
+    return [(max_copies, fault) for fault in faults]
+
+
 def _e5_trial(payload: "tuple[int, Fault]", seed: int) -> ExperimentRecord:
     """One E5 injection experiment (supervisor trial function).
 
@@ -169,6 +197,14 @@ class CoverageTableResult:
                 f"{self.stats.harness_failures} harness failures excluded "
                 "from the estimates"
             )
+        if self.stats.degraded:
+            text += (
+                f"\n\nNOTE: DEGRADED campaign — {self.stats.missing} of "
+                f"{self.stats.planned_trials or self.stats.total} planned "
+                "trials missing; the C_D interval is widened to treat "
+                "every missing trial adversarially (see EXPERIMENTS.md, "
+                "'Reading partial campaign statistics')"
+            )
         return text
 
 
@@ -184,6 +220,9 @@ def run_coverage_campaign(
     profile: bool = False,
     chunk_size: Optional[int] = None,
     batch_replies: bool = False,
+    shards: int = 0,
+    chaos: Optional[ChaosPolicy] = None,
+    lease_ttl_s: float = 2.0,
 ) -> CoverageTableResult:
     """Run the E5 campaign and estimate the paper's parameters.
 
@@ -212,34 +251,40 @@ def run_coverage_campaign(
         Observability knobs (:mod:`repro.obs`): a live stderr progress
         line (silent when stderr is not a TTY), and opt-in cProfile
         capture of the hottest trials.
+    shards / lease_ttl_s:
+        Crash-tolerant sharded execution (:mod:`repro.harness.shards`):
+        with ``shards >= 1`` the campaign runs as lease-owned shard
+        runner processes that survive SIGKILLs and wedges; needs
+        ``journal_path``.  Outcomes are bit-identical to the serial run.
+    chaos:
+        Deterministic harness chaos injection
+        (:class:`repro.harness.ChaosPolicy`) — worker kills and delays
+        in pool mode, runner deaths/stalls and journal corruption in
+        sharded mode.
     """
-    rng = np.random.default_rng(seed)
-    workload = make_brake_workload(max_copies=max_copies)
-    harness = TemInjectionHarness(workload)
-    program_words = assemble(BRAKE_TASK_SOURCE).size
     kernel_hits = int(np.random.default_rng(seed + 1).binomial(experiments, kernel_share))
-    faults = random_fault_list(
-        rng,
-        experiments - kernel_hits,
-        max_step=max(harness.golden_steps * 2, 2),
-        code_range=(0, program_words),
-        data_range=(0x1800, 0x1902),
+    payloads = e5_fault_payloads(
+        experiments - kernel_hits, seed=seed, max_copies=max_copies
     )
-    stats = run_experiment_campaign(
-        _e5_trial,
-        [(max_copies, fault) for fault in faults],
-        SupervisorConfig(
-            workers=workers,
-            timeout_s=timeout_s,
-            journal_path=journal_path,
-            master_seed=seed,
-            campaign=f"e5-coverage-n{experiments}",
-            chunk_size=chunk_size,
-            batch_replies=batch_replies,
-            progress=ProgressReporter("E5 coverage") if progress else None,
-            profile_top_k=DEFAULT_TOP_K if profile else 0,
-        ),
+    config = SupervisorConfig(
+        workers=workers,
+        timeout_s=timeout_s,
+        journal_path=journal_path,
+        master_seed=seed,
+        campaign=f"e5-coverage-n{experiments}",
+        chunk_size=chunk_size,
+        batch_replies=batch_replies,
+        progress=ProgressReporter("E5 coverage") if progress else None,
+        profile_top_k=DEFAULT_TOP_K if profile else 0,
+        chaos=chaos,
     )
+    if shards > 0:
+        stats = run_sharded_campaign(
+            _e5_trial, payloads, config,
+            ShardConfig(shards=shards, lease_ttl_s=lease_ttl_s),
+        ).statistics()
+    else:
+        stats = run_experiment_campaign(_e5_trial, payloads, config)
     # Kernel-execution hits: the mini-ISA machine runs no kernel code, so
     # these are modelled directly (the paper does the same when deriving
     # P_FS from the 5% kernel CPU share [10]).  A kernel hit is *effective*
@@ -293,4 +338,10 @@ def _experiment(ctx) -> CoverageTableResult:
         journal_path=cfg.journal_path("e5"),
         progress=cfg.progress,
         profile=cfg.profile,
+        shards=cfg.shards,
+        chaos=(
+            ChaosPolicy.from_spec(cfg.chaos, seed=cfg.chaos_seed)
+            if cfg.chaos else None
+        ),
+        lease_ttl_s=cfg.lease_ttl_s,
     )

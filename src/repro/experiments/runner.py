@@ -39,6 +39,7 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from .. import runtime
+from ..obs import health as obs_health
 from ..obs import metrics as obs_metrics
 from ..obs import profile as obs_profile
 from ..obs.export import MAX_PROFILE_CHARS, MetricsSink, SectionMetrics
@@ -104,6 +105,9 @@ def build_run_config(
     resume: Optional[Path] = None,
     progress: bool = False,
     profile: bool = False,
+    shards: int = 0,
+    chaos: Optional[str] = None,
+    chaos_seed: int = 0,
 ) -> runtime.RunConfig:
     """The :class:`repro.runtime.RunConfig` of one runner invocation.
 
@@ -120,6 +124,9 @@ def build_run_config(
         resume_dir=str(resume) if resume is not None else None,
         progress=progress,
         profile=profile,
+        shards=shards,
+        chaos=chaos,
+        chaos_seed=chaos_seed,
     )
 
 
@@ -209,6 +216,13 @@ def run_sections(
                 f"\n\n[obs] wall-clock {elapsed:.2f}s | hot paths: "
                 f"{obs_metrics.format_hot_paths(snapshot)}"
             )
+            # Harness fault-tolerance events (lease takeovers, journal
+            # salvages, chaos injections): the line appears only when
+            # something fault-related actually happened, so healthy-run
+            # reports stay byte-identical.
+            health = obs_health.format_harness_health(snapshot)
+            if health:
+                text += f"\n[harness] {health}"
         reports.append(
             SectionReport(
                 title=title,
@@ -241,6 +255,9 @@ def run_report(
     profile: bool = False,
     metrics_path: "Optional[Path | str]" = None,
     config: Optional[runtime.RunConfig] = None,
+    shards: int = 0,
+    chaos: Optional[str] = None,
+    chaos_seed: int = 0,
 ) -> RunnerReport:
     """Run E1-E13 with per-section containment; structured result.
 
@@ -256,6 +273,7 @@ def run_report(
         config = build_run_config(
             fast=fast, jobs=jobs, timeout=timeout, resume=resume,
             progress=progress, profile=profile,
+            shards=shards, chaos=chaos, chaos_seed=chaos_seed,
         )
     context = runtime.RunContext(config)
     sections = build_sections(context=context)
@@ -306,6 +324,22 @@ def _parse_args(argv: "list[str]") -> argparse.Namespace:
              "the same path again to resume an interrupted run",
     )
     parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="crash-tolerant shard runner processes for campaign sections "
+             "(lease/heartbeat failure detection, fencing-token takeover; "
+             "requires --resume; 0 = unsharded, the default)",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic harness chaos injection, e.g. "
+             "'die:40,stall:80,corrupt:0:tear' (kill:T, kill-idle:T, "
+             "delay:T:S, die:T, stall:T, corrupt:K:MODE)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="seed of the chaos policy's corruption-byte generator",
+    )
+    parser.add_argument(
         "--metrics", type=Path, default=None, metavar="PATH",
         help="export one metrics snapshot per section to PATH "
              "(JSONL; CSV when the path ends in .csv)",
@@ -328,10 +362,17 @@ def main(argv: "list[str] | None" = None) -> int:
     args = _parse_args(argv)
     if args.resume is not None:
         args.resume.mkdir(parents=True, exist_ok=True)
+    if args.shards and args.resume is None:
+        print(
+            "error: --shards needs --resume PATH (shard journals and "
+            "lease files live there)", file=sys.stderr,
+        )
+        return 2
     report = run_report(
         fast=args.fast, jobs=args.jobs, timeout=args.timeout, resume=args.resume,
         progress=not args.no_progress, profile=args.profile,
         metrics_path=args.metrics,
+        shards=args.shards, chaos=args.chaos, chaos_seed=args.chaos_seed,
     )
     print(report.text)
     return 0 if report.ok else 1

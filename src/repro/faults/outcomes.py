@@ -142,10 +142,19 @@ class CampaignStatistics:
     :attr:`completeness` reports how much of the plan produced a simulated
     outcome.  Harness failures (``HARNESS_*`` records) are kept for
     accounting but excluded from every coverage estimator.
+
+    ``degraded`` marks statistics from a campaign that stopped before
+    completing its plan (budget exhaustion, failure cap, abandoned
+    shards).  Degraded statistics report a **widened** coverage interval
+    (:meth:`coverage_interval`): the missing trials are treated as
+    adversarial — all-undetected for the lower bound, all-detected for
+    the upper — so the printed interval is honest about what the partial
+    campaign can and cannot claim.
     """
 
     records: List[ExperimentRecord] = dataclasses.field(default_factory=list)
     planned_trials: Optional[int] = None
+    degraded: bool = False
 
     def add(self, record: ExperimentRecord) -> None:
         self.records.append(record)
@@ -217,9 +226,34 @@ class CampaignStatistics:
     def p_fail_silent(self) -> Optional[float]:
         return self.conditional_probability(OutcomeClass.FAIL_SILENT)
 
+    @property
+    def missing(self) -> int:
+        """Planned trials without a simulated outcome (lost to the
+        harness, never dispatched, or on abandoned shards)."""
+        planned = self.planned_trials if self.planned_trials else self.total
+        return max(0, planned - self.valid)
+
     def coverage_interval(self) -> "tuple[float, float]":
-        """95% Wilson interval for the coverage estimate."""
-        return wilson_interval(self.detected, max(self.effective, 1))
+        """95% Wilson interval for the coverage estimate.
+
+        For :attr:`degraded` statistics the interval is *widened* by the
+        missing trials: the lower bound assumes every missing trial would
+        have been effective-but-undetected, the upper bound that every
+        one would have been detected.  The plain interval over completed
+        trials is unioned in, so a degraded interval always contains the
+        undisturbed estimate.
+        """
+        plain = wilson_interval(self.detected, max(self.effective, 1))
+        if not self.degraded or self.missing == 0:
+            return plain
+        missing = self.missing
+        widened_n = max(self.effective + missing, 1)
+        pessimistic = wilson_interval(self.detected, widened_n)
+        optimistic = wilson_interval(self.detected + missing, widened_n)
+        return (
+            min(plain[0], pessimistic[0]),
+            max(plain[1], optimistic[1]),
+        )
 
     # ------------------------------------------------------------------
     def mechanism_counts(self) -> Dict[str, int]:
@@ -241,6 +275,12 @@ class CampaignStatistics:
                 f"  harness failures: {self.harness_failures} "
                 f"(excluded from estimates); "
                 f"completeness: {self.completeness:.3f}"
+            )
+        if self.degraded:
+            lines.append(
+                f"  DEGRADED: campaign stopped with {self.missing} of "
+                f"{self.planned_trials if self.planned_trials else self.total}"
+                " planned trials missing; intervals widened accordingly"
             )
         for outcome in OutcomeClass:
             lines.append(f"  {outcome.value:<18s} {self.count(outcome)}")

@@ -6,11 +6,40 @@ timeouts, bounded retry with exponential backoff, a JSONL checkpoint
 journal with deterministic per-trial seed derivation (interrupt/resume is
 bit-identical), and graceful partial results on budget exhaustion.
 
-See :mod:`repro.harness.supervisor` for the design notes.
+On top of that single-supervisor core sit the node-level fault-tolerance
+pieces the paper's framework uses — applied to the harness itself:
+
+* :mod:`repro.harness.shards` — a sharded campaign coordinator: contiguous
+  seed-range shards, one serial runner process per shard, lease/heartbeat
+  failure detection, fencing-token takeover and commutative shard-journal
+  merge;
+* :mod:`repro.harness.leases` — the checkpointed lease files behind it;
+* :mod:`repro.harness.chaos` — deterministic, seeded chaos injection
+  (worker SIGKILLs, heartbeat stalls, journal-tail corruption, delayed
+  replies) used to prove that recovery reproduces the undisturbed run
+  bit-identically.
+
+See :mod:`repro.harness.supervisor` for the core design notes.
 """
 
-from .journal import JOURNAL_VERSION, CampaignJournal, JournalHeader, TrialEntry
+from .chaos import CORRUPTION_MODES, ChaosPolicy
+from .journal import (
+    DEFAULT_FSYNC_INTERVAL,
+    JOURNAL_VERSION,
+    CampaignJournal,
+    JournalHeader,
+    SalvageReport,
+    TrialEntry,
+)
+from .leases import LEASE_ABANDONED, LEASE_DONE, LEASE_RUNNING, Lease, LeaseFile
 from .seeds import derive_seed
+from .shards import (
+    ShardConfig,
+    ShardSpec,
+    plan_shards,
+    run_sharded_campaign,
+    shard_paths,
+)
 from .supervisor import (
     CampaignSupervisor,
     HarnessFailure,
@@ -21,15 +50,29 @@ from .supervisor import (
 )
 
 __all__ = [
+    "CORRUPTION_MODES",
     "CampaignJournal",
     "CampaignSupervisor",
+    "ChaosPolicy",
+    "DEFAULT_FSYNC_INTERVAL",
     "HarnessFailure",
     "JOURNAL_VERSION",
     "JournalHeader",
+    "LEASE_ABANDONED",
+    "LEASE_DONE",
+    "LEASE_RUNNING",
+    "Lease",
+    "LeaseFile",
+    "SalvageReport",
+    "ShardConfig",
+    "ShardSpec",
     "SupervisorConfig",
     "SupervisorResult",
     "TrialEntry",
     "TrialTimeoutError",
     "derive_seed",
+    "plan_shards",
     "run_experiment_campaign",
+    "run_sharded_campaign",
+    "shard_paths",
 ]

@@ -1,0 +1,275 @@
+"""Deterministic chaos injection for the campaign harness itself.
+
+The repo's fault-injection campaigns prove the *paper's* node-level fault
+tolerance by injecting faults into simulated nodes.  This module turns the
+same discipline on the harness: a seeded :class:`ChaosPolicy` attacks the
+campaign infrastructure — SIGKILLing workers at chosen trial indices,
+stalling shard heartbeats until the lease expires, tearing or poisoning
+journal tails, delaying worker replies past their timeout — and the
+acceptance bar is the repo's signature move: under **any** chaos schedule
+the recovered campaign must reproduce the undisturbed serial run's outcome
+counts and deterministic metrics view bit-identically (see
+``tests/harness/test_chaos_equivalence.py`` and ``tools/chaos_smoke.py``).
+
+Every event is pinned to a trial index or shard id, so a schedule is
+reproducible run-to-run; the only randomness — the bytes used to damage a
+journal tail — is drawn from a ``random.Random`` seeded from the policy
+seed.  Events fire **once**: worker-pool directives are armed by the
+supervisor only on a trial's first attempt, and shard-runner events
+trigger only when their trial is *executed* (a resumed trial replayed from
+the journal never re-fires its event).
+
+Spec grammar (the ``--chaos`` CLI knob), comma-separated events::
+
+    kill:T          SIGKILL the pool worker handed trial T (before it replies)
+    kill-idle:T     SIGKILL the pool worker after the chunk containing T
+                    fully replied (death *between* chunks — no in-flight trial)
+    delay:T:S       sleep S seconds before replying to trial T (reply past
+                    the per-trial timeout)
+    die:T           shard runner SIGKILLs itself right after journaling
+                    trial T (fail-stop node death with a durable journal)
+    stall:T         shard runner stops heartbeating after journaling trial
+                    T but keeps computing (a wedged node; the coordinator
+                    must expire the lease and take the shard over)
+    corrupt:K:MODE  damage shard K's journal tail at its first takeover;
+                    MODE is ``tear`` (truncate mid-line), ``garbage``
+                    (append invalid-UTF-8 bytes and a torn line) or
+                    ``schema`` (append valid-JSON wrong-schema lines)
+
+Example: ``--chaos "die:40,stall:80,corrupt:0:tear"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from pathlib import Path
+from typing import Mapping, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+
+#: Journal-corruption modes understood by :meth:`ChaosPolicy.corrupt_journal`.
+CORRUPTION_MODES = ("tear", "garbage", "schema")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPolicy:
+    """A deterministic, seeded schedule of harness-level fault injections.
+
+    Immutable and picklable: the same policy object travels to the shard
+    runner processes (installed process-wide via :func:`install`) and is
+    consulted by the supervisor when arming worker-pool directives.
+    """
+
+    #: Seed for the corruption byte generator (the only entropy source).
+    seed: int = 0
+    #: Trials whose pool worker is SIGKILLed before replying (first attempt).
+    kill_trials: "frozenset[int]" = frozenset()
+    #: Trials whose pool worker is SIGKILLed *after* its chunk fully
+    #: replied — the worker dies idle, between chunks.
+    kill_idle_trials: "frozenset[int]" = frozenset()
+    #: trial id -> seconds the worker sleeps before replying (first attempt).
+    delay_trials: "Mapping[int, float]" = dataclasses.field(
+        default_factory=dict
+    )
+    #: Trials after whose journal append the shard runner SIGKILLs itself.
+    die_after_trials: "frozenset[int]" = frozenset()
+    #: Trials after which the shard runner stops heartbeating (wedge).
+    stall_after_trials: "frozenset[int]" = frozenset()
+    #: shard id -> corruption mode applied to its journal at first takeover.
+    corrupt_shards: "Mapping[int, str]" = dataclasses.field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for shard_id, mode in self.corrupt_shards.items():
+            if mode not in CORRUPTION_MODES:
+                raise ConfigurationError(
+                    f"unknown journal-corruption mode {mode!r} for shard "
+                    f"{shard_id}; choose from {CORRUPTION_MODES}"
+                )
+        for trial_id, delay_s in self.delay_trials.items():
+            if delay_s < 0:
+                raise ConfigurationError(
+                    f"delay for trial {trial_id} must be >= 0, got {delay_s}"
+                )
+
+    # ------------------------------------------------------------------
+    # Spec parsing (the --chaos CLI knob)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "ChaosPolicy":
+        """Parse the comma-separated event grammar (module docstring)."""
+        kill: "set[int]" = set()
+        kill_idle: "set[int]" = set()
+        delay: "dict[int, float]" = {}
+        die: "set[int]" = set()
+        stall: "set[int]" = set()
+        corrupt: "dict[int, str]" = {}
+        for token in filter(None, (t.strip() for t in spec.split(","))):
+            parts = token.split(":")
+            try:
+                kind = parts[0]
+                if kind == "kill" and len(parts) == 2:
+                    kill.add(int(parts[1]))
+                elif kind == "kill-idle" and len(parts) == 2:
+                    kill_idle.add(int(parts[1]))
+                elif kind == "delay" and len(parts) == 3:
+                    delay[int(parts[1])] = float(parts[2])
+                elif kind == "die" and len(parts) == 2:
+                    die.add(int(parts[1]))
+                elif kind == "stall" and len(parts) == 2:
+                    stall.add(int(parts[1]))
+                elif kind == "corrupt" and len(parts) == 3:
+                    corrupt[int(parts[1])] = parts[2]
+                else:
+                    raise ValueError(token)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad chaos event {token!r}; grammar: kill:T, "
+                    "kill-idle:T, delay:T:S, die:T, stall:T, corrupt:K:MODE"
+                ) from exc
+        return cls(
+            seed=seed,
+            kill_trials=frozenset(kill),
+            kill_idle_trials=frozenset(kill_idle),
+            delay_trials=delay,
+            die_after_trials=frozenset(die),
+            stall_after_trials=frozenset(stall),
+            corrupt_shards=corrupt,
+        )
+
+    def describe(self) -> str:
+        """The canonical spec string of this policy (round-trips)."""
+        tokens = []
+        tokens += [f"kill:{t}" for t in sorted(self.kill_trials)]
+        tokens += [f"kill-idle:{t}" for t in sorted(self.kill_idle_trials)]
+        tokens += [
+            f"delay:{t}:{s:g}" for t, s in sorted(self.delay_trials.items())
+        ]
+        tokens += [f"die:{t}" for t in sorted(self.die_after_trials)]
+        tokens += [f"stall:{t}" for t in sorted(self.stall_after_trials)]
+        tokens += [
+            f"corrupt:{k}:{m}" for k, m in sorted(self.corrupt_shards.items())
+        ]
+        return ",".join(tokens)
+
+    # ------------------------------------------------------------------
+    # Event queries
+    # ------------------------------------------------------------------
+    @property
+    def any_events(self) -> bool:
+        return bool(
+            self.kill_trials or self.kill_idle_trials or self.delay_trials
+            or self.die_after_trials or self.stall_after_trials
+            or self.corrupt_shards
+        )
+
+    def dies_after(self, trial_id: int) -> bool:
+        return trial_id in self.die_after_trials
+
+    def stalls_after(self, trial_id: int) -> bool:
+        return trial_id in self.stall_after_trials
+
+    def corruption_mode(self, shard_id: int) -> Optional[str]:
+        return self.corrupt_shards.get(shard_id)
+
+    # ------------------------------------------------------------------
+    # Journal corruption (coordinator-side, applied at takeover)
+    # ------------------------------------------------------------------
+    def corrupt_journal(
+        self, path: Union[str, Path], shard_id: int, mode: Optional[str] = None
+    ) -> Optional[str]:
+        """Damage *path*'s tail the way a torn write or bad disk would.
+
+        Only the suffix *beyond the last intact line boundary at worst one
+        entry deep* is touched — acknowledged-and-synced entries stay
+        intact, mirroring what real torn writes can and cannot destroy.
+        Returns the mode applied (``None`` when the file is missing or
+        too small to damage).
+        """
+        mode = mode if mode is not None else self.corruption_mode(shard_id)
+        if mode is None:
+            return None
+        path = Path(path)
+        if not path.exists():
+            return None
+        raw = path.read_bytes()
+        rng = random.Random((self.seed << 16) ^ (shard_id + 1))
+        if mode == "tear":
+            # Truncate inside the final line: the classic torn write.  The
+            # newline of the previous line survives, so exactly one entry
+            # is lost (and deterministically re-run on resume).
+            body = raw[:-1] if raw.endswith(b"\n") else raw
+            cut = body.rfind(b"\n") + 1
+            if cut == 0 or cut >= len(body):
+                # Nothing after the header / last boundary to tear: tearing
+                # into the header would make the journal unresumable, which
+                # no torn *append* can do.
+                return None
+            keep = rng.randrange(cut, len(body))
+            path.write_bytes(raw[:keep])
+        elif mode == "garbage":
+            # Invalid UTF-8 noise followed by a torn JSON-ish line.
+            noise = bytes(rng.randrange(0x80, 0x100) for _ in range(24))
+            with path.open("ab") as handle:
+                handle.write(noise + b"\n")
+                handle.write(b'{"kind":"trial","trial_id":')
+        elif mode == "schema":
+            # Well-formed JSON that is not a journal record.
+            lines = [
+                json.dumps({"kind": "trial", "bogus": True}),
+                json.dumps({"kind": "lease", "token": rng.randrange(1 << 16)}),
+                json.dumps([1, 2, 3]),
+            ]
+            with path.open("ab") as handle:
+                handle.write(("\n".join(lines) + "\n").encode("utf-8"))
+        else:  # pragma: no cover — guarded by __post_init__
+            raise ConfigurationError(f"unknown corruption mode {mode!r}")
+        return mode
+
+    # ------------------------------------------------------------------
+    # Worker-pool directives (supervisor-side arming)
+    # ------------------------------------------------------------------
+    def directives_for(
+        self, trial_ids: "Tuple[int, ...]"
+    ) -> "Optional[dict[str, object]]":
+        """The directive payload shipped with one dispatched chunk.
+
+        The supervisor calls this only with trial ids on their *first*
+        attempt that have not been armed before, which is what gives
+        worker-pool events their fire-once semantics: the retry of a
+        chaos-killed trial runs clean.
+        """
+        kill = [t for t in trial_ids if t in self.kill_trials]
+        kill_idle = [t for t in trial_ids if t in self.kill_idle_trials]
+        delay = {t: self.delay_trials[t] for t in trial_ids
+                 if t in self.delay_trials}
+        if not (kill or kill_idle or delay):
+            return None
+        return {"kill": kill, "kill_idle": kill_idle, "delay": delay}
+
+
+class _ProcessChaos:
+    """Process-scoped installed chaos policy.
+
+    Exists per *process* by design — the shard-runner and worker bootstrap
+    install the campaign's policy here so harness code deep in the trial
+    loop can consult it without threading it through every signature.
+    Everyone outside this module goes through :func:`install` /
+    :func:`active_policy`; direct access to this holder is fenced by
+    reprolint's CTX002 home-module map.
+    """
+
+    policy: Optional[ChaosPolicy] = None
+
+
+def install(policy: Optional[ChaosPolicy]) -> None:
+    """Install (or clear, with ``None``) this process's chaos policy."""
+    _ProcessChaos.policy = policy
+
+
+def active_policy() -> Optional[ChaosPolicy]:
+    """The chaos policy installed in this process (``None`` = no chaos)."""
+    return _ProcessChaos.policy

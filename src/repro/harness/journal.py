@@ -5,12 +5,29 @@ campaign (name, master seed, planned trial count); every subsequent line
 records one finished trial — either its simulated outcome or the harness
 failure that consumed it.  Appends are flushed line-by-line so the journal
 survives a SIGKILL of the campaign process: on resume, every line the OS
-accepted is still there and only the in-flight trial is re-run.
+accepted is still there and only the in-flight trial is re-run.  ``fsync``
+is batched (``fsync_interval`` appends per sync, plus one on close), which
+additionally bounds what an *operating-system* crash can lose without
+paying a disk sync per trial.
 
 Because per-trial seeds are derived from ``(master_seed, trial_id)`` (see
 :mod:`repro.harness.seeds`) and trials are independent, replaying the
 journal and running only the missing trial ids reproduces the uninterrupted
 campaign bit-for-bit.
+
+Corruption tolerance (valid-prefix salvage)
+-------------------------------------------
+A journal written by a process that was killed mid-write — or whose file
+was damaged afterwards — may end in a torn line, raw garbage bytes
+(including invalid UTF-8), or well-formed JSON that is not a journal
+record.  Loading such a file recovers the *valid prefix*: every intact
+line up to the first damaged one is replayed, the damaged tail is moved
+byte-for-byte into a quarantine file (``<journal>.corrupt``) for post
+mortem, and the journal file itself is truncated back to the valid prefix
+so subsequent appends produce a well-formed file again.  The trials whose
+records were lost to the tail are simply re-run on resume; deterministic
+per-trial seeding makes their re-executed results identical, so a salvaged
+resume still reproduces the uninterrupted campaign bit-for-bit.
 """
 
 from __future__ import annotations
@@ -28,6 +45,11 @@ _TRIAL_KIND = "trial"
 
 #: Journal schema version (bump on incompatible format changes).
 JOURNAL_VERSION = 1
+
+#: Default number of appends between ``fsync`` calls (1 = sync every
+#: append).  Line *flushes* happen on every append regardless — batching
+#: only affects what an OS crash (not a process kill) can lose.
+DEFAULT_FSYNC_INTERVAL = 32
 
 
 @dataclasses.dataclass(frozen=True)
@@ -104,8 +126,11 @@ class TrialEntry:
 
     @classmethod
     def from_json(cls, data: "dict[str, object]") -> "TrialEntry":
+        trial_id = int(data["trial_id"])
+        if trial_id < 0:
+            raise ValueError(f"negative trial_id {trial_id}")
         return cls(
-            trial_id=int(data["trial_id"]),
+            trial_id=trial_id,
             status=str(data["status"]),
             result=data.get("result"),  # type: ignore[arg-type]
             detail=str(data.get("detail", "")),
@@ -118,18 +143,78 @@ class TrialEntry:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class SalvageReport:
+    """What valid-prefix recovery did to a damaged journal."""
+
+    #: Intact trial entries replayed from the valid prefix.
+    entries_kept: int
+    #: Damaged-tail lines discarded (torn, garbage, or wrong-schema).
+    quarantined_lines: int
+    #: Damaged-tail size in bytes.
+    quarantined_bytes: int
+    #: Where the damaged tail was preserved byte-for-byte.
+    quarantine_path: Path
+
+
+def _parse_journal_line(raw_line: bytes) -> "Optional[tuple[str, object]]":
+    """Decode one journal line; ``None`` marks it (and the rest) corrupt.
+
+    A valid line is complete (the writer always appends ``\\n``), UTF-8,
+    JSON, an object, and parses as a known record kind with the full
+    schema.  Anything else — a torn final line, raw garbage, mid-line
+    UTF-8 damage, or valid-JSON-wrong-schema lines — is corruption.
+    """
+    try:
+        text = raw_line.decode("utf-8").strip()
+    except UnicodeDecodeError:
+        return None
+    if not text:
+        return ("blank", None)
+    try:
+        data = json.loads(text)
+    except (json.JSONDecodeError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    kind = data.get("kind")
+    try:
+        if kind == _HEADER_KIND:
+            return (_HEADER_KIND, JournalHeader.from_json(data))
+        if kind == _TRIAL_KIND:
+            return (_TRIAL_KIND, TrialEntry.from_json(data))
+    except (KeyError, TypeError, ValueError):
+        return None
+    # Unknown record kind: not something this schema version wrote.
+    return None
+
+
 class CampaignJournal:
-    """Append-only JSONL journal with crash-tolerant loading.
+    """Append-only JSONL journal with crash- and corruption-tolerant loading.
 
     Opening an existing journal validates its header against the campaign
-    being (re)run and loads every completed trial; a truncated final line
-    (the campaign was killed mid-write) is tolerated and simply re-run.
+    being (re)run and loads every completed trial.  A damaged tail — a
+    torn final line from a killed writer, garbage bytes, or wrong-schema
+    lines — is salvaged: the valid prefix is kept, the tail is quarantined
+    into ``<journal>.corrupt`` and the file truncated back to the prefix
+    (see :attr:`salvage`).
     """
 
-    def __init__(self, path: Union[str, Path], header: JournalHeader) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        header: JournalHeader,
+        fsync_interval: int = DEFAULT_FSYNC_INTERVAL,
+    ) -> None:
+        if fsync_interval < 1:
+            raise ConfigurationError("fsync_interval must be >= 1")
         self.path = Path(path)
         self.header = header
         self.entries: Dict[int, TrialEntry] = {}
+        #: Valid-prefix recovery report (``None`` when the file was clean).
+        self.salvage: Optional[SalvageReport] = None
+        self._fsync_interval = int(fsync_interval)
+        self._unsynced = 0
         existing = self._load_existing()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self.path.open("a", encoding="utf-8")
@@ -139,25 +224,36 @@ class CampaignJournal:
     # ------------------------------------------------------------------
     def _load_existing(self) -> bool:
         """Replay the journal if present; return whether a header existed."""
-        if not self.path.exists() or self.path.stat().st_size == 0:
+        if not self.path.exists():
+            return False
+        raw = self.path.read_bytes()
+        if not raw:
             return False
         stored: Optional[JournalHeader] = None
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                except json.JSONDecodeError:
-                    # Torn final line from a killed writer: stop replaying.
-                    break
-                kind = data.get("kind")
-                if kind == _HEADER_KIND:
-                    stored = JournalHeader.from_json(data)
-                elif kind == _TRIAL_KIND:
-                    entry = TrialEntry.from_json(data)
-                    self.entries[entry.trial_id] = entry
+        valid_end = 0  # byte offset one past the last intact line
+        corrupt_lines = 0
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                # No trailing newline: the writer was killed mid-line.
+                corrupt_lines += 1
+                break
+            parsed = _parse_journal_line(raw[offset:newline])
+            if parsed is None:
+                # First damaged line: everything from here is the tail.
+                corrupt_lines += raw.count(b"\n", offset) + (
+                    0 if raw.endswith(b"\n") else 1
+                )
+                break
+            kind, record = parsed
+            if kind == _HEADER_KIND:
+                stored = record  # type: ignore[assignment]
+            elif kind == _TRIAL_KIND:
+                assert isinstance(record, TrialEntry)
+                self.entries[record.trial_id] = record
+            offset = newline + 1
+            valid_end = offset
         if stored is None:
             raise ConfigurationError(
                 f"journal {self.path} has no valid header; refusing to resume "
@@ -176,29 +272,63 @@ class CampaignJournal:
                 f"{self.header.total_trials} trials); resume must use the "
                 "same campaign configuration"
             )
+        if valid_end < len(raw):
+            self.salvage = self._quarantine_tail(raw, valid_end, corrupt_lines)
         return True
+
+    def _quarantine_tail(
+        self, raw: bytes, valid_end: int, corrupt_lines: int
+    ) -> SalvageReport:
+        """Preserve the damaged tail and truncate the journal to the
+        valid prefix, so appends land on a well-formed file again."""
+        tail = raw[valid_end:]
+        quarantine = self.path.with_name(self.path.name + ".corrupt")
+        with quarantine.open("ab") as handle:
+            handle.write(tail)
+            handle.flush()
+            os.fsync(handle.fileno())
+        with self.path.open("r+b") as handle:
+            handle.truncate(valid_end)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return SalvageReport(
+            entries_kept=len(self.entries),
+            quarantined_lines=corrupt_lines,
+            quarantined_bytes=len(tail),
+            quarantine_path=quarantine,
+        )
 
     # ------------------------------------------------------------------
     def _write_line(self, data: "dict[str, object]") -> None:
         self._handle.write(json.dumps(data, separators=(",", ":")) + "\n")
         # Flush to the OS so a SIGKILL of this process loses at most the
-        # in-flight trial, never an already-recorded one.
+        # in-flight trial, never an already-recorded one.  fsync — which
+        # protects against the *machine* dying, not the process — is
+        # batched every fsync_interval appends and on close.
         self._handle.flush()
+        self._unsynced += 1
+        if self._unsynced >= self._fsync_interval:
+            self.sync()
 
     def append(self, entry: TrialEntry) -> None:
         """Record one finished trial (idempotent per trial id on resume)."""
         self.entries[entry.trial_id] = entry
         self._write_line(entry.to_json())
 
-    def completed_ids(self) -> "set[int]":
-        return set(self.entries)
-
-    def close(self) -> None:
+    def sync(self) -> None:
+        """Flush and fsync everything appended so far."""
         try:
             self._handle.flush()
             os.fsync(self._handle.fileno())
         except (OSError, ValueError):
             pass
+        self._unsynced = 0
+
+    def completed_ids(self) -> "set[int]":
+        return set(self.entries)
+
+    def close(self) -> None:
+        self.sync()
         self._handle.close()
 
     def __enter__(self) -> "CampaignJournal":

@@ -1,0 +1,491 @@
+"""Sharded, crash-tolerant campaign coordinator (node-level FT, self-applied).
+
+The paper's framework keeps a distributed real-time application alive by
+detecting node failures with heartbeats, enforcing fail-stop semantics and
+reintegrating recovered nodes.  This module applies the same design to the
+campaign harness itself:
+
+* a campaign's payload list is split into contiguous **seed-range shards**
+  (:func:`plan_shards`); trial ids, and therefore per-trial seeds, stay
+  *campaign-global* (``SupervisorConfig.trial_offset``), so shard journals
+  merge into exactly the whole-campaign result;
+* each shard is executed by a **shard runner** process — a serial
+  :class:`repro.harness.supervisor.CampaignSupervisor` over the shard's
+  slice, journaling every trial — that owns the shard through a
+  checkpointed **lease** (:mod:`repro.harness.leases`): heartbeat after
+  every journaled trial, fencing token, atomic writes;
+* the **coordinator** monitors runner processes and leases.  A dead runner
+  (crash, SIGKILL) or an expired lease (wedged runner) triggers a
+  *takeover*: the old process is killed, the fencing token bumped, and a
+  fresh runner respawned — it resumes from the shard journal and re-runs
+  only the missing trials.  Deterministic per-trial seeds make the
+  recovered campaign bit-identical to an undisturbed one;
+* a shard that keeps dying is **abandoned** after ``max_takeovers``
+  takeovers; the campaign degrades gracefully — the merged result carries
+  ``degraded=True`` and partial statistics instead of an exception.
+
+Chaos injection (:mod:`repro.harness.chaos`) plugs in at two points: the
+runner's after-trial hook (``die:T`` SIGKILLs the runner after journaling
+trial T; ``stall:T`` stops heartbeats and wedges the runner so the lease
+must expire) and the coordinator's takeover path (``corrupt:K:MODE``
+damages shard K's journal tail before the replacement runner salvages it).
+
+Wall-clock (`time.time`/`time.monotonic`) is legitimate here: it measures
+the *host* — liveness of runner processes — never simulated time
+(:mod:`repro.harness` is DET001's home for infrastructure clocks).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..faults.outcomes import OutcomeClass
+from ..obs import metrics as obs_metrics
+from ..obs.metrics import MetricsRegistry
+from . import chaos as chaos_mod
+from .journal import CampaignJournal, JournalHeader
+from .leases import LEASE_ABANDONED, LEASE_DONE, Lease, LeaseFile
+from .supervisor import (
+    CampaignSupervisor,
+    HarnessFailure,
+    SupervisorConfig,
+    SupervisorResult,
+    TrialFn,
+    _default_decode,
+)
+
+#: Exit code of a runner that observed a newer fencing token and stopped.
+FENCED_EXIT_CODE = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice of the campaign's global trial-id range."""
+
+    shard_id: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(total: int, count: int) -> List[ShardSpec]:
+    """Split ``total`` trials into ``count`` contiguous, near-equal shards.
+
+    Never returns an empty shard: ``count`` is clamped to ``total`` (one
+    shard minimum, even for an empty campaign).
+    """
+    if total < 0:
+        raise ConfigurationError("total trials must be >= 0")
+    if count < 1:
+        raise ConfigurationError("shard count must be >= 1")
+    count = max(1, min(count, total)) if total else 1
+    base, extra = divmod(total, count)
+    specs: List[ShardSpec] = []
+    start = 0
+    for shard_id in range(count):
+        size = base + (1 if shard_id < extra else 0)
+        specs.append(ShardSpec(shard_id, start, start + size))
+        start += size
+    return specs
+
+
+def shard_paths(
+    journal_path: Union[str, Path], shard_id: int
+) -> "tuple[Path, Path]":
+    """``(shard journal, shard lease)`` paths derived from the campaign's
+    base journal path (``x.jsonl`` -> ``x.shard3.jsonl`` / ``x.shard3.lease``).
+    """
+    base = Path(journal_path)
+    stem = base.stem if base.suffix else base.name
+    suffix = base.suffix if base.suffix else ".jsonl"
+    journal = base.with_name(f"{stem}.shard{shard_id}{suffix}")
+    lease = base.with_name(f"{stem}.shard{shard_id}.lease")
+    return journal, lease
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardConfig:
+    """Knobs of the sharded coordinator.
+
+    Attributes
+    ----------
+    shards:
+        Number of shard runner processes (each runs its slice serially).
+    lease_ttl_s:
+        A running lease whose heartbeat is older than this is expired;
+        the coordinator takes the shard over.  Must comfortably exceed
+        ``heartbeat_s`` plus the slowest single trial.
+    heartbeat_s:
+        Minimum interval between a runner's lease heartbeats (refreshed
+        from the after-trial hook, so the effective rate is
+        ``max(heartbeat_s, trial duration)``).
+    poll_s:
+        Coordinator monitor-loop period.
+    max_takeovers:
+        A shard taken over more than this many times is abandoned — the
+        campaign degrades instead of thrashing forever.
+    """
+
+    shards: int = 2
+    lease_ttl_s: float = 2.0
+    heartbeat_s: float = 0.2
+    poll_s: float = 0.05
+    max_takeovers: int = 5
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.lease_ttl_s <= 0:
+            raise ConfigurationError("lease_ttl_s must be positive")
+        if self.heartbeat_s <= 0:
+            raise ConfigurationError("heartbeat_s must be positive")
+        if self.lease_ttl_s <= self.heartbeat_s:
+            raise ConfigurationError(
+                "lease_ttl_s must exceed heartbeat_s, or live runners "
+                "would be taken over spuriously"
+            )
+        if self.poll_s <= 0:
+            raise ConfigurationError("poll_s must be positive")
+        if self.max_takeovers < 0:
+            raise ConfigurationError("max_takeovers must be >= 0")
+
+
+# ----------------------------------------------------------------------
+# Shard runner (child process)
+# ----------------------------------------------------------------------
+
+def _shard_runner_main(
+    trial_fn: TrialFn,
+    payloads: Sequence[Any],
+    spec: ShardSpec,
+    config: SupervisorConfig,
+    journal_path: Path,
+    lease_path: Path,
+    token: int,
+    heartbeat_s: float,
+    policy: "Optional[chaos_mod.ChaosPolicy]",
+) -> None:
+    """Run one shard serially, heartbeating its lease after every trial.
+
+    Dies by ``os.kill(SIGKILL)`` at a chaos ``die:T`` point (fail-stop
+    death with a durable journal), wedges forever after a chaos
+    ``stall:T`` point (heartbeats stop; the coordinator must expire the
+    lease), and exits :data:`FENCED_EXIT_CODE` the moment it observes a
+    newer fencing token — a superseded runner must not touch the shard.
+    """
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    chaos_mod.install(policy)
+    lease_file = LeaseFile(lease_path)
+    lease = lease_file.heartbeat(Lease(
+        shard_id=spec.shard_id,
+        owner=f"pid{os.getpid()}",
+        token=token,
+        heartbeat=time.time(),
+    ))
+    stalled = False
+    last_beat = time.monotonic()
+
+    def after_trial(trial_id: int) -> None:
+        # Only called for freshly *executed* trials (journal replays on
+        # resume never re-enter here), which is what gives die/stall
+        # events their fire-once semantics across takeovers.
+        nonlocal lease, stalled, last_beat
+        if policy is not None:
+            if policy.dies_after(trial_id):
+                # The journal entry for this trial is already flushed:
+                # dying here loses nothing acknowledged.
+                os.kill(os.getpid(), signal.SIGKILL)
+            if policy.stalls_after(trial_id):
+                stalled = True
+        if stalled:
+            return
+        now = time.monotonic()
+        if now - last_beat >= heartbeat_s:
+            if lease_file.fenced_out(token):
+                os._exit(FENCED_EXIT_CODE)
+            lease = lease_file.heartbeat(lease)
+            last_beat = now
+
+    runner_config = dataclasses.replace(
+        config,
+        workers=0,  # shard-level parallelism comes from the shards
+        journal_path=journal_path,
+        campaign=f"{config.campaign}/shard{spec.shard_id}",
+        trial_offset=spec.start,
+        after_trial=after_trial,
+        progress=None,
+        chaos=None,  # pool directives are meaningless in a serial runner
+        budget_s=None,  # the coordinator owns the campaign budget
+    )
+    CampaignSupervisor(trial_fn, runner_config).run(payloads)
+    if stalled:
+        # A wedged node: alive, journal intact, no heartbeats.  The
+        # coordinator expires the lease and kills this process.
+        while True:  # pragma: no cover — exits only by SIGKILL
+            time.sleep(0.25)
+    if lease_file.fenced_out(token):
+        os._exit(FENCED_EXIT_CODE)
+    lease_file.heartbeat(lease, state=LEASE_DONE)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class _ShardState:
+    """Coordinator-side bookkeeping of one shard."""
+
+    spec: ShardSpec
+    journal_path: Path
+    lease_file: LeaseFile
+    token: int = 0
+    takeovers: int = 0
+    process: Optional["multiprocessing.process.BaseProcess"] = None
+    done: bool = False
+    abandoned: bool = False
+    corrupted: bool = False
+
+
+def _kill_process(process: "Optional[multiprocessing.process.BaseProcess]") -> None:
+    if process is None:
+        return
+    with contextlib.suppress(OSError, AttributeError):
+        process.kill()
+    process.join(timeout=5.0)
+
+
+def run_sharded_campaign(
+    trial_fn: TrialFn,
+    payloads: Sequence[Any],
+    config: Optional[SupervisorConfig] = None,
+    shard_config: Optional[ShardConfig] = None,
+) -> SupervisorResult:
+    """Run a campaign across crash-tolerant shard runner processes.
+
+    Requires ``config.journal_path`` (shard journals and leases derive
+    from it).  Chaos comes from ``config.chaos``: ``die``/``stall``
+    events fire inside the runners, ``corrupt`` at the coordinator's
+    takeover path.  The merged :class:`SupervisorResult` is — for a
+    completed campaign — bit-identical to the undisturbed serial run
+    over the same payloads: same results, same statistics, same
+    deterministic metrics view.
+    """
+    config = config if config is not None else SupervisorConfig()
+    shard_config = shard_config if shard_config is not None else ShardConfig()
+    if config.journal_path is None:
+        raise ConfigurationError(
+            "sharded campaigns need journal_path: shard journals and "
+            "lease files derive from it"
+        )
+    policy = (
+        config.chaos
+        if config.chaos is not None and config.chaos.any_events
+        else None
+    )
+    started = time.monotonic()
+    harness = MetricsRegistry()
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    shards: List[_ShardState] = []
+    for spec in plan_shards(len(payloads), shard_config.shards):
+        journal_path, lease_path = shard_paths(config.journal_path, spec.shard_id)
+        shard = _ShardState(spec, journal_path, LeaseFile(lease_path))
+        # Resume across *coordinator* deaths: start fencing tokens above
+        # whatever a previous coordinator issued, so runners orphaned by
+        # a killed coordinator observe a newer token at their next
+        # heartbeat and stop (their journal entries remain valid — trials
+        # are deterministic, so even a raced duplicate append is an
+        # identical record).
+        existing = shard.lease_file.read()
+        if existing is not None:
+            shard.token = existing.token
+        shards.append(shard)
+
+    def spawn(shard: _ShardState) -> None:
+        shard.token += 1
+        # The coordinator stamps a fresh lease before the runner exists,
+        # so the TTL countdown covers a runner that dies during startup.
+        shard.lease_file.write(Lease(
+            shard_id=shard.spec.shard_id,
+            owner=f"coordinator#t{shard.token}",
+            token=shard.token,
+            heartbeat=time.time(),
+        ))
+        shard.process = ctx.Process(
+            target=_shard_runner_main,
+            args=(
+                trial_fn,
+                payloads[shard.spec.start:shard.spec.stop],
+                shard.spec,
+                config,
+                shard.journal_path,
+                shard.lease_file.path,
+                shard.token,
+                shard_config.heartbeat_s,
+                policy,
+            ),
+            daemon=True,
+        )
+        shard.process.start()
+        harness.inc("harness.shard_runners_spawned")
+
+    def take_over(shard: _ShardState, reason: str) -> None:
+        # Fail-stop enforcement: whatever is (or is not) attached to the
+        # lease gets killed before the shard is reassigned — combined
+        # with fencing tokens this keeps a wedged-but-alive runner from
+        # racing its replacement on the journal.
+        _kill_process(shard.process)
+        shard.takeovers += 1
+        harness.inc("harness.lease_takeovers")
+        if (
+            policy is not None
+            and not shard.corrupted
+            and policy.corruption_mode(shard.spec.shard_id) is not None
+        ):
+            shard.corrupted = True
+            if policy.corrupt_journal(shard.journal_path, shard.spec.shard_id):
+                harness.inc("harness.chaos_journal_corruptions")
+        if shard.takeovers > shard_config.max_takeovers:
+            shard.abandoned = True
+            harness.inc("harness.shards_abandoned")
+            shard.lease_file.write(Lease(
+                shard_id=shard.spec.shard_id,
+                owner="coordinator",
+                token=shard.token + 1,
+                heartbeat=time.time(),
+                state=LEASE_ABANDONED,
+            ))
+            return
+        spawn(shard)
+
+    budget_exhausted = False
+    try:
+        for shard in shards:
+            spawn(shard)
+        while True:
+            active = [s for s in shards if not s.done and not s.abandoned]
+            if not active:
+                break
+            if (
+                config.budget_s is not None
+                and (time.monotonic() - started) >= config.budget_s
+            ):
+                budget_exhausted = True
+                break
+            for shard in active:
+                process = shard.process
+                assert process is not None
+                exitcode = process.exitcode
+                if exitcode is not None:
+                    lease = shard.lease_file.read()
+                    if (
+                        exitcode == 0
+                        and lease is not None
+                        and lease.state == LEASE_DONE
+                    ):
+                        shard.done = True
+                        process.join()
+                    else:
+                        take_over(
+                            shard, f"runner exited with code {exitcode}"
+                        )
+                else:
+                    lease = shard.lease_file.read()
+                    if lease is None or lease.expired(shard_config.lease_ttl_s):
+                        take_over(shard, "lease expired (dead or wedged)")
+            time.sleep(shard_config.poll_s)
+    finally:
+        for shard in shards:
+            if shard.process is not None and shard.process.is_alive():
+                _kill_process(shard.process)
+
+    # ------------------------------------------------------------------
+    # Merge shard journals into one campaign result.  Trial ids are
+    # campaign-global, so the merge is a plain commutative dict union.
+    # ------------------------------------------------------------------
+    decode = config.result_decoder or _default_decode
+    results: Dict[int, Any] = {}
+    failures: Dict[int, HarnessFailure] = {}
+    trial_metrics: Dict[int, dict] = {}
+    degraded = budget_exhausted or any(s.abandoned for s in shards)
+    for shard in shards:
+        if not shard.journal_path.exists():
+            degraded = True
+            continue
+        journal = CampaignJournal(
+            shard.journal_path,
+            JournalHeader(
+                campaign=f"{config.campaign}/shard{shard.spec.shard_id}",
+                master_seed=config.master_seed,
+                total_trials=shard.spec.size,
+            ),
+            fsync_interval=config.fsync_interval,
+        )
+        try:
+            if journal.salvage is not None:
+                harness.inc(
+                    "harness.journal_entries_salvaged",
+                    journal.salvage.entries_kept,
+                )
+            # Salvages usually happen inside replacement *runners* (their
+            # metrics die with them), but every salvage leaves a
+            # quarantine file behind — count those, not just merge-time
+            # salvages, so takeover-and-salvage events reach the
+            # harness-health report.
+            quarantine = shard.journal_path.with_name(
+                shard.journal_path.name + ".corrupt"
+            )
+            if quarantine.exists():
+                harness.inc("harness.journal_salvages")
+                harness.inc(
+                    "harness.journal_quarantined_bytes",
+                    quarantine.stat().st_size,
+                )
+            for entry in journal.entries.values():
+                if entry.is_harness_failure:
+                    failures[entry.trial_id] = HarnessFailure(
+                        trial_id=entry.trial_id,
+                        kind=OutcomeClass(entry.status),
+                        detail=entry.detail,
+                        attempts=entry.attempts,
+                    )
+                else:
+                    results[entry.trial_id] = decode(entry.result)
+                if entry.metrics is not None:
+                    trial_metrics[entry.trial_id] = entry.metrics
+        finally:
+            journal.close()
+    if len(results) + len(failures) < len(payloads):
+        degraded = True
+    harness.gauge(
+        "harness.shards_done", sum(1 for s in shards if s.done)
+    )
+
+    result = SupervisorResult(
+        planned=len(payloads),
+        results=results,
+        failures=failures,
+        degraded=degraded,
+        elapsed_s=time.monotonic() - started,
+        resumed_trials=0,
+        trial_metrics=trial_metrics,
+        harness_metrics=harness.snapshot(),
+    )
+    if config.collect_metrics:
+        obs_metrics.merge_into_active(result.metrics_snapshot())
+        obs_metrics.merge_into_active(result.harness_metrics)
+    return result

@@ -48,7 +48,18 @@ import time
 from collections import deque
 from multiprocessing import connection as mp_connection
 from pathlib import Path
-from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from .. import runtime
 from ..errors import ConfigurationError
@@ -57,7 +68,13 @@ from ..obs import metrics as obs_metrics
 from ..obs import profile as obs_profile
 from ..obs.metrics import MetricsRegistry
 from ..obs.progress import ProgressReporter
-from .journal import CampaignJournal, JournalHeader, TrialEntry
+from .chaos import ChaosPolicy
+from .journal import (
+    DEFAULT_FSYNC_INTERVAL,
+    CampaignJournal,
+    JournalHeader,
+    TrialEntry,
+)
 from .seeds import derive_seed
 
 #: A trial function: ``(payload, seed) -> result``.  Must be deterministic
@@ -159,6 +176,30 @@ class SupervisorConfig:
         stats of the K hottest (longest wall-clock) trials in
         :attr:`SupervisorResult.hot_trials` — opt-in, it slows trials
         noticeably.
+    trial_offset:
+        Global trial id of the first payload.  A sharded campaign
+        (:mod:`repro.harness.shards`) hands each shard a slice of the
+        payload list with the slice's start as the offset, so per-trial
+        seeds, journal entries and result keys all use *campaign-global*
+        trial ids — the property that makes shard journals merge into the
+        whole-campaign result bit-identically.
+    fsync_interval:
+        Journal ``fsync`` batching: appends per sync (plus one on close).
+        Line flushes still happen per append, so a killed *process* never
+        loses an acknowledged trial; the interval bounds what an OS crash
+        can lose.
+    chaos:
+        Optional :class:`repro.harness.chaos.ChaosPolicy` attacking the
+        worker pool (SIGKILLs, delayed replies).  Directives are armed
+        only on a trial's first attempt, so every event fires once and
+        the recovery machinery — not luck — restores the campaign.
+        Ignored in serial mode (killing the only process would be the
+        campaign failing, not surviving).
+    after_trial:
+        Optional hook called with the global trial id after each trial is
+        recorded (journal append included).  The shard runner uses it for
+        lease heartbeats and chaos death/stall points.  Never called for
+        trials replayed from the journal on resume.
     """
 
     workers: int = 0
@@ -180,6 +221,10 @@ class SupervisorConfig:
     collect_metrics: bool = True
     progress: Optional[ProgressReporter] = None
     profile_top_k: int = 0
+    trial_offset: int = 0
+    fsync_interval: int = DEFAULT_FSYNC_INTERVAL
+    chaos: Optional[ChaosPolicy] = None
+    after_trial: Optional[Callable[[int], None]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -190,6 +235,10 @@ class SupervisorConfig:
             raise ConfigurationError("timeout_s must be positive")
         if self.profile_top_k < 0:
             raise ConfigurationError("profile_top_k must be >= 0")
+        if self.trial_offset < 0:
+            raise ConfigurationError("trial_offset must be >= 0")
+        if self.fsync_interval < 1:
+            raise ConfigurationError("fsync_interval must be >= 1")
         if (
             self.start_method is not None
             and self.start_method not in multiprocessing.get_all_start_methods()
@@ -263,7 +312,9 @@ class SupervisorResult:
         harness failures become ``HARNESS_*`` records, which the statistics
         exclude from every coverage estimator.
         """
-        stats = CampaignStatistics(planned_trials=self.planned)
+        stats = CampaignStatistics(
+            planned_trials=self.planned, degraded=self.degraded
+        )
         for trial_id in sorted(set(self.results) | set(self.failures)):
             if trial_id in self.results:
                 record = self.results[trial_id]
@@ -443,8 +494,17 @@ def _worker_loop(
             return
         if message is None:
             return
+        chunk, directives = message
+        directives = directives or {}
+        chaos_kill = frozenset(directives.get("kill") or ())
+        chaos_delay: "Mapping[int, float]" = directives.get("delay") or {}
+        chaos_kill_idle = bool(directives.get("kill_idle"))
         batch: List["tuple[str, int, Any, Optional[dict]]"] = []
-        for trial_id, payload in message:
+        for trial_id, payload in chunk:
+            if trial_id in chaos_kill:
+                # Chaos: die mid-trial, before any reply — the supervisor
+                # sees EOF/worker death and retries the trial elsewhere.
+                os.kill(os.getpid(), signal.SIGKILL)
             try:
                 result, snapshot, duration, profile_text = _run_one_trial(
                     trial_fn, payload, derive_seed(master_seed, trial_id),
@@ -458,6 +518,9 @@ def _worker_loop(
                 reply = ("ok", trial_id, result, extra)
             except Exception as exc:  # noqa: BLE001 — isolation boundary
                 reply = ("error", trial_id, f"{type(exc).__name__}: {exc}", None)
+            if trial_id in chaos_delay:
+                # Chaos: hold the finished reply past its deadline.
+                time.sleep(float(chaos_delay[trial_id]))
             if batch_replies:
                 batch.append(reply)
                 continue
@@ -470,6 +533,12 @@ def _worker_loop(
                 conn.send(("batch", batch))
             except (BrokenPipeError, OSError):
                 return
+        if chaos_kill_idle:
+            # Chaos: die *between* chunks — every reply above is already on
+            # the pipe, so no trial is in flight when the supervisor
+            # notices.  The fixed reap path must respawn without charging
+            # any trial a harness_crash.
+            os.kill(os.getpid(), signal.SIGKILL)
 
 
 class _Worker:
@@ -502,8 +571,13 @@ class _Worker:
     def current_trial(self) -> Optional["tuple[int, Any]"]:
         return self.assigned[0] if self.assigned else None
 
-    def dispatch(self, chunk: List["tuple[int, Any]"], timeout_s: Optional[float]) -> None:
-        self.conn.send(chunk)
+    def dispatch(
+        self,
+        chunk: List["tuple[int, Any]"],
+        timeout_s: Optional[float],
+        directives: "Optional[dict[str, object]]" = None,
+    ) -> None:
+        self.conn.send((chunk, directives))
         self.assigned.extend(chunk)
         if timeout_s:
             # Batch mode yields no per-trial progress messages, so the
@@ -570,8 +644,8 @@ class CampaignSupervisor:
 
     # ------------------------------------------------------------------
     def run(self, payloads: Sequence[Any]) -> SupervisorResult:
-        """Run one trial per payload; trial ``i`` gets seed
-        ``derive_seed(master_seed, i)``."""
+        """Run one trial per payload; trial ``trial_offset + i`` gets seed
+        ``derive_seed(master_seed, trial_offset + i)``."""
         started = time.monotonic()
         planned = len(payloads)
         state = _RunState(results={}, failures={}, journal=None, started=started)
@@ -588,7 +662,18 @@ class CampaignSupervisor:
                     master_seed=self.config.master_seed,
                     total_trials=planned,
                 ),
+                fsync_interval=self.config.fsync_interval,
             )
+            if state.journal.salvage is not None:
+                salvage = state.journal.salvage
+                state.harness.inc("harness.journal_salvages")
+                state.harness.inc(
+                    "harness.journal_entries_salvaged", salvage.entries_kept
+                )
+                state.harness.inc(
+                    "harness.journal_quarantined_bytes",
+                    salvage.quarantined_bytes,
+                )
             for entry in state.journal.entries.values():
                 if entry.is_harness_failure:
                     state.failures[entry.trial_id] = HarnessFailure(
@@ -609,7 +694,9 @@ class CampaignSupervisor:
 
         pending: Deque["tuple[int, Any]"] = deque(
             (trial_id, payload)
-            for trial_id, payload in enumerate(payloads)
+            for trial_id, payload in enumerate(
+                payloads, self.config.trial_offset
+            )
             if trial_id not in state.results and trial_id not in state.failures
         )
 
@@ -694,6 +781,8 @@ class CampaignSupervisor:
             ))
         if state.reporter is not None:
             state.reporter.note(self._outcome_label(result))
+        if self.config.after_trial is not None:
+            self.config.after_trial(trial_id)
 
     def _record_failure(self, state: _RunState, failure: HarnessFailure) -> None:
         state.failures[failure.trial_id] = failure
@@ -705,6 +794,8 @@ class CampaignSupervisor:
             ))
         if state.reporter is not None:
             state.reporter.note(failure.kind.value)
+        if self.config.after_trial is not None:
+            self.config.after_trial(failure.trial_id)
 
     def _out_of_budget(self, started: float) -> bool:
         budget = self.config.budget_s
@@ -821,6 +912,37 @@ class CampaignSupervisor:
         attempts: Dict[int, int] = {}
         retry_at: Dict[int, float] = {}
         degraded = False
+        chaos = (
+            config.chaos
+            if config.chaos is not None and config.chaos.any_events
+            else None
+        )
+        chaos_fired: "set[int]" = set()
+        chaos_delayed: "set[int]" = set()
+
+        def arm_chaos(
+            chunk: List["tuple[int, Any]"],
+        ) -> "Optional[dict[str, object]]":
+            """Chaos directives for *chunk* — first attempts only, each
+            event armed at most once, so retries always run clean."""
+            if chaos is None:
+                return None
+            fresh = tuple(
+                tid for tid, _ in chunk
+                if attempts.get(tid, 0) == 0 and tid not in chaos_fired
+            )
+            directives = chaos.directives_for(fresh)
+            if directives is None:
+                return None
+            armed = (
+                list(directives["kill"])  # type: ignore[arg-type]
+                + list(directives["kill_idle"])  # type: ignore[arg-type]
+                + list(directives["delay"])  # type: ignore[arg-type]
+            )
+            chaos_fired.update(armed)
+            chaos_delayed.update(directives["delay"])  # type: ignore[arg-type]
+            state.harness.inc("harness.chaos_injections", len(armed))
+            return directives
 
         def fail_trial(
             trial_id: int, kind: OutcomeClass, detail: str,
@@ -856,8 +978,54 @@ class CampaignSupervisor:
                     pending.append((trial_id, payload))
             return chunk
 
+        def process_replies(worker: _Worker, message: Any) -> None:
+            """Record every reply in one pipe message (streaming sends one
+            reply per message; batch mode one ("batch", replies) bundle)."""
+            replies = message[1] if message[0] == "batch" else [message]
+            for kind, trial_id, body, extra in replies:
+                # Match the finished trial inside the worker's chunk.
+                payload = None
+                while worker.assigned:
+                    queued_id, queued_payload = worker.assigned.popleft()
+                    if queued_id == trial_id:
+                        payload = queued_payload
+                        break
+                    pending.appendleft((queued_id, queued_payload))
+                if kind == "ok":
+                    extra = extra or {}
+                    self._record_success(
+                        state, trial_id, body, attempts.get(trial_id, 0) + 1,
+                        metrics=extra.get("metrics"),
+                        duration_s=extra.get("duration_s"),
+                        profile_text=extra.get("profile"),
+                    )
+                    attempts.pop(trial_id, None)
+                    retry_at.pop(trial_id, None)
+                else:
+                    crash_or_retry(trial_id, payload, str(body))
+                chaos_delayed.discard(trial_id)
+                worker.trial_finished(config.timeout_s)
+
+        def drain_worker(worker: _Worker) -> None:
+            """Consume replies already on a doomed worker's pipe.
+
+            A worker can die *after* sending results the supervisor has
+            not read yet; those trials are acknowledged — reaping without
+            draining would misclassify them as crashed (and, with
+            ``max_retries=0``, lose them outright).
+            """
+            while worker.assigned:
+                try:
+                    if not worker.conn.poll(0):
+                        break
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    break
+                process_replies(worker, message)
+
         def reap_worker(worker: _Worker, kind: OutcomeClass, detail: str) -> None:
             """Kill a worker; classify its current trial; requeue the rest."""
+            drain_worker(worker)
             worker.kill()
             workers.remove(worker)
             if worker.assigned:
@@ -866,6 +1034,10 @@ class CampaignSupervisor:
                     fail_trial(trial_id, kind, detail)
                 else:
                     crash_or_retry(trial_id, payload, detail)
+            else:
+                # Every assigned trial had in fact replied: the worker
+                # died idle-equivalent, nothing is charged.
+                state.harness.inc("harness.workers_lost_idle")
             # Untouched trials of the chunk go back unpenalised.
             while worker.assigned:
                 pending.appendleft(worker.assigned.pop())
@@ -889,14 +1061,38 @@ class CampaignSupervisor:
                     # execution rather than losing the campaign.
                     self._run_serial(pending, state)
                     return True
+                state.harness.gauge("harness.workers_live", len(workers))
 
                 # Dispatch to idle workers.
-                for worker in workers:
-                    if not worker.assigned and pending:
-                        chunk = take_chunk(now)
-                        if chunk:
-                            worker.dispatch(chunk, config.timeout_s)
-                            state.harness.inc("harness.trials_dispatched", len(chunk))
+                for worker in list(workers):
+                    if worker.assigned or not pending:
+                        continue
+                    if not worker.process.is_alive():
+                        # Died idle, *between* chunks: nothing was in
+                        # flight, so no trial is charged a harness_crash —
+                        # the worker is simply replaced.
+                        state.harness.inc("harness.workers_lost_idle")
+                        worker.kill()
+                        workers.remove(worker)
+                        continue
+                    chunk = take_chunk(now)
+                    if not chunk:
+                        continue
+                    try:
+                        worker.dispatch(
+                            chunk, config.timeout_s, arm_chaos(chunk)
+                        )
+                    except (BrokenPipeError, OSError):
+                        # Worker died between the liveness check and the
+                        # send: requeue the chunk unpenalised and replace
+                        # the worker.
+                        state.harness.inc("harness.workers_lost_idle")
+                        worker.kill()
+                        workers.remove(worker)
+                        for item in reversed(chunk):
+                            pending.appendleft(item)
+                        continue
+                    state.harness.inc("harness.trials_dispatched", len(chunk))
 
                 # Wait for the next event: a result, a deadline, a retry
                 # becoming eligible, or the budget check interval.
@@ -916,32 +1112,7 @@ class CampaignSupervisor:
                             f"worker died (exitcode {worker.process.exitcode})",
                         )
                         continue
-                    # Streaming mode delivers one reply per message; batch
-                    # mode one ("batch", replies) message per chunk.  The
-                    # per-reply bookkeeping is identical either way.
-                    replies = message[1] if message[0] == "batch" else [message]
-                    for kind, trial_id, body, extra in replies:
-                        # Match the finished trial inside the worker's chunk.
-                        payload = None
-                        while worker.assigned:
-                            queued_id, queued_payload = worker.assigned.popleft()
-                            if queued_id == trial_id:
-                                payload = queued_payload
-                                break
-                            pending.appendleft((queued_id, queued_payload))
-                        if kind == "ok":
-                            extra = extra or {}
-                            self._record_success(
-                                state, trial_id, body, attempts.get(trial_id, 0) + 1,
-                                metrics=extra.get("metrics"),
-                                duration_s=extra.get("duration_s"),
-                                profile_text=extra.get("profile"),
-                            )
-                            attempts.pop(trial_id, None)
-                            retry_at.pop(trial_id, None)
-                        else:
-                            crash_or_retry(trial_id, payload, str(body))
-                        worker.trial_finished(config.timeout_s)
+                    process_replies(worker, message)
 
                 now = time.monotonic()
                 for worker in list(workers):
@@ -956,11 +1127,30 @@ class CampaignSupervisor:
                         and now >= worker.deadline
                     ):
                         trial_id = worker.assigned[0][0]
-                        reap_worker(
-                            worker, OutcomeClass.HARNESS_TIMEOUT,
-                            f"trial {trial_id} exceeded "
-                            f"{config.timeout_s:.3f}s budget; worker killed",
-                        )
+                        if trial_id in chaos_delayed:
+                            # The deadline expired because *we* delayed the
+                            # reply (chaos injection), not because the trial
+                            # hung: retry it clean instead of recording a
+                            # HARNESS_TIMEOUT the undisturbed run never saw.
+                            chaos_delayed.discard(trial_id)
+                            reap_worker(
+                                worker, OutcomeClass.HARNESS_CRASH,
+                                f"trial {trial_id} reply chaos-delayed past "
+                                "its deadline; worker killed",
+                            )
+                        else:
+                            reap_worker(
+                                worker, OutcomeClass.HARNESS_TIMEOUT,
+                                f"trial {trial_id} exceeded "
+                                f"{config.timeout_s:.3f}s budget; worker killed",
+                            )
+                    elif not worker.assigned and not worker.process.is_alive():
+                        # Idle death spotted outside the dispatch loop: same
+                        # policy — replace silently, charge nothing.
+                        state.harness.inc("harness.workers_lost_idle")
+                        worker.kill()
+                        workers.remove(worker)
+                state.harness.gauge("harness.workers_live", len(workers))
         finally:
             for worker in workers:
                 if worker.assigned:

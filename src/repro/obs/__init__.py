@@ -15,11 +15,15 @@ after they finish:
   trials, complementing the always-on perf_counter spans in the DES event
   loop, TEM execution and the reliability solvers;
 * :mod:`repro.obs.export` — JSONL/CSV sinks behind the experiment
-  runner's ``--metrics PATH`` flag (one snapshot per section).
+  runner's ``--metrics PATH`` flag (one snapshot per section);
+* :mod:`repro.obs.health` — the harness's own fault-tolerance events
+  (lease takeovers, journal salvages, chaos injections) projected into a
+  report line that stays empty for healthy runs.
 """
 
-from . import export, metrics, profile, progress  # noqa: F401
+from . import export, health, metrics, profile, progress  # noqa: F401
 from .export import MetricsSink, SectionMetrics, flatten_snapshot, read_jsonl
+from .health import format_harness_health, harness_health
 from .metrics import (
     MetricsRegistry,
     Snapshot,
@@ -44,7 +48,10 @@ __all__ = [
     "capture",
     "export",
     "flatten_snapshot",
+    "format_harness_health",
     "format_hot_paths",
+    "harness_health",
+    "health",
     "merge_snapshots",
     "metrics",
     "profile",

@@ -90,6 +90,21 @@ class RunConfig:
         (``None`` = unbounded).
     horizon_hours:
         Reliability-curve horizon for experiments that sweep R(t).
+    shards:
+        Crash-tolerant shard runner processes for campaign-shaped
+        experiments (:mod:`repro.harness.shards`): 0 = unsharded (the
+        default), N >= 1 = N lease-owned shards.  Sharded campaigns need
+        ``resume_dir`` (shard journals and leases derive from the
+        campaign journal path).
+    chaos:
+        Deterministic chaos-injection spec for the harness itself
+        (:meth:`repro.harness.chaos.ChaosPolicy.from_spec` grammar, e.g.
+        ``"die:40,stall:80,corrupt:0:tear"``); ``None`` = no chaos.
+    chaos_seed:
+        Seed of the chaos policy's corruption-byte generator.
+    lease_ttl_s:
+        Shard-lease heartbeat TTL: a runner silent this long is declared
+        dead (or wedged) and its shard is taken over.
     """
 
     fast: bool = dataclasses.field(default_factory=_env_fast)
@@ -104,6 +119,10 @@ class RunConfig:
     profile: bool = False
     budget_s: Optional[float] = None
     horizon_hours: float = DEFAULT_HORIZON_HOURS
+    shards: int = 0
+    chaos: Optional[str] = None
+    chaos_seed: int = 0
+    lease_ttl_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -116,6 +135,10 @@ class RunConfig:
             raise ConfigurationError("budget_s must be positive")
         if self.horizon_hours <= 0:
             raise ConfigurationError("horizon_hours must be positive")
+        if self.shards < 0:
+            raise ConfigurationError("shards must be >= 0")
+        if self.lease_ttl_s <= 0:
+            raise ConfigurationError("lease_ttl_s must be positive")
 
     # ------------------------------------------------------------------
     # Derived knobs

@@ -21,17 +21,9 @@ import json
 import sys
 from pathlib import Path
 
-import numpy as np
 import pytest
 
-from repro.cpu.assembler import assemble
-from repro.experiments.coverage_table import (
-    BRAKE_TASK_SOURCE,
-    _e5_trial,
-    make_brake_workload,
-)
-from repro.faults.campaign import TemInjectionHarness
-from repro.faults.generators import random_fault_list
+from repro.experiments.coverage_table import _e5_trial, e5_fault_payloads
 from repro.harness import CampaignSupervisor, SupervisorConfig
 from repro.obs import metrics
 
@@ -48,15 +40,9 @@ MODES = {
 
 
 def _payloads():
-    harness = TemInjectionHarness(make_brake_workload(max_copies=MAX_COPIES))
-    faults = random_fault_list(
-        np.random.default_rng(SEED),
-        EXPERIMENTS,
-        max_step=max(harness.golden_steps * 2, 2),
-        code_range=(0, assemble(BRAKE_TASK_SOURCE).size),
-        data_range=(0x1800, 0x1902),
-    )
-    return [(MAX_COPIES, fault) for fault in faults]
+    # The single shared payload source: the chaos-equivalence suite and
+    # tools/chaos_smoke.py freeze the same fixture from the same helper.
+    return e5_fault_payloads(EXPERIMENTS, seed=SEED, max_copies=MAX_COPIES)
 
 
 def _run(payloads, **mode):

@@ -1,0 +1,192 @@
+"""Deterministic chaos injection: spec grammar, journal corruption and
+worker-pool directives.
+
+The pool tests double as the regression gate for the idle-worker reap
+path: a worker that dies *between* chunks (no trial in flight) must be
+respawned without charging any trial a ``harness_crash`` — with
+``max_retries=0`` even a single mischarged trial fails the campaign, so
+the tests are sharp.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import (
+    CampaignJournal,
+    CampaignSupervisor,
+    ChaosPolicy,
+    JournalHeader,
+    SupervisorConfig,
+    TrialEntry,
+)
+from repro.harness import chaos as chaos_mod
+
+
+def _int_trial(payload, seed):
+    """Deterministic toy trial (module-level: picklable for any start
+    method; encodes both inputs so divergence is visible)."""
+    return payload * 1000 + seed % 97
+
+
+def _counters(result):
+    return result.harness_metrics.get("counters", {})
+
+
+class TestChaosSpec:
+    def test_spec_round_trips_through_describe(self):
+        spec = "kill:3,kill-idle:7,delay:4:0.5,die:40,stall:80,corrupt:0:tear"
+        policy = ChaosPolicy.from_spec(spec, seed=9)
+        assert policy.describe() == spec
+        assert ChaosPolicy.from_spec(policy.describe(), seed=9) == policy
+
+    def test_empty_spec_has_no_events(self):
+        policy = ChaosPolicy.from_spec("")
+        assert not policy.any_events
+        assert policy.describe() == ""
+
+    @pytest.mark.parametrize("bad", [
+        "kill", "kill:x", "delay:3", "delay:3:fast", "die:1:2",
+        "corrupt:0", "corrupt:0:shred", "explode:5",
+    ])
+    def test_bad_tokens_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy.from_spec(bad)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy(delay_trials={3: -1.0})
+
+    def test_event_queries(self):
+        policy = ChaosPolicy.from_spec("die:40,stall:80,corrupt:1:garbage")
+        assert policy.dies_after(40) and not policy.dies_after(41)
+        assert policy.stalls_after(80) and not policy.stalls_after(40)
+        assert policy.corruption_mode(1) == "garbage"
+        assert policy.corruption_mode(0) is None
+
+    def test_directives_only_for_scheduled_trials(self):
+        policy = ChaosPolicy.from_spec("kill:3,kill-idle:7,delay:4:0.5")
+        assert policy.directives_for((0, 1, 2)) is None
+        directives = policy.directives_for((3, 4, 7))
+        assert directives == {"kill": [3], "kill_idle": [7], "delay": {4: 0.5}}
+
+    def test_install_and_active_policy(self):
+        policy = ChaosPolicy.from_spec("die:1")
+        chaos_mod.install(policy)
+        try:
+            assert chaos_mod.active_policy() is policy
+        finally:
+            chaos_mod.install(None)
+        assert chaos_mod.active_policy() is None
+
+
+class TestCorruptJournal:
+    HEADER = JournalHeader(campaign="c", master_seed=1, total_trials=8)
+
+    def _journal(self, tmp_path, entries=4):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path, self.HEADER) as journal:
+            for i in range(entries):
+                journal.append(TrialEntry(trial_id=i, status="ok", result={"v": i}))
+        return path
+
+    def test_tear_loses_exactly_the_final_entry(self, tmp_path):
+        path = self._journal(tmp_path)
+        policy = ChaosPolicy(seed=5, corrupt_shards={0: "tear"})
+        assert policy.corrupt_journal(path, 0) == "tear"
+        with CampaignJournal(path, self.HEADER) as journal:
+            assert journal.completed_ids() == {0, 1, 2}
+            assert journal.salvage is not None
+            assert journal.salvage.quarantine_path.exists()
+
+    def test_tear_never_touches_the_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path, self.HEADER):
+            pass  # header only — nothing beyond it may be torn
+        policy = ChaosPolicy(corrupt_shards={0: "tear"})
+        assert policy.corrupt_journal(path, 0) is None
+        with CampaignJournal(path, self.HEADER) as journal:
+            assert journal.salvage is None
+
+    @pytest.mark.parametrize("mode", ["garbage", "schema"])
+    def test_appended_damage_preserves_every_entry(self, tmp_path, mode):
+        path = self._journal(tmp_path)
+        policy = ChaosPolicy(seed=5, corrupt_shards={0: mode})
+        assert policy.corrupt_journal(path, 0) == mode
+        with CampaignJournal(path, self.HEADER) as journal:
+            assert journal.completed_ids() == {0, 1, 2, 3}
+            assert journal.salvage is not None
+            assert journal.salvage.quarantined_bytes > 0
+
+    def test_corruption_bytes_are_seed_deterministic(self, tmp_path):
+        first = self._journal(tmp_path / "a", entries=4)
+        second = self._journal(tmp_path / "b", entries=4)
+        policy = ChaosPolicy(seed=11, corrupt_shards={0: "garbage"})
+        policy.corrupt_journal(first, 0)
+        policy.corrupt_journal(second, 0)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_missing_file_is_a_noop(self, tmp_path):
+        policy = ChaosPolicy(corrupt_shards={0: "tear"})
+        assert policy.corrupt_journal(tmp_path / "absent.jsonl", 0) is None
+
+
+class TestPoolChaos:
+    """Worker-pool chaos through the supervisor — every schedule must
+    recover to the exact serial result with zero harness failures."""
+
+    PAYLOADS = list(range(12))
+
+    def _serial(self):
+        return CampaignSupervisor(
+            _int_trial, SupervisorConfig(master_seed=7)
+        ).run(self.PAYLOADS)
+
+    def test_idle_worker_death_respawns_without_harness_crash(self):
+        # The reap-path regression: kill-idle SIGKILLs the worker after
+        # its chunk fully replied.  The fixed path must replace the dead
+        # worker and never record a HARNESS_CRASH (the unfixed dispatch
+        # loop instead sent into the dead worker's pipe and let the
+        # BrokenPipeError destroy the whole campaign).  max_retries=1
+        # covers the one unavoidable ambiguity — a chunk dispatched in
+        # the instant between SIGKILL delivery and process teardown is
+        # indistinguishable from a mid-trial death and is retried clean.
+        result = CampaignSupervisor(_int_trial, SupervisorConfig(
+            master_seed=7, workers=2, chunk_size=2, max_retries=1,
+            chaos=ChaosPolicy.from_spec("kill-idle:1"),
+        )).run(self.PAYLOADS)
+        assert result.failures == {}
+        assert result.results == self._serial().results
+        counters = _counters(result)
+        assert counters.get("harness.chaos_injections", 0) == 1
+        # The dead worker was replaced: more spawns than the pool size.
+        assert counters.get("harness.workers_spawned", 0) >= 3
+
+    def test_mid_trial_kill_is_retried_clean(self):
+        result = CampaignSupervisor(_int_trial, SupervisorConfig(
+            master_seed=7, workers=2, chunk_size=1,
+            chaos=ChaosPolicy.from_spec("kill:4"),
+        )).run(self.PAYLOADS)
+        assert result.failures == {}
+        assert result.results == self._serial().results
+        counters = _counters(result)
+        assert counters.get("harness.retries", 0) >= 1
+        assert counters.get("harness.chaos_injections", 0) == 1
+
+    def test_chaos_delayed_reply_is_not_a_timeout(self):
+        # The reply is held past the deadline by the chaos layer, not by a
+        # hung trial: the supervisor must retry clean, never record the
+        # HARNESS_TIMEOUT an undisturbed run would not have seen.
+        result = CampaignSupervisor(_int_trial, SupervisorConfig(
+            master_seed=7, workers=2, chunk_size=1, timeout_s=0.3,
+            chaos=ChaosPolicy.from_spec("delay:2:1.5"),
+        )).run(self.PAYLOADS)
+        assert result.failures == {}
+        assert result.results == self._serial().results
+        assert _counters(result).get("harness.chaos_injections", 0) == 1
+
+    def test_chaos_ignored_in_serial_mode(self):
+        result = CampaignSupervisor(_int_trial, SupervisorConfig(
+            master_seed=7, chaos=ChaosPolicy.from_spec("kill:4,kill-idle:1"),
+        )).run(self.PAYLOADS)
+        assert result.failures == {}
+        assert result.results == self._serial().results
