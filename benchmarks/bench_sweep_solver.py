@@ -1,0 +1,115 @@
+"""Benchmark — batched uniformization sweep solver (PR 7 acceptance gate).
+
+Run:  pytest benchmarks/bench_sweep_solver.py -q -s [--json PATH]
+
+The Figure 14 sensitivity sweep solves one small CTMC per (coverage,
+fault-rate) grid point.  The historic fast path walked the grid point by
+point through the memoized scalar solver; PR 7 solves every structurally
+identical chain in one batched uniformization pass
+(:func:`repro.reliability.sweep_solver.reliability_batch`).  This gate
+asserts the batched solve is at least 3x faster than the memoized
+point-by-point grid — agreeing within the 1e-9 solver-equivalence
+contract — on the exact chain population Figure 14 uses.
+"""
+
+import os
+
+import common
+from repro.models import BbwParameters, build_bbw_system
+from repro.reliability import clear_solver_cache, sweep_solver, transient_distribution
+
+#: The Figure 14 sweep axes (both node types, degraded mode).
+RATE_SCALES = (1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0)
+COVERAGES = (0.9, 0.99, 0.999, 0.9999)
+MISSION_TIMES = (1.0, 2.5, 5.0)
+REQUIRED_SPEEDUP = 3.0
+BEST_OF = 3
+TOLERANCE = 1e-9
+
+
+def _chain_groups():
+    """Figure 14's chain population, grouped by shared structure.
+
+    Within one node type the central-unit and wheel-subsystem chains share
+    their state list, so each group batches both subsystems across the
+    whole (coverage, rate-scale) grid; FS and NLFT chains differ in shape
+    (4 vs 5 states) and form separate batches.
+    """
+    base = BbwParameters.paper()
+    grid = [(c, s) for c in COVERAGES for s in RATE_SCALES]
+    groups = []
+    for node_type in ("fs", "nlft"):
+        chains = []
+        for coverage, scale in grid:
+            model = build_bbw_system(
+                base.with_coverage(coverage).with_transient_scale(scale),
+                node_type,
+                "degraded",
+            )
+            chains.append(model.central_unit)
+            chains.append(model.wheel_subsystem)
+        groups.append(chains)
+    return groups
+
+
+def _point_grid(chains):
+    """The historic path: one memoized scalar solve per (chain, t)."""
+    curves = []
+    for chain in chains:
+        failure = [chain.state_index(s) for s in chain.absorbing_states()]
+        curves.append(
+            [
+                float(
+                    1.0
+                    - transient_distribution(chain, t, method="uniformization")[
+                        failure
+                    ].sum()
+                )
+                for t in MISSION_TIMES
+            ]
+        )
+    return curves
+
+
+def _batched_grid(chains):
+    return sweep_solver.reliability_batch(chains, MISSION_TIMES)
+
+
+def test_benchmark_batched_sweep_vs_pointwise():
+    groups = _chain_groups()
+
+    batched = [_batched_grid(chains) for chains in groups]
+    clear_solver_cache()
+    pointwise = [_point_grid(chains) for chains in groups]
+    for batch_grid, point_grid in zip(batched, pointwise):
+        for batch_row, point_row in zip(batch_grid, point_grid):
+            for batch_r, point_r in zip(batch_row, point_row):
+                assert abs(float(batch_r) - point_r) <= TOLERANCE
+
+    def _timed_pointwise():
+        clear_solver_cache()  # distinct chains: the memo never cross-fills
+        for chains in groups:
+            _point_grid(chains)
+
+    def _timed_batched():
+        for chains in groups:
+            _batched_grid(chains)
+
+    point_s = common.best_of(BEST_OF, _timed_pointwise)
+    batch_s = common.best_of(BEST_OF, _timed_batched)
+    speedup = point_s / max(batch_s, 1e-9)
+    solves = sum(len(chains) for chains in groups) * len(MISSION_TIMES)
+    common.report(
+        "solver.batched_sweep",
+        wall_s=batch_s,
+        trials=solves,
+        pointwise_s=round(point_s, 6),
+        speedup=round(speedup, 2),
+        chains=sum(len(chains) for chains in groups),
+        times=len(MISSION_TIMES),
+        cores=os.cpu_count() or 1,
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched sweep solve must be >= {REQUIRED_SPEEDUP}x the memoized "
+        f"point-by-point grid, measured {speedup:.2f}x"
+    )

@@ -2,7 +2,12 @@
 
 Usage::
 
-    python benchmarks/check_regression.py CURRENT.json BASELINE.json [--threshold 2.0]
+    python benchmarks/check_regression.py CURRENT.json [BASELINE.json] [--threshold 2.0]
+
+When BASELINE is omitted the newest committed ``BENCH_pr<N>.json`` in the
+repository root is used (newest by PR number, so ``BENCH_pr10`` outranks
+``BENCH_pr9`` despite the lexicographic order) — refreshing the baseline
+is then just committing a new ``BENCH_pr<N>.json``, with no workflow edit.
 
 Every bench name present in *both* files is compared on wall-clock: the
 current run may be at most ``threshold`` times slower than the baseline
@@ -16,9 +21,27 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
+from pathlib import Path
 
 SCHEMA = "repro-bench-v1"
+
+#: Where committed baselines live: the repository root.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def baseline_sort_key(path: Path) -> "tuple[list[int], str]":
+    """Numeric-aware ordering so ``BENCH_pr10`` sorts after ``BENCH_pr9``."""
+    return [int(number) for number in re.findall(r"\d+", path.name)], path.name
+
+
+def newest_baseline(root: Path = REPO_ROOT) -> Path:
+    """The newest committed ``BENCH_*.json`` under *root*."""
+    candidates = sorted(root.glob("BENCH_*.json"), key=baseline_sort_key)
+    if not candidates:
+        sys.exit(f"no BENCH_*.json baseline found in {root}")
+    return candidates[-1]
 
 
 def load(path: str) -> "dict[str, dict]":
@@ -32,15 +55,22 @@ def load(path: str) -> "dict[str, dict]":
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="JSON emitted by this run (--json PATH)")
-    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "baseline", nargs="?", default=None,
+        help="baseline JSON (default: newest committed BENCH_*.json)",
+    )
     parser.add_argument(
         "--threshold", type=float, default=2.0,
         help="max allowed wall-clock ratio current/baseline (default 2.0)",
     )
     args = parser.parse_args(argv)
 
+    baseline_path = (
+        Path(args.baseline) if args.baseline is not None else newest_baseline()
+    )
+    print(f"baseline: {baseline_path.name}")
     current = load(args.current)
-    baseline = load(args.baseline)
+    baseline = load(str(baseline_path))
     regressions = []
     for name in sorted(set(current) | set(baseline)):
         if name not in current:

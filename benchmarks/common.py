@@ -20,6 +20,7 @@ against the committed ``BENCH_pr3.json`` baseline.
 from __future__ import annotations
 
 import contextlib
+import gc
 import json
 import time
 from pathlib import Path
@@ -106,12 +107,25 @@ def timed() -> Iterator[Dict[str, float]]:
 
 def best_of(repeats: int, fn: Any) -> float:
     """Minimum wall clock of *repeats* calls — the standard noise guard for
-    speedup assertions on shared CI machines."""
+    speedup assertions on shared CI machines.
+
+    The collector is quiesced for each timed call (collect, then disable),
+    mirroring ``--benchmark-disable-gc``: collection pauses land unevenly
+    across the two sides of a ratio and otherwise dominate its variance.
+    """
     best = float("inf")
+    was_enabled = gc.isenabled()
     for _ in range(repeats):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - started
+        finally:
+            if was_enabled:
+                gc.enable()
+        best = min(best, elapsed)
     return best
 
 

@@ -33,11 +33,11 @@ def majority_vote(results: Sequence[Optional[Result]]) -> Optional[Result]:
     keep the primitive reusable (e.g. for duplex output selection at the
     system level).
     """
-    concrete = [r for r in results if r is not None]
+    concrete = [tuple(r) for r in results if r is not None]
     for index, candidate in enumerate(concrete):
-        matches = sum(1 for other in concrete[index + 1 :] if tuple(other) == tuple(candidate))
-        if matches + 1 >= 2:
-            return tuple(candidate)
+        for other in concrete[index + 1 :]:
+            if other == candidate:
+                return candidate
     return None
 
 

@@ -59,6 +59,11 @@ class TemOutcome(enum.Enum):
     #: No result delivered before the deadline (omission failure).
     OMISSION = "omission"
 
+    @property
+    def counter_name(self) -> str:
+        """Metrics counter name for this outcome (``tem.outcome.<value>``)."""
+        return "tem.outcome." + self.value
+
 
 @dataclasses.dataclass
 class TemReport:
@@ -219,10 +224,11 @@ class TemStateMachine:
         DES kernel and the direct injection harness)."""
         report = self._finished
         assert report is not None
-        obs_metrics.inc("tem.jobs")
-        obs_metrics.inc(f"tem.outcome.{report.outcome.value}")
-        obs_metrics.inc("tem.copies", report.copies_run)
-        obs_metrics.inc("tem.errors_detected", report.errors_detected)
+        registry = obs_metrics.active()
+        registry.inc("tem.jobs")
+        registry.inc(report.outcome.counter_name)
+        registry.inc("tem.copies", report.copies_run)
+        registry.inc("tem.errors_detected", report.errors_detected)
 
 
 def run_tem_direct(

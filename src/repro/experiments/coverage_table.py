@@ -32,6 +32,7 @@ import numpy as np
 
 from ..cpu.machine import Machine
 from ..cpu.assembler import assemble
+from ..faults.batch_campaign import BatchTemExecutor
 from ..faults.campaign import TemInjectionHarness, TemWorkload
 from ..faults.generators import random_fault_list
 from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
@@ -154,11 +155,46 @@ def _e5_trial(payload: "tuple[int, Fault]", seed: int) -> ExperimentRecord:
     machine per trial) which makes this function safe for any worker.
     """
     max_copies, fault = payload
+    harness = _cached_harness(max_copies)
+    return harness.run_experiment(fault)
+
+
+def _cached_harness(max_copies: int) -> TemInjectionHarness:
     harness = _HARNESS_CACHE.get(max_copies)
     if harness is None:
         harness = TemInjectionHarness(make_brake_workload(max_copies=max_copies))
         _HARNESS_CACHE[max_copies] = harness
-    return harness.run_experiment(fault)
+    return harness
+
+
+def _e5_batch_runner(
+    payloads: "list[tuple[int, Fault]]", seeds: "list[int]"
+) -> "list[tuple[ExperimentRecord, Optional[dict]]]":
+    """Vectorised E5 chunk executor (supervisor ``batch_runner``).
+
+    Steps the chunk's experiments in numpy lockstep
+    (:class:`repro.faults.batch_campaign.BatchTemExecutor`), returning
+    records and per-trial metrics snapshots bit-identical to
+    :func:`_e5_trial` under capture.  Like :func:`_e5_trial` it ignores
+    the per-trial seeds (faults are pre-generated from the master seed).
+    Module-level so sharded campaigns can pickle the supervisor config.
+    """
+    del seeds
+    replies: "list[Optional[tuple[ExperimentRecord, Optional[dict]]]]" = (
+        [None] * len(payloads)
+    )
+    groups: "Dict[int, list[tuple[int, Fault]]]" = {}
+    for index, (max_copies, fault) in enumerate(payloads):
+        groups.setdefault(max_copies, []).append((index, fault))
+    for max_copies in sorted(groups):
+        members = groups[max_copies]
+        executor = BatchTemExecutor(
+            _cached_harness(max_copies), batch=len(members)
+        )
+        chunk_replies = executor.run_experiments([fault for _, fault in members])
+        for (index, _), reply in zip(members, chunk_replies):
+            replies[index] = reply
+    return replies
 
 
 @dataclasses.dataclass
@@ -223,6 +259,7 @@ def run_coverage_campaign(
     shards: int = 0,
     chaos: Optional[ChaosPolicy] = None,
     lease_ttl_s: float = 2.0,
+    batch: int = 0,
 ) -> CoverageTableResult:
     """Run the E5 campaign and estimate the paper's parameters.
 
@@ -261,6 +298,12 @@ def run_coverage_campaign(
         (:class:`repro.harness.ChaosPolicy`) — worker kills and delays
         in pool mode, runner deaths/stalls and journal corruption in
         sharded mode.
+    batch:
+        Vectorised serial execution: step up to ``batch`` experiments in
+        numpy lockstep per chunk (:func:`_e5_batch_runner`).  Records,
+        journal entries and per-trial metrics are bit-identical to
+        scalar execution; composes with ``shards`` (each shard runner
+        batches its own slice).
     """
     kernel_hits = int(np.random.default_rng(seed + 1).binomial(experiments, kernel_share))
     payloads = e5_fault_payloads(
@@ -277,6 +320,8 @@ def run_coverage_campaign(
         progress=ProgressReporter("E5 coverage") if progress else None,
         profile_top_k=DEFAULT_TOP_K if profile else 0,
         chaos=chaos,
+        batch_size=batch,
+        batch_runner=_e5_batch_runner if batch > 0 else None,
     )
     if shards > 0:
         stats = run_sharded_campaign(
@@ -344,4 +389,5 @@ def _experiment(ctx) -> CoverageTableResult:
             if cfg.chaos else None
         ),
         lease_ttl_s=cfg.lease_ttl_s,
+        batch=cfg.batch,
     )

@@ -67,8 +67,10 @@ def compute_figure12(
     r_one_year: Dict[str, float] = {}
     for (node_type, mode), model in models.items():
         key = f"{node_type}/{mode}"
-        curves[key] = [model.reliability(t) for t in times]
-        r_one_year[key] = model.reliability(HOURS_PER_YEAR)
+        # One grid solve per subsystem chain instead of a point solve per
+        # time (the grid ends at one year, so R(1 y) is the last sample).
+        curves[key] = model.reliability_curve(times)
+        r_one_year[key] = curves[key][-1]
     improvement = r_one_year["nlft/degraded"] / r_one_year["fs/degraded"] - 1.0
     return Figure12Result(
         times_hours=times,

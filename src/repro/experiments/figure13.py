@@ -65,14 +65,14 @@ def compute_figure13(
     # the degraded configuration of each node type.
     for node_type in ("fs", "nlft"):
         model = models[(node_type, "degraded")]
-        curves[f"CU {node_type}"] = [
-            model.subsystem_reliability(t)["central_unit"] for t in times
+        curves[f"CU {node_type}"] = model.subsystem_reliability_curves(times)[
+            "central_unit"
         ]
         for mode in ("full", "degraded"):
             wn_model = models[(node_type, mode)]
-            curves[f"WN {node_type}/{mode}"] = [
-                wn_model.subsystem_reliability(t)["wheel_subsystem"] for t in times
-            ]
+            curves[f"WN {node_type}/{mode}"] = wn_model.subsystem_reliability_curves(
+                times
+            )["wheel_subsystem"]
     r_one_year = {name: values[-1] for name, values in curves.items()}
     return Figure13Result(times_hours=times, curves=curves, r_one_year=r_one_year)
 

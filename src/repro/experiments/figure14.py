@@ -16,7 +16,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Sequence, Tuple
 
+from .. import perf
 from ..models import BbwParameters, build_bbw_system
+from ..reliability import sweep_solver
 from .asciiplot import render_chart, render_table
 
 #: Default sweep axes: fault-rate multipliers (log-spaced) and coverages.
@@ -83,11 +85,41 @@ def compute_figure14(
     coverages: Sequence[float] = DEFAULT_COVERAGES,
     mission_hours: float = MISSION_HOURS,
 ) -> Figure14Result:
-    """Reproduce Figure 14 (R(5 h) vs fault rate for several coverages)."""
+    """Reproduce Figure 14 (R(5 h) vs fault rate for several coverages).
+
+    On the fast path the whole parameter grid is solved with two batched
+    uniformization passes per node type (one per subsystem chain —
+    :func:`repro.reliability.sweep_solver.reliability_batch`); the
+    reference path keeps the historic point-by-point evaluation.  Both
+    agree within solver tolerance (``tests/reliability/test_sweep_solver``
+    gates the methods at 1e-9).
+    """
     base = params if params is not None else BbwParameters.paper()
+    grid = [
+        (coverage, scale) for coverage in coverages for scale in rate_scales
+    ]
     reliability: Dict[str, Dict[Tuple[float, float], float]] = {"fs": {}, "nlft": {}}
-    for coverage in coverages:
-        for scale in rate_scales:
+    if perf.fast_enabled():
+        for node_type in ("fs", "nlft"):
+            models = [
+                build_bbw_system(
+                    base.with_coverage(c).with_transient_scale(s),
+                    node_type,
+                    "degraded",
+                )
+                for c, s in grid
+            ]
+            r_cu = sweep_solver.reliability_batch(
+                [m.central_unit for m in models], [mission_hours]
+            )[:, 0]
+            r_wn = sweep_solver.reliability_batch(
+                [m.wheel_subsystem for m in models], [mission_hours]
+            )[:, 0]
+            # Two-input OR over independent subsystems: R = R_CU * R_WN.
+            for point, cu, wn in zip(grid, r_cu, r_wn):
+                reliability[node_type][point] = float(cu * wn)
+    else:
+        for coverage, scale in grid:
             swept = base.with_coverage(coverage).with_transient_scale(scale)
             for node_type in ("fs", "nlft"):
                 model = build_bbw_system(swept, node_type, "degraded")

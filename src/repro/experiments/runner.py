@@ -108,6 +108,7 @@ def build_run_config(
     shards: int = 0,
     chaos: Optional[str] = None,
     chaos_seed: int = 0,
+    batch: int = 0,
 ) -> runtime.RunConfig:
     """The :class:`repro.runtime.RunConfig` of one runner invocation.
 
@@ -127,6 +128,7 @@ def build_run_config(
         shards=shards,
         chaos=chaos,
         chaos_seed=chaos_seed,
+        batch=batch,
     )
 
 
@@ -258,6 +260,7 @@ def run_report(
     shards: int = 0,
     chaos: Optional[str] = None,
     chaos_seed: int = 0,
+    batch: int = 0,
 ) -> RunnerReport:
     """Run E1-E13 with per-section containment; structured result.
 
@@ -274,6 +277,7 @@ def run_report(
             fast=fast, jobs=jobs, timeout=timeout, resume=resume,
             progress=progress, profile=profile,
             shards=shards, chaos=chaos, chaos_seed=chaos_seed,
+            batch=batch,
         )
     context = runtime.RunContext(config)
     sections = build_sections(context=context)
@@ -340,6 +344,13 @@ def _parse_args(argv: "list[str]") -> argparse.Namespace:
         help="seed of the chaos policy's corruption-byte generator",
     )
     parser.add_argument(
+        "--batch", type=int, default=0, metavar="K",
+        help="vectorised trial batching for campaign sections that "
+             "support it: step up to K fault-injection trials in numpy "
+             "lockstep per chunk (0 = scalar, the default; outcomes are "
+             "bit-identical either way)",
+    )
+    parser.add_argument(
         "--metrics", type=Path, default=None, metavar="PATH",
         help="export one metrics snapshot per section to PATH "
              "(JSONL; CSV when the path ends in .csv)",
@@ -373,6 +384,7 @@ def main(argv: "list[str] | None" = None) -> int:
         progress=not args.no_progress, profile=args.profile,
         metrics_path=args.metrics,
         shards=args.shards, chaos=args.chaos, chaos_seed=args.chaos_seed,
+        batch=args.batch,
     )
     print(report.text)
     return 0 if report.ok else 1

@@ -1,0 +1,536 @@
+"""Batched TEM fault-injection execution — K experiments in lockstep.
+
+The scalar campaign path (:mod:`repro.faults.campaign`) runs one machine
+per experiment.  All E5-style experiments execute the *same* program on
+the *same* inputs and differ only in the injected fault, so K of them can
+advance as lanes of one :class:`repro.cpu.batch.BatchMachine`: a shared
+fetch/decode per step, vectorized execute across the ``(K, n)`` register
+and memory arrays, and per-lane eviction to a scalar
+:class:`~repro.cpu.machine.Machine` the moment a lane's control flow
+diverges from the cohort.
+
+Equivalence contract (enforced by ``tests/faults/test_batch_campaign.py``
+and the batch differential/property gates): for every fault, the
+:class:`ExperimentRecord` — outcome class, detection mechanisms, copies
+run — and the per-experiment metrics stable view are **bit-identical** to
+:meth:`TemInjectionHarness.run_experiment`.  The TEM protocol itself is
+not reimplemented: each lane drives its own
+:class:`~repro.core.tem.TemStateMachine` through the identical
+next_action/copy_completed/copy_aborted sequence; only copy *execution*
+is vectorized.
+
+Faults that cannot ride the lockstep path (permanent stuck-ats, which
+need per-step re-assertion, and abstract non-machine targets) fall back
+to the scalar harness per lane — same records, no special cases upstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.control_flow import ControlFlowError, SignatureMonitor
+from ..core.tem import TemAction, TemStateMachine
+from ..cpu.batch import BatchMachine
+from ..cpu.exceptions import HardwareException
+from ..cpu.machine import Machine
+from ..errors import ConfigurationError, ReproError
+from ..kernel.task import MachineExecutable
+from ..obs import metrics as obs_metrics
+from ..obs.metrics import MetricsRegistry
+from .campaign import TemInjectionHarness, _SteppedTem
+from .injector import MachineFaultInjector
+from .outcomes import CampaignStatistics, ExperimentRecord, classify_tem_report
+from .types import MEMORY_TARGETS, REGISTER_TARGETS, Fault, FaultType
+
+#: A batch trial's reply: the classified record plus the per-experiment
+#: metrics snapshot (``None`` when the experiment recorded nothing).
+BatchReply = Tuple[ExperimentRecord, Optional[dict]]
+
+
+def batchable(fault: Fault) -> bool:
+    """True when *fault* can run on the lockstep path.
+
+    Transient register/memory flips are plain per-lane perturbations of
+    the batch arrays.  Permanent faults need their stuck-at re-asserted
+    after every instruction (a per-lane step granularity the cohort does
+    not have), and abstract targets never touch the machine at all — both
+    run the scalar harness instead.
+    """
+    return fault.fault_type is FaultType.TRANSIENT and (
+        fault.target in REGISTER_TARGETS or fault.target in MEMORY_TARGETS
+    )
+
+
+class _LaneExecutable:
+    """Executable shim over an evicted lane's materialised scalar machine.
+
+    :class:`MachineExecutable` always loads the program into a fresh
+    machine; an evicted lane instead carries mid-job state (latent memory
+    corruption, ECC error bits, counters) that must survive, so this shim
+    only mirrors the attribute surface :meth:`_SteppedTem.execute_copy`
+    reads.
+    """
+
+    TASK_DOMAIN = MachineExecutable.TASK_DOMAIN
+
+    __slots__ = (
+        "machine", "entry_address", "input_base", "input_count",
+        "output_base", "output_count", "confine_with_mmu",
+    )
+
+    def __init__(self, machine: Machine, template: MachineExecutable) -> None:
+        self.machine = machine
+        self.entry_address = template.entry_address
+        self.input_base = template.input_base
+        self.input_count = template.input_count
+        self.output_base = template.output_base
+        self.output_count = template.output_count
+        self.confine_with_mmu = template.confine_with_mmu
+
+
+class BatchTemExecutor:
+    """Runs TEM injection experiments *batch* lanes at a time.
+
+    Built once per worker/shard (mirroring the scalar harness cache): the
+    template executable is constructed a single time and its ROM image,
+    MMU regions and machine configuration are broadcast into a fresh
+    :class:`BatchMachine` per chunk.
+    """
+
+    def __init__(self, harness: TemInjectionHarness, batch: int) -> None:
+        if batch <= 0:
+            raise ConfigurationError("batch size must be >= 1")
+        self.harness = harness
+        self.batch = int(batch)
+        self.template = harness.workload.executable_factory()
+
+    # ------------------------------------------------------------------
+    def run_experiments(self, faults: Sequence[Fault]) -> List[BatchReply]:
+        """One reply per fault, in fault order."""
+        faults = list(faults)
+        replies: List[BatchReply] = []
+        for start in range(0, len(faults), self.batch):
+            replies.extend(self._run_chunk(faults[start:start + self.batch]))
+        return replies
+
+    def run_campaign(self, faults: Sequence[Fault]) -> CampaignStatistics:
+        """Aggregate statistics over *faults* (scalar-campaign shaped)."""
+        stats = CampaignStatistics()
+        for record, _snapshot in self.run_experiments(faults):
+            stats.add(record)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _run_chunk(self, faults: List[Fault]) -> List[BatchReply]:
+        k = len(faults)
+        harness = self.harness
+        records: List[Optional[ExperimentRecord]] = [None] * k
+        regs = [MetricsRegistry() for _ in range(k)]
+
+        lane_of = []
+        for i in range(k):
+            if batchable(faults[i]):
+                lane_of.append(i)
+                continue
+            # Scalar fallback lane: the unmodified harness path, captured
+            # into this trial's registry exactly like a supervisor trial.
+            with obs_metrics.capture(regs[i]):
+                records[i] = harness.run_experiment(faults[i])
+
+        if lane_of:
+            for lane, record in self._run_lockstep_job(
+                [faults[i] for i in lane_of],
+                [regs[i] for i in lane_of],
+            ):
+                records[lane_of[lane]] = record
+
+        replies: List[BatchReply] = []
+        for i in range(k):
+            record = records[i]
+            assert record is not None
+            # snapshot() omits empty kinds, so {} means "recorded nothing".
+            snap = regs[i].snapshot()
+            replies.append((record, snap if snap else None))
+        return replies
+
+    # ------------------------------------------------------------------
+    def _run_lockstep_job(
+        self, faults: List[Fault], regs: List[MetricsRegistry]
+    ) -> List[Tuple[int, ExperimentRecord]]:
+        """Drive one TEM job per lane, copies executed in lockstep rounds."""
+        n = len(faults)
+        harness = self.harness
+        bm = self._make_batch(n)
+        # Per-lane TEM protocol state: the same state machine, deadline
+        # check and signature monitor the scalar harness drives.
+        lane_global = [0] * n
+        pending: List[Optional[int]] = [fault.at_step for fault in faults]
+        steppers: List[Optional[_SteppedTem]] = [None] * n
+        monitors = [harness._monitor() for _ in range(n)]
+        tems = [
+            TemStateMachine(
+                self._deadline_check(lane_global, lane),
+                max_copies=harness.workload.max_copies,
+            )
+            for lane in range(n)
+        ]
+
+        reports = [None] * n
+        replies: Dict[int, "tuple[Optional[tuple], Optional[str]]"] = {}
+        readopted = [False] * n
+        live = list(range(n))
+        # The round loop flips the active registry once per lane per round;
+        # push/pop on the resolved stack directly (see capture_stack()).
+        stack = obs_metrics.capture_stack()
+        run_copy = TemAction.RUN_COPY
+        while live:
+            participants: List[int] = []
+            for lane in live:
+                # One capture per lane per round: report the previous
+                # copy's outcome (if any), ask for the next action and —
+                # on the terminal action — record the job's metrics.
+                stack.append(regs[lane])
+                try:
+                    reply = replies.pop(lane, None)
+                    if reply is not None:
+                        result, mechanism = reply
+                        if mechanism is not None:
+                            tems[lane].copy_aborted(mechanism)
+                        elif result is None:
+                            raise ReproError(
+                                "batch copy returned neither result nor mechanism"
+                            )
+                        else:
+                            tems[lane].copy_completed(result)
+                    if tems[lane].next_action() is run_copy:
+                        participants.append(lane)
+                    else:
+                        with obs_metrics.span("injection.experiment"):
+                            reports[lane] = tems[lane].report
+                        obs_metrics.inc("injection.experiments")
+                finally:
+                    stack.pop()
+            if not participants:
+                break
+            live = participants
+            cohort = [lane for lane in participants if steppers[lane] is None]
+            if cohort:
+                replies.update(self._run_copy_lockstep(
+                    bm, cohort, faults, pending, lane_global,
+                    monitors, steppers, readopted,
+                ))
+            for lane in participants:
+                if lane in replies:
+                    continue
+                # Twice-evicted lane, scalar for good: real copy execution.
+                stepper = steppers[lane]
+                assert stepper is not None
+                stack.append(regs[lane])
+                try:
+                    result, mechanism = stepper.execute_copy(
+                        tems[lane].copies_run - 1
+                    )
+                finally:
+                    stack.pop()
+                lane_global[lane] = stepper.global_step
+                if stepper.injected:
+                    pending[lane] = None
+                replies[lane] = (result, mechanism)
+
+        out: List[Tuple[int, ExperimentRecord]] = []
+        for lane in range(n):
+            report = reports[lane]
+            assert report is not None
+            stepper = steppers[lane]
+            corrections = (
+                stepper.executable.machine.memory.ecc_stats.corrections
+                if stepper is not None
+                else int(bm.ecc_corrections[lane])
+            )
+            mechanisms = tuple(report.detection_mechanisms)
+            if corrections > 0:
+                mechanisms = mechanisms + ("ecc_correct",)
+            out.append((lane, ExperimentRecord(
+                outcome=classify_tem_report(report, harness.golden),
+                fault_description=faults[lane].describe(),
+                detection_mechanisms=mechanisms,
+                copies_run=report.copies_run,
+            )))
+        return out
+
+    # ------------------------------------------------------------------
+    def _make_batch(self, lanes: int) -> BatchMachine:
+        template = self.template
+        machine = template.machine
+        bm = BatchMachine(
+            lanes,
+            memory_words=machine.memory.size_words,
+            rom_words=machine.memory.rom_limit,
+            ecc_enabled=machine.memory.ecc_enabled,
+            mmu_enabled=machine.mmu.enabled,
+            cycle_ticks=machine.cycle_ticks,
+        )
+        clean = machine.memory._clean
+        if clean:
+            base = min(clean)
+            image = [clean.get(address, 0) for address in range(base, max(clean) + 1)]
+            bm.load_rom(base, image)
+        if machine.memory._rom_sealed:
+            bm.seal_rom()
+        for region in machine.mmu._regions:
+            bm.add_region(region)
+        return bm
+
+    def _deadline_check(self, lane_global: List[int], lane: int):
+        harness = self.harness
+
+        def check() -> bool:
+            # One job per experiment, so the job step base is always 0.
+            return lane_global[lane] + harness.golden_steps <= harness.deadline_steps
+
+        return check
+
+    @staticmethod
+    def _inject(bm: BatchMachine, lane: int, fault: Fault) -> None:
+        if fault.target in REGISTER_TARGETS:
+            bm.flip_register(lane, fault.register, fault.bit)
+        elif fault.target in MEMORY_TARGETS:
+            bm.flip_memory_bit(lane, fault.address, fault.bit)
+        else:  # pragma: no cover - filtered out by batchable()
+            raise ConfigurationError(f"fault target {fault.target} not batchable")
+
+    # ------------------------------------------------------------------
+    def _run_copy_lockstep(
+        self,
+        bm: BatchMachine,
+        cohort: List[int],
+        faults: List[Fault],
+        pending: List[Optional[int]],
+        lane_global: List[int],
+        monitors: List[Optional[SignatureMonitor]],
+        steppers: List[Optional[_SteppedTem]],
+        readopted: List[bool],
+    ) -> Dict[int, "tuple[Optional[tuple], Optional[str]]"]:
+        """One TEM copy for every cohort lane, stepped in lockstep.
+
+        Mirrors :meth:`_SteppedTem.execute_copy` boundary for boundary:
+        the budget check, then the fault-arrival injection, then one
+        ``run()`` chunk that never crosses the budget or an arrival step.
+        A failed instruction advances a lane's global step counter without
+        counting against the copy budget, exactly as in the scalar loop.
+        """
+        harness = self.harness
+        template = self.template
+        budget = harness.budget_steps
+        bm.prepare(template.entry_address, lanes=cohort)
+        if template.input_count:
+            bm.write_words(
+                template.input_base,
+                [int(v) for v in harness.workload.inputs[: template.input_count]],
+                lanes=cohort,
+            )
+        if template.confine_with_mmu:
+            bm.mmu.enter_domain(template.TASK_DOMAIN)
+        evicted: List[int] = []
+        # Arrival steps are fixed for the whole copy (a lane's global-step
+        # base only advances between copies), so sort them once and sweep
+        # a cursor instead of rescanning the cohort before every chunk.
+        schedule = sorted(
+            (pending[lane] - lane_global[lane], lane)  # type: ignore[operator]
+            for lane in cohort
+            if pending[lane] is not None
+        )
+        cursor = 0
+        try:
+            steps = 0
+            while steps < budget:
+                while cursor < len(schedule) and schedule[cursor][0] <= steps:
+                    lane = schedule[cursor][1]
+                    cursor += 1
+                    # A lane that already halted/raised keeps its pending
+                    # fault for the next copy, exactly like the scalar
+                    # loop (which never reaches the injection check once
+                    # the copy ended).
+                    if bm.active[lane]:
+                        self._inject(bm, lane, faults[lane])
+                        pending[lane] = None
+                limit = budget - steps
+                if cursor < len(schedule):
+                    limit = min(limit, schedule[cursor][0] - steps)
+                stepped = bm.run(limit)
+                steps += stepped
+                evicted.extend(bm.pop_evicted())
+                if stepped < limit:
+                    break  # no lane left active
+        finally:
+            bm.mmu.enter_kernel()
+
+        out: Dict[int, "tuple[Optional[tuple], Optional[str]]"] = {}
+        evicted_set = set(evicted)
+        halted_ok: List[int] = []
+        for lane in cohort:
+            if lane in evicted_set:
+                continue
+            copy_steps = int(bm.copy_steps[lane])
+            exc = bm.exceptions[lane]
+            if exc is not None:
+                # The failing instruction advances the global counter by
+                # one without retiring (scalar: ``result.steps + 1``).
+                lane_global[lane] += copy_steps + 1
+                out[lane] = (None, exc.mechanism)
+            elif bm.halted[lane]:
+                lane_global[lane] += copy_steps
+                halted_ok.append(lane)
+            else:
+                # Still running when the cohort hit the step budget.
+                lane_global[lane] += copy_steps
+                out[lane] = (None, "execution_time")
+        if halted_ok:
+            self._finish_copies_batch(bm, halted_ok, monitors, out)
+        for lane in evicted:
+            out[lane] = self._continue_evicted(
+                bm, lane, faults, pending, lane_global,
+                monitors, steppers, readopted,
+            )
+        return out
+
+    def _finish_copies_batch(
+        self,
+        bm: BatchMachine,
+        lanes: List[int],
+        monitors: List[Optional[SignatureMonitor]],
+        out: Dict[int, "tuple[Optional[tuple], Optional[str]]"],
+    ) -> None:
+        """Post-copy checks of the lanes that halted inside the cohort.
+
+        Lanes with no latent ECC error bits share one vectorized output
+        read (a clean word block is address-bounds-checked once); a lane
+        carrying error bits goes through :meth:`BatchMachine.read_words`
+        for the full per-word ECC semantics.
+        """
+        template = self.template
+        base, count = template.output_base, template.output_count
+        clean: List[int] = []
+        for lane in lanes:
+            monitor = monitors[lane]
+            if monitor is not None:
+                try:
+                    monitor.verify_value(int(bm.signature[lane]))
+                except ControlFlowError:
+                    out[lane] = (None, "control_flow")
+                    continue
+            if bm.error_bits[lane] or not 0 <= base <= base + count <= bm.memory_words:
+                try:
+                    outputs = bm.read_words(lane, base, count)
+                except HardwareException as exc:
+                    out[lane] = (None, exc.mechanism)
+                else:
+                    out[lane] = (tuple(outputs), None)
+            else:
+                clean.append(lane)
+        if clean:
+            block = bm.mem[clean, base:base + count].tolist()
+            for lane, words in zip(clean, block):
+                out[lane] = (tuple(words), None)
+
+    def _continue_evicted(
+        self,
+        bm: BatchMachine,
+        lane: int,
+        faults: List[Fault],
+        pending: List[Optional[int]],
+        lane_global: List[int],
+        monitors: List[Optional[SignatureMonitor]],
+        steppers: List[Optional[_SteppedTem]],
+        readopted: List[bool],
+    ) -> "tuple[Optional[tuple], Optional[str]]":
+        """Materialise an evicted lane and finish its interrupted copy.
+
+        The lane's scalar machine continues from the exact pre-instruction
+        state (the diverging instruction was never executed in the batch),
+        so the remainder is :meth:`_SteppedTem.execute_copy`'s chunk loop
+        minus the prepare.
+
+        Afterwards the lane is folded back into the batch (``adopt``) so
+        its next copy rejoins lockstep — a register-fault divergence is
+        gone once the copy re-prepares.  A lane that diverges *again*
+        carries latent damage (corrupted code memory, uncorrected data)
+        that would evict it every copy, so the second eviction pins it to
+        the scalar :class:`_SteppedTem` for the rest of the job.
+        """
+        harness = self.harness
+        machine = bm.to_machine(lane)
+        executable = _LaneExecutable(machine, self.template)
+        stepper = _SteppedTem(
+            executable, harness.workload.inputs, MachineFaultInjector(machine),
+            monitors[lane], harness.budget_steps, faults[lane],
+        )
+        stepper.injected = pending[lane] is None
+        reply = self._finish_evicted_copy(
+            bm, lane, machine, executable, stepper, pending, lane_global
+        )
+        if readopted[lane]:
+            steppers[lane] = stepper
+        else:
+            readopted[lane] = True
+            bm.adopt(lane, machine)
+        return reply
+
+    def _finish_evicted_copy(
+        self,
+        bm: BatchMachine,
+        lane: int,
+        machine: Machine,
+        executable: _LaneExecutable,
+        stepper: _SteppedTem,
+        pending: List[Optional[int]],
+        lane_global: List[int],
+    ) -> "tuple[Optional[tuple], Optional[str]]":
+        """The remainder of :meth:`_SteppedTem.execute_copy` for one lane."""
+        budget = stepper.budget_steps
+        steps_this_copy = int(bm.copy_steps[lane])
+        global_step = lane_global[lane] + steps_this_copy
+        arrival = pending[lane]
+        if executable.confine_with_mmu:
+            machine.mmu.enter_domain(executable.TASK_DOMAIN)
+        try:
+            while not machine._halted:
+                if steps_this_copy >= budget:
+                    return None, "execution_time"
+                if arrival is not None and global_step >= arrival:
+                    stepper.injector.apply(stepper.fault)
+                    stepper.injected = True
+                    pending[lane] = None
+                    arrival = None
+                limit = budget - steps_this_copy
+                if arrival is not None:
+                    limit = min(limit, arrival - global_step)
+                result = machine.run(max_steps=limit, stop_on_exception=True)
+                if result.exception is not None:
+                    global_step += result.steps + 1
+                    return None, result.exception.mechanism
+                global_step += result.steps
+                steps_this_copy += result.steps
+        finally:
+            stepper.global_step = global_step
+            lane_global[lane] = global_step
+            machine.mmu.enter_kernel()
+        if stepper.monitor is not None:
+            try:
+                stepper.monitor.verify_machine(machine)
+            except ControlFlowError:
+                return None, "control_flow"
+        try:
+            outputs = machine.read_words(
+                executable.output_base, executable.output_count
+            )
+        except HardwareException as exc:
+            return None, exc.mechanism
+        return tuple(outputs), None
+
+
+def run_batch_campaign(
+    workload_harness: TemInjectionHarness, faults: Sequence[Fault], batch: int
+) -> CampaignStatistics:
+    """Convenience wrapper: a whole campaign through one executor."""
+    return BatchTemExecutor(workload_harness, batch).run_campaign(faults)

@@ -62,7 +62,7 @@ from typing import (
 )
 
 from .. import runtime
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
 from ..faults.outcomes import CampaignStatistics, ExperimentRecord, OutcomeClass
 from ..obs import metrics as obs_metrics
 from ..obs import profile as obs_profile
@@ -200,6 +200,23 @@ class SupervisorConfig:
         recorded (journal append included).  The shard runner uses it for
         lease heartbeats and chaos death/stall points.  Never called for
         trials replayed from the journal on resume.
+    batch_size / batch_runner:
+        Serial-mode vectorised execution.  When ``batch_size`` > 0 and a
+        ``batch_runner`` is supplied, the serial path slices pending
+        trials into chunks of up to ``batch_size`` and calls
+        ``batch_runner(payloads, seeds)`` which must return one
+        ``(result, metrics_snapshot_or_None)`` pair per payload, in
+        order.  Results, journal entries, per-trial metrics, resume
+        behaviour and seeds are identical to trial-at-a-time execution —
+        the runner is required to be bit-equivalent to calling
+        ``trial_fn(payload, seed)`` per trial under metrics capture
+        (:mod:`repro.faults.batch_campaign` provides such a runner for
+        fault-injection campaigns).  If the runner raises, the chunk
+        falls back to scalar per-trial execution with the usual retry
+        machinery (counted as ``harness.batch_fallbacks``).  Profiled
+        runs (``profile_top_k`` > 0) force the scalar path, since
+        per-trial profiles require per-trial calls.  Ignored in worker
+        mode.
     """
 
     workers: int = 0
@@ -225,10 +242,18 @@ class SupervisorConfig:
     fsync_interval: int = DEFAULT_FSYNC_INTERVAL
     chaos: Optional[ChaosPolicy] = None
     after_trial: Optional[Callable[[int], None]] = None
+    batch_size: int = 0
+    batch_runner: Optional[
+        Callable[[Sequence[Any], Sequence[int]], Sequence["tuple[Any, Optional[dict]]"]]
+    ] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ConfigurationError("workers must be >= 0")
+        if self.batch_size < 0:
+            raise ConfigurationError("batch_size must be >= 0")
+        if self.batch_size > 0 and self.batch_runner is None:
+            raise ConfigurationError("batch_size > 0 requires a batch_runner")
         if self.max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -812,48 +837,108 @@ class CampaignSupervisor:
     def _run_serial(self, pending: Deque["tuple[int, Any]"], state: _RunState) -> bool:
         config = self.config
         profiled = config.profile_top_k > 0
+        # Vectorised fast path: profiling needs per-trial calls, so it
+        # always wins over batching.
+        batched = config.batch_size > 0 and config.batch_runner is not None and not profiled
         while pending:
             if self._out_of_budget(state.started) or self._failure_cap_hit(state.failures):
                 return True
+            if batched:
+                chunk = [
+                    pending.popleft()
+                    for _ in range(min(config.batch_size, len(pending)))
+                ]
+                if not self._run_batch_chunk(chunk, state):
+                    # The runner raised: fall back to scalar execution for
+                    # this chunk (usual retry/containment machinery), then
+                    # keep batching — a bad payload poisons one chunk only.
+                    for trial_id, payload in chunk:
+                        self._run_serial_trial(trial_id, payload, state, profiled)
+                continue
             trial_id, payload = pending.popleft()
-            seed = derive_seed(config.master_seed, trial_id)
-            attempts = 0
-            while True:
-                attempts += 1
-                state.harness.inc("harness.trials_dispatched")
-                try:
-                    with _alarm(config.timeout_s):
-                        result, snapshot, duration, profile_text = _run_one_trial(
-                            self.trial_fn, payload, seed,
-                            config.collect_metrics, profiled,
-                        )
-                except TrialTimeoutError as exc:
+            self._run_serial_trial(trial_id, payload, state, profiled)
+        return False
+
+    def _run_serial_trial(
+        self, trial_id: int, payload: Any, state: _RunState, profiled: bool
+    ) -> None:
+        """One trial, in process, with timeout/retry containment."""
+        config = self.config
+        seed = derive_seed(config.master_seed, trial_id)
+        attempts = 0
+        while True:
+            attempts += 1
+            state.harness.inc("harness.trials_dispatched")
+            try:
+                with _alarm(config.timeout_s):
+                    result, snapshot, duration, profile_text = _run_one_trial(
+                        self.trial_fn, payload, seed,
+                        config.collect_metrics, profiled,
+                    )
+            except TrialTimeoutError as exc:
+                self._record_failure(
+                    state,
+                    HarnessFailure(trial_id, OutcomeClass.HARNESS_TIMEOUT,
+                                   str(exc), attempts),
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                if attempts > config.max_retries:
                     self._record_failure(
                         state,
-                        HarnessFailure(trial_id, OutcomeClass.HARNESS_TIMEOUT,
-                                       str(exc), attempts),
+                        HarnessFailure(
+                            trial_id, OutcomeClass.HARNESS_CRASH,
+                            f"{type(exc).__name__}: {exc}", attempts,
+                        ),
                     )
-                    break
-                except Exception as exc:  # noqa: BLE001 — isolation boundary
-                    if attempts > config.max_retries:
-                        self._record_failure(
-                            state,
-                            HarnessFailure(
-                                trial_id, OutcomeClass.HARNESS_CRASH,
-                                f"{type(exc).__name__}: {exc}", attempts,
-                            ),
-                        )
-                        break
-                    state.harness.inc("harness.retries")
-                    time.sleep(config.backoff_s(attempts))
-                else:
-                    self._record_success(
-                        state, trial_id, result, attempts,
-                        metrics=snapshot, duration_s=duration,
-                        profile_text=profile_text,
-                    )
-                    break
-        return False
+                    return
+                state.harness.inc("harness.retries")
+                time.sleep(config.backoff_s(attempts))
+            else:
+                self._record_success(
+                    state, trial_id, result, attempts,
+                    metrics=snapshot, duration_s=duration,
+                    profile_text=profile_text,
+                )
+                return
+
+    def _run_batch_chunk(
+        self, chunk: List["tuple[int, Any]"], state: _RunState
+    ) -> bool:
+        """Run one chunk through ``config.batch_runner``.
+
+        Returns False when the runner raised (caller falls back to scalar
+        execution of the same trials); a short or misshapen reply list is
+        treated the same way.  On success every trial is recorded exactly
+        as the scalar path would have: attempts=1, the runner's per-trial
+        metrics snapshot, and the chunk wall-clock split evenly across
+        trials (per-trial timing is not observable in lockstep).
+        """
+        config = self.config
+        seeds = [derive_seed(config.master_seed, tid) for tid, _ in chunk]
+        state.harness.inc("harness.batch_chunks")
+        started = time.perf_counter()
+        try:
+            replies = config.batch_runner([p for _, p in chunk], seeds)
+            if len(replies) != len(chunk):
+                raise ReproError(
+                    f"batch_runner returned {len(replies)} replies "
+                    f"for {len(chunk)} payloads"
+                )
+        except Exception:  # noqa: BLE001 — isolation boundary
+            # Visible in harness metrics; the scalar rerun provides the
+            # per-trial error reporting and dispatch accounting.
+            state.harness.inc("harness.batch_fallbacks")
+            return False
+        per_trial_s = (time.perf_counter() - started) / len(chunk)
+        state.harness.inc("harness.trials_dispatched", len(chunk))
+        for (trial_id, _), (result, snapshot) in zip(chunk, replies):
+            self._record_success(
+                state, trial_id, result, attempts=1,
+                metrics=snapshot if config.collect_metrics else None,
+                duration_s=per_trial_s,
+            )
+        return True
 
     # ------------------------------------------------------------------
     # Parallel path (workers >= 1)

@@ -10,7 +10,7 @@ independent, the tree evaluates to ``R_sys(t) = R_CU(t) * R_WN(t)``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..reliability import (
@@ -72,6 +72,34 @@ class BbwSystemModel:
             "wheel_subsystem": self._wn_reliability(t),
         }
 
+    def subsystem_reliability_curves(
+        self, times: Sequence[float]
+    ) -> Dict[str, List[float]]:
+        """Per-subsystem R(t) over a whole time grid — one grid solve each.
+
+        Delegates to
+        :meth:`repro.reliability.ctmc.MarkovChain.transient_distributions`,
+        so a uniform grid costs one matrix exponential on the fast path
+        instead of one per point; the reference path solves point by point.
+        """
+        return {
+            "central_unit": _chain_reliability_curve(self.central_unit, times),
+            "wheel_subsystem": _chain_reliability_curve(self.wheel_subsystem, times),
+        }
+
+    def reliability_curve(self, times: Sequence[float]) -> List[float]:
+        """System R(t) over a whole time grid (two grid solves).
+
+        The Figure 5 fault tree is a two-input OR over independent
+        subsystems, so ``R_sys(t) = R_CU(t) * R_WN(t)`` — the identical
+        composition :meth:`reliability` evaluates point by point.
+        """
+        curves = self.subsystem_reliability_curves(times)
+        return [
+            cu * wn
+            for cu, wn in zip(curves["central_unit"], curves["wheel_subsystem"])
+        ]
+
     def mttf_hours(self) -> float:
         """System MTTF in hours (numerical integration of R)."""
         return mttf_from_reliability(self.reliability, horizon=MTTF_HORIZON_HOURS)
@@ -93,6 +121,16 @@ class BbwSystemModel:
             f"BBW[{self.node_type.upper()}, {self.mode}] "
             f"({self.params.describe()})"
         )
+
+
+def _chain_reliability_curve(
+    chain: MarkovChain, times: Sequence[float]
+) -> List[float]:
+    """R(t) of one subsystem chain over a grid via one batched solve."""
+    failure_states = chain.absorbing_states()
+    indices = [chain.state_index(s) for s in failure_states]
+    probs = chain.transient_distributions(times)
+    return [float(1.0 - row[indices].sum()) for row in probs]
 
 
 def build_bbw_system(

@@ -133,17 +133,9 @@ class MetricsRegistry:
         hist[2] += 1
         hist[3] += value
 
-    @contextlib.contextmanager
-    def span(self, name: str) -> Iterator[None]:
+    def span(self, name: str) -> "_Span":
         """Time the enclosed block into timer *name* (perf_counter)."""
-        if not self.enabled:
-            yield
-            return
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.observe_duration(name, time.perf_counter() - started)
+        return _Span(self, name)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -234,6 +226,31 @@ class MetricsRegistry:
         )
 
 
+class _Span:
+    """Class-based context manager behind :meth:`MetricsRegistry.span`.
+
+    Spans fire once per trial in campaign loops; a generator-based
+    ``@contextmanager`` costs several microseconds per entry/exit, a
+    slotted class a fraction of that.
+    """
+
+    __slots__ = ("registry", "name", "_started")
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        self.registry = registry
+        self.name = name
+
+    def __enter__(self) -> None:
+        self._started = time.perf_counter()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        registry = self.registry
+        if registry.enabled:
+            registry.observe_duration(
+                self.name, time.perf_counter() - self._started
+            )
+
+
 def _bucket_index(bounds: Sequence[float], value: float) -> int:
     """Index of the first bucket whose upper bound fits *value* (linear
     scan; bucket lists are short and fixed)."""
@@ -266,11 +283,35 @@ def default_registry() -> MetricsRegistry:
     return _runtime.current().metrics
 
 
-@contextlib.contextmanager
+class _Capture:
+    """Class-based context manager behind :func:`capture`.
+
+    A generator-based ``@contextmanager`` costs several microseconds per
+    entry/exit — measurable when a batched campaign captures per trial —
+    so the swap is done with plain ``__enter__``/``__exit__``.
+    """
+
+    __slots__ = ("registry", "merge_upstream", "_stack")
+
+    def __init__(self, registry: MetricsRegistry, merge_upstream: bool) -> None:
+        self.registry = registry
+        self.merge_upstream = merge_upstream
+
+    def __enter__(self) -> MetricsRegistry:
+        self._stack = _runtime.current().metrics_stack
+        self._stack.append(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stack.pop()
+        if self.merge_upstream:
+            self._stack[-1].merge_snapshot(self.registry.snapshot())
+
+
 def capture(
     registry: Optional[MetricsRegistry] = None,
     merge_upstream: bool = False,
-) -> Iterator[MetricsRegistry]:
+) -> _Capture:
     """Swap in a fresh (or given) registry as the active one.
 
     By default everything instrumented code records inside the ``with``
@@ -282,15 +323,22 @@ def capture(
     enclosing registry on exit (as the experiment runner does per section,
     so section metrics also land in the run-level aggregate).
     """
-    registry = registry if registry is not None else MetricsRegistry()
-    stack = _runtime.current().metrics_stack
-    stack.append(registry)
-    try:
-        yield registry
-    finally:
-        stack.pop()
-        if merge_upstream:
-            stack[-1].merge_snapshot(registry.snapshot())
+    return _Capture(
+        registry if registry is not None else MetricsRegistry(), merge_upstream
+    )
+
+
+def capture_stack() -> List[MetricsRegistry]:
+    """The active context's live capture stack (hot-loop escape hatch).
+
+    Batch drivers flip the active registry thousands of times a second —
+    once per lane per protocol round — and even a slotted context manager
+    pays a context resolution per entry.  Such drivers may resolve the
+    stack once and ``append``/``pop`` registries directly, provided they
+    keep strict LIFO discipline (``try``/``finally``) within one owner.
+    Everyone else should use :func:`capture`.
+    """
+    return _runtime.current().metrics_stack
 
 
 # Module-level conveniences: record into the active registry.

@@ -62,6 +62,12 @@ from .sharpe_lang import SharpeModel, evaluate_expression, parse_sharpe
 from .solver_cache import SolverCache
 from .solver_cache import clear as clear_solver_cache
 from .solvers import steady_state, transient_distribution, transient_distributions
+from .sweep_solver import (
+    reliability_batch,
+    reliability_grid,
+    uniformization_batch,
+    uniformization_grid,
+)
 
 __all__ = [
     "AndGate",
@@ -105,6 +111,8 @@ __all__ = [
     "mttf_improvement",
     "parse_sharpe",
     "rate_sum",
+    "reliability_batch",
+    "reliability_grid",
     "reliability_improvement",
     "sample_curve",
     "steady_state",
@@ -112,4 +120,6 @@ __all__ = [
     "sweep",
     "transient_distribution",
     "transient_distributions",
+    "uniformization_batch",
+    "uniformization_grid",
 ]

@@ -105,6 +105,12 @@ class RunConfig:
     lease_ttl_s:
         Shard-lease heartbeat TTL: a runner silent this long is declared
         dead (or wedged) and its shard is taken over.
+    batch:
+        Vectorised trial batching for campaign-shaped experiments that
+        support it (:mod:`repro.faults.batch_campaign`): 0 = scalar
+        trial-at-a-time execution (the default), K >= 1 = step up to K
+        trials in numpy lockstep per chunk.  Outcomes are bit-identical
+        to the scalar path.
     """
 
     fast: bool = dataclasses.field(default_factory=_env_fast)
@@ -123,6 +129,7 @@ class RunConfig:
     chaos: Optional[str] = None
     chaos_seed: int = 0
     lease_ttl_s: float = 2.0
+    batch: int = 0
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -139,6 +146,8 @@ class RunConfig:
             raise ConfigurationError("shards must be >= 0")
         if self.lease_ttl_s <= 0:
             raise ConfigurationError("lease_ttl_s must be positive")
+        if self.batch < 0:
+            raise ConfigurationError("batch must be >= 0")
 
     # ------------------------------------------------------------------
     # Derived knobs

@@ -1,0 +1,197 @@
+"""Tests for the batched uniformization sweep solver.
+
+The equivalence contract (module docstring of
+:mod:`repro.reliability.sweep_solver`): grid and batch solves agree with
+the reference point solver
+(``transient_distribution(..., method="uniformization")``) within 1e-9
+absolute — on random chains and on the exact BBW chain population the
+Figure 14 sweep batches.  Plus the boundary semantics (t = 0 rows, rate-0
+chains) and input validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import BbwParameters, build_bbw_system
+from repro.reliability import (
+    MarkovChain,
+    clear_solver_cache,
+    reliability_batch,
+    reliability_grid,
+    transient_distribution,
+    uniformization_batch,
+    uniformization_grid,
+)
+
+TOLERANCE = 1e-9
+TIMES = [0.0, 0.3, 1.0, 2.5, 5.0]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_solver_cache()
+    yield
+    clear_solver_cache()
+
+
+def _random_chain(rng, n_states, name=""):
+    states = [f"s{i}" for i in range(n_states)]
+    chain = MarkovChain(states, name=name)
+    for i in range(n_states):
+        for j in range(n_states):
+            if i != j and rng.integers(0, 2):
+                chain.add_transition(
+                    states[i], states[j], float(rng.uniform(0.01, 3.0))
+                )
+    chain.set_initial(states[0])
+    return chain
+
+
+def _absorbing_chain(rng, n_states, name=""):
+    """Random chain whose last state is absorbing (for reliability tests)."""
+    states = [f"s{i}" for i in range(n_states)]
+    chain = MarkovChain(states, name=name)
+    for i in range(n_states - 1):
+        for j in range(n_states):
+            if i != j and rng.integers(0, 2):
+                chain.add_transition(
+                    states[i], states[j], float(rng.uniform(0.01, 3.0))
+                )
+        # Keep the failure state reachable from every transient state.
+        chain.add_transition(states[i], states[-1], float(rng.uniform(0.01, 1.0)))
+    chain.set_initial(states[0])
+    return chain
+
+
+def _reference_grid(chain, times):
+    return np.vstack(
+        [
+            transient_distribution(chain, t, method="uniformization")
+            for t in times
+        ]
+    )
+
+
+class TestGridEquivalence:
+    def test_random_chains_match_reference_pointwise(self):
+        rng = np.random.default_rng(14)
+        for trial in range(10):
+            chain = _random_chain(rng, int(rng.integers(2, 6)))
+            grid = uniformization_grid(
+                chain.initial_distribution, chain.generator_matrix(), TIMES
+            )
+            reference = _reference_grid(chain, TIMES)
+            assert np.abs(grid - reference).max() <= TOLERANCE
+            # Every row is a distribution.
+            assert np.allclose(grid.sum(axis=1), 1.0, atol=1e-9)
+            assert (grid >= 0.0).all()
+
+    def test_time_zero_row_is_exactly_pi0(self):
+        rng = np.random.default_rng(7)
+        chain = _random_chain(rng, 4)
+        grid = uniformization_grid(
+            chain.initial_distribution, chain.generator_matrix(), [0.0, 1.0]
+        )
+        assert (grid[0] == chain.initial_distribution).all()
+
+    def test_rate_zero_chain_never_moves(self):
+        chain = MarkovChain(["a", "b"])  # no transitions: Q = 0
+        grid = uniformization_grid(
+            chain.initial_distribution, chain.generator_matrix(), TIMES
+        )
+        assert (grid == np.tile(chain.initial_distribution, (len(TIMES), 1))).all()
+
+    def test_reliability_grid_matches_point_solver(self):
+        rng = np.random.default_rng(99)
+        chain = _absorbing_chain(rng, 4)
+        grid = reliability_grid(chain, TIMES)
+        for t, r in zip(TIMES, grid):
+            clear_solver_cache()
+            assert abs(float(r) - chain.reliability(t)) <= 1e-6
+
+
+class TestBatchEquivalence:
+    def test_random_batch_matches_per_chain_grids(self):
+        rng = np.random.default_rng(42)
+        chains = [_random_chain(rng, 4, name=f"c{i}") for i in range(6)]
+        batch = uniformization_batch(
+            np.stack([c.initial_distribution for c in chains]),
+            np.stack([c.generator_matrix() for c in chains]),
+            TIMES,
+        )
+        for c, chain in enumerate(chains):
+            reference = _reference_grid(chain, TIMES)
+            assert np.abs(batch[c] - reference).max() <= TOLERANCE
+
+    def test_figure14_chains_match_reference(self):
+        """The exact population the Figure 14 fast path batches."""
+        base = BbwParameters.paper()
+        for node_type in ("fs", "nlft"):
+            models = [
+                build_bbw_system(
+                    base.with_coverage(c).with_transient_scale(s),
+                    node_type,
+                    "degraded",
+                )
+                for c in (0.9, 0.9999)
+                for s in (1.0, 1000.0)
+            ]
+            chains = [m.central_unit for m in models] + [
+                m.wheel_subsystem for m in models
+            ]
+            batch = reliability_batch(chains, [1.0, 5.0])
+            for c, chain in enumerate(chains):
+                for i, t in enumerate([1.0, 5.0]):
+                    clear_solver_cache()
+                    failure = [
+                        chain.state_index(s) for s in chain.absorbing_states()
+                    ]
+                    row = transient_distribution(
+                        chain, t, method="uniformization"
+                    )
+                    expected = 1.0 - row[failure].sum()
+                    assert abs(float(batch[c, i]) - expected) <= TOLERANCE
+
+    def test_reliability_batch_of_one_matches_grid(self):
+        rng = np.random.default_rng(3)
+        chain = _absorbing_chain(rng, 5)
+        batch = reliability_batch([chain], TIMES)
+        grid = reliability_grid(chain, TIMES)
+        assert np.abs(batch[0] - grid).max() <= TOLERANCE
+
+
+class TestValidation:
+    def test_rejects_empty_time_grid(self):
+        chain = MarkovChain(["a", "b"])
+        with pytest.raises(ModelError):
+            uniformization_grid(
+                chain.initial_distribution, chain.generator_matrix(), []
+            )
+
+    def test_rejects_negative_times(self):
+        chain = MarkovChain(["a", "b"])
+        with pytest.raises(ModelError):
+            reliability_grid(chain, [1.0, -0.5], failure_states=["b"])
+
+    def test_rejects_empty_chain_list(self):
+        with pytest.raises(ModelError):
+            reliability_batch([], [1.0])
+
+    def test_rejects_structurally_different_chains(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ModelError):
+            reliability_batch(
+                [_absorbing_chain(rng, 3), _absorbing_chain(rng, 4)], [1.0]
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            uniformization_batch(np.zeros((2, 3)), np.zeros((2, 4, 4)), [1.0])
+
+    def test_requires_failure_states_for_chain_without_absorbing(self):
+        chain = MarkovChain(["a", "b"])
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("b", "a", 1.0)
+        with pytest.raises(ModelError):
+            reliability_grid(chain, [1.0])
