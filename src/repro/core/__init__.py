@@ -37,11 +37,20 @@ from .integrity import (
 from .policies import (
     ErrorResponse,
     ExecutionClass,
+    MissBudgetPolicy,
     NlftPolicy,
     fail_silent_policy,
     nlft_policy,
+    weakly_hard_policy,
 )
-from .tem import TemAction, TemOutcome, TemReport, TemStateMachine, run_tem_direct
+from .tem import (
+    MK_BUDGET_MISS,
+    TemAction,
+    TemOutcome,
+    TemReport,
+    TemStateMachine,
+    run_tem_direct,
+)
 
 __all__ = [
     "ChecksummedBlock",
@@ -52,6 +61,8 @@ __all__ = [
     "ErrorResponse",
     "ExecutionClass",
     "IntegrityError",
+    "MK_BUDGET_MISS",
+    "MissBudgetPolicy",
     "NlftPolicy",
     "OfflineDiagnosis",
     "PermanentFaultSuspector",
@@ -72,5 +83,6 @@ __all__ = [
     "restart_duration_ticks",
     "results_match",
     "run_tem_direct",
+    "weakly_hard_policy",
     "words_to_bytes",
 ]

@@ -14,6 +14,12 @@ execution:
 campaign classifiers share a single source of truth, and so ablation studies
 can swap in alternative policies (e.g. :func:`fail_silent_policy`, which
 models a conventional FS node by escalating *every* detected error).
+
+The weakly-hard extension (Liang et al., arXiv:2008.06192) adds
+:class:`MissBudgetPolicy`: a critical task whose (m,k) window still has miss
+budget answers a detected error with :attr:`ErrorResponse.ACCEPT_MISS` — a
+controlled, budgeted omission instead of a recovery copy — and falls back to
+full TEM once the budget is exhausted.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 
-from ..kernel.task import Criticality
+from ..kernel.task import Criticality, MKWindow, WeaklyHardConstraint
 
 
 class ExecutionClass(enum.Enum):
@@ -43,6 +49,9 @@ class ErrorResponse(enum.Enum):
     FAIL_SILENT = "fail_silent"
     #: Deliver nothing this period, reintegrate quickly.
     OMISSION = "omission"
+    #: Weakly-hard: take a controlled miss the (m,k) budget absorbs instead
+    #: of running a recovery copy; fall back to MASK_WITH_TEM when spent.
+    ACCEPT_MISS = "accept_miss"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,6 +80,57 @@ class NlftPolicy:
 def nlft_policy() -> NlftPolicy:
     """The paper's light-weight NLFT strategy table."""
     return NlftPolicy()
+
+
+@dataclasses.dataclass(frozen=True)
+class MissBudgetPolicy:
+    """Weakly-hard NLFT: the Section 2.2 table plus an (m,k) miss budget.
+
+    Wraps a base :class:`NlftPolicy` with a per-task
+    :class:`~repro.kernel.task.WeaklyHardConstraint`.  The policy itself is
+    immutable; per-job state lives in the
+    :class:`~repro.kernel.task.MKWindow` the caller threads through
+    :meth:`response_for` (and, at the TEM layer, through the
+    ``accept_miss`` hook via :meth:`MKWindow.can_accept_miss`).
+    """
+
+    constraint: WeaklyHardConstraint
+    base: NlftPolicy = dataclasses.field(default_factory=NlftPolicy)
+
+    def make_window(self) -> MKWindow:
+        """Fresh sliding miss window for one task instance."""
+        return MKWindow(self.constraint)
+
+    def response_for(
+        self, execution_class: ExecutionClass, window: MKWindow = None
+    ) -> ErrorResponse:
+        """Strategy for an error, given the task's current miss window.
+
+        Critical-task errors become :attr:`ErrorResponse.ACCEPT_MISS` while
+        the window has budget; everything else (and an exhausted or absent
+        window) defers to the base table.
+        """
+        if (
+            execution_class is ExecutionClass.CRITICAL_TASK
+            and window is not None
+            and window.can_accept_miss()
+        ):
+            return ErrorResponse.ACCEPT_MISS
+        return self.base.response_for(execution_class)
+
+    def classify(self, criticality: Criticality) -> ExecutionClass:
+        return self.base.classify(criticality)
+
+
+def weakly_hard_policy(
+    max_misses: int, window_jobs: int, base: NlftPolicy = None
+) -> MissBudgetPolicy:
+    """Miss-budget-aware NLFT with an (m,k) = (max_misses, window_jobs)
+    constraint; (0, 1) degenerates to the base policy exactly."""
+    return MissBudgetPolicy(
+        constraint=WeaklyHardConstraint(max_misses=max_misses, window_jobs=window_jobs),
+        base=base if base is not None else nlft_policy(),
+    )
 
 
 def fail_silent_policy() -> NlftPolicy:

@@ -40,6 +40,14 @@ from ..types import Result
 from .comparison import majority_vote, results_match
 
 
+#: Mechanism marker recorded when a recovery is skipped because the task's
+#: weakly-hard (m,k) window still has miss budget.  It rides in
+#: ``TemReport.detection_mechanisms`` (and hence mechanism counts) and
+#: prefixes the omission reason, so scalar, batch and journal paths all
+#: carry it without schema changes.
+MK_BUDGET_MISS = "mk_budget_miss"
+
+
 class TemAction(enum.Enum):
     """What the driver must do next."""
 
@@ -90,6 +98,14 @@ class TemStateMachine:
         Hard cap on total executions per job — the fault-tolerant schedule
         reserves slack for a bounded number of recoveries (Section 2.8);
         reaching the cap forces an omission.
+    accept_miss:
+        Optional weakly-hard predicate (Liang et al., arXiv:2008.06192).
+        Consulted only when an error has been detected and a *recovery*
+        copy would be needed: returning True converts the recovery into a
+        controlled miss (an omission tagged :data:`MK_BUDGET_MISS`) that
+        the task's (m,k) window absorbs, freeing the reserved slack.
+        ``None`` — or a predicate that always refuses, e.g. a (0,1)
+        window — leaves the classic hard-deadline behaviour untouched.
     """
 
     #: TEM needs two matching results; with a single spare that is at most
@@ -100,9 +116,11 @@ class TemStateMachine:
         self,
         can_run_another_copy: Callable[[], bool],
         max_copies: int = DEFAULT_MAX_COPIES,
+        accept_miss: Optional[Callable[[], bool]] = None,
     ) -> None:
         self._can_run_another_copy = can_run_another_copy
         self._max_copies = max_copies
+        self._accept_miss = accept_miss
         self._results: List[Result] = []
         self._copies_run = 0
         self._errors_detected = 0
@@ -188,6 +206,20 @@ class TemStateMachine:
         if self._copies_run >= self._max_copies:
             self._finish_omitted(f"copy budget exhausted ({reason})")
             return TemAction.OMIT
+        # Weakly-hard short-circuit: once an error is detected, the next
+        # copy is a *recovery* — if the (m,k) window can absorb one more
+        # miss, take the controlled miss instead of re-executing.  The
+        # mandatory first and second copies (errors_detected == 0) are
+        # never skipped, so error detection coverage is unchanged.
+        if (
+            self._accept_miss is not None
+            and self._copies_run > 0
+            and self._errors_detected > 0
+            and self._accept_miss()
+        ):
+            self._mechanisms.append(MK_BUDGET_MISS)
+            self._finish_omitted(f"{MK_BUDGET_MISS}: recovery skipped ({reason})")
+            return TemAction.OMIT
         # The first copy always runs (no error handled yet); subsequent
         # copies are gated by the deadline check.
         if self._copies_run > 0 and not self._can_run_another_copy():
@@ -229,12 +261,17 @@ class TemStateMachine:
         registry.inc(report.outcome.counter_name)
         registry.inc("tem.copies", report.copies_run)
         registry.inc("tem.errors_detected", report.errors_detected)
+        if report.omission_reason is not None and report.omission_reason.startswith(
+            MK_BUDGET_MISS
+        ):
+            registry.inc("tem.mk_accepted_misses")
 
 
 def run_tem_direct(
     execute_copy: Callable[[int], "tuple[Optional[Result], Optional[str]]"],
     can_run_another_copy: Callable[[], bool] = lambda: True,
     max_copies: int = TemStateMachine.DEFAULT_MAX_COPIES,
+    accept_miss: Optional[Callable[[], bool]] = None,
 ) -> TemReport:
     """Convenience driver running TEM to completion without a scheduler.
 
@@ -243,10 +280,16 @@ def run_tem_direct(
     execute_copy:
         Called with the copy index (0-based); returns ``(result, None)``
         for a completed copy or ``(None, mechanism)`` when an EDM fired.
+    accept_miss:
+        Optional weakly-hard predicate forwarded to
+        :class:`TemStateMachine` (skip a recovery when the (m,k) miss
+        budget allows); ``None`` keeps the hard-deadline behaviour.
 
     Used by fault-injection campaigns and unit tests.
     """
-    machine = TemStateMachine(can_run_another_copy, max_copies=max_copies)
+    machine = TemStateMachine(
+        can_run_another_copy, max_copies=max_copies, accept_miss=accept_miss
+    )
     copy_index = 0
     while True:
         action = machine.next_action()

@@ -34,6 +34,14 @@ from .simulation_study import (
     run_simulation_study,
 )
 from .tem_timeline import ScenarioResult, render_scenarios, run_tem_scenarios
+from .weakly_hard import (
+    WeaklyHardRate,
+    WeaklyHardResult,
+    mk_fault_payloads,
+    mk_mean_jobs_to_violation,
+    run_mk_campaign,
+    run_weakly_hard_experiment,
+)
 
 __all__ = [
     "AblationResult",
@@ -53,6 +61,8 @@ __all__ = [
     "ScenarioResult",
     "SchedulabilityResult",
     "SimulationStudyResult",
+    "WeaklyHardRate",
+    "WeaklyHardResult",
     "compare_braking_under_faults",
     "compute_ablation_table",
     "compute_availability_table",
@@ -65,11 +75,15 @@ __all__ = [
     "compute_mttf_table",
     "compute_schedulability",
     "make_brake_workload",
+    "mk_fault_payloads",
+    "mk_mean_jobs_to_violation",
     "render_scenarios",
     "run_coverage_campaign",
     "run_mission_replica",
+    "run_mk_campaign",
     "run_simulation_study",
     "run_tem_scenarios",
+    "run_weakly_hard_experiment",
     "series_rows",
     "wheel_node_task_set",
 ]

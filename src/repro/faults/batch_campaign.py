@@ -29,12 +29,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.control_flow import ControlFlowError, SignatureMonitor
-from ..core.tem import TemAction, TemStateMachine
+from ..core.tem import TemAction, TemOutcome, TemStateMachine
 from ..cpu.batch import BatchMachine
 from ..cpu.exceptions import HardwareException
 from ..cpu.machine import Machine
 from ..errors import ConfigurationError, ReproError
-from ..kernel.task import MachineExecutable
+from ..kernel.task import MachineExecutable, MKWindow
 from ..obs import metrics as obs_metrics
 from ..obs.metrics import MetricsRegistry
 from .campaign import TemInjectionHarness, _SteppedTem
@@ -105,12 +105,33 @@ class BatchTemExecutor:
         self.template = harness.workload.executable_factory()
 
     # ------------------------------------------------------------------
-    def run_experiments(self, faults: Sequence[Fault]) -> List[BatchReply]:
-        """One reply per fault, in fault order."""
+    def run_experiments(
+        self,
+        faults: Sequence[Fault],
+        miss_windows: Optional[Sequence[Optional[MKWindow]]] = None,
+    ) -> List[BatchReply]:
+        """One reply per fault, in fault order.
+
+        *miss_windows*, when given, pairs each fault with the weakly-hard
+        (m,k) window of its trial (``None`` entries run hard-deadline).
+        Each window must be private to its fault — lanes finish in round
+        order, so a window shared across faults would observe a different
+        interleaving than the scalar path.
+        """
         faults = list(faults)
+        if miss_windows is not None and len(miss_windows) != len(faults):
+            raise ConfigurationError(
+                "miss_windows must have one entry per fault"
+            )
         replies: List[BatchReply] = []
         for start in range(0, len(faults), self.batch):
-            replies.extend(self._run_chunk(faults[start:start + self.batch]))
+            chunk = faults[start:start + self.batch]
+            windows = (
+                list(miss_windows[start:start + self.batch])
+                if miss_windows is not None
+                else None
+            )
+            replies.extend(self._run_chunk(chunk, windows))
         return replies
 
     def run_campaign(self, faults: Sequence[Fault]) -> CampaignStatistics:
@@ -121,7 +142,11 @@ class BatchTemExecutor:
         return stats
 
     # ------------------------------------------------------------------
-    def _run_chunk(self, faults: List[Fault]) -> List[BatchReply]:
+    def _run_chunk(
+        self,
+        faults: List[Fault],
+        windows: Optional[List[Optional[MKWindow]]] = None,
+    ) -> List[BatchReply]:
         k = len(faults)
         harness = self.harness
         records: List[Optional[ExperimentRecord]] = [None] * k
@@ -135,12 +160,16 @@ class BatchTemExecutor:
             # Scalar fallback lane: the unmodified harness path, captured
             # into this trial's registry exactly like a supervisor trial.
             with obs_metrics.capture(regs[i]):
-                records[i] = harness.run_experiment(faults[i])
+                records[i] = harness.run_experiment(
+                    faults[i],
+                    miss_window=windows[i] if windows is not None else None,
+                )
 
         if lane_of:
             for lane, record in self._run_lockstep_job(
                 [faults[i] for i in lane_of],
                 [regs[i] for i in lane_of],
+                [windows[i] for i in lane_of] if windows is not None else None,
             ):
                 records[lane_of[lane]] = record
 
@@ -155,14 +184,20 @@ class BatchTemExecutor:
 
     # ------------------------------------------------------------------
     def _run_lockstep_job(
-        self, faults: List[Fault], regs: List[MetricsRegistry]
+        self,
+        faults: List[Fault],
+        regs: List[MetricsRegistry],
+        windows: Optional[List[Optional[MKWindow]]] = None,
     ) -> List[Tuple[int, ExperimentRecord]]:
         """Drive one TEM job per lane, copies executed in lockstep rounds."""
         n = len(faults)
         harness = self.harness
         bm = self._make_batch(n)
         # Per-lane TEM protocol state: the same state machine, deadline
-        # check and signature monitor the scalar harness drives.
+        # check and signature monitor the scalar harness drives.  A lane's
+        # (m,k) window feeds the same accept_miss hook as the scalar path;
+        # its state is constant for the whole job (recorded only at the
+        # end), so round order cannot change what the hook returns.
         lane_global = [0] * n
         pending: List[Optional[int]] = [fault.at_step for fault in faults]
         steppers: List[Optional[_SteppedTem]] = [None] * n
@@ -171,6 +206,11 @@ class BatchTemExecutor:
             TemStateMachine(
                 self._deadline_check(lane_global, lane),
                 max_copies=harness.workload.max_copies,
+                accept_miss=(
+                    windows[lane].can_accept_miss
+                    if windows is not None and windows[lane] is not None
+                    else None
+                ),
             )
             for lane in range(n)
         ]
@@ -241,6 +281,8 @@ class BatchTemExecutor:
         for lane in range(n):
             report = reports[lane]
             assert report is not None
+            if windows is not None and windows[lane] is not None:
+                windows[lane].record(report.outcome is TemOutcome.OMISSION)
             stepper = steppers[lane]
             corrections = (
                 stepper.executable.machine.memory.ecc_stats.corrections

@@ -30,7 +30,7 @@ from ..core.tem import TemOutcome, TemReport, run_tem_direct
 from ..cpu.exceptions import HardwareException
 from ..cpu.machine import Machine
 from ..errors import ConfigurationError
-from ..kernel.task import MachineExecutable
+from ..kernel.task import MachineExecutable, MKWindow
 from ..obs import metrics as obs_metrics
 from ..types import Result
 from .injector import MachineFaultInjector
@@ -94,10 +94,22 @@ class TemInjectionHarness:
         self.deadline_steps = int(self.golden_steps * workload.deadline_factor) + 50
 
     # ------------------------------------------------------------------
-    def run_experiment(self, fault: Fault) -> ExperimentRecord:
-        """Inject one fault into one TEM job and classify the outcome."""
+    def run_experiment(
+        self, fault: Fault, miss_window: Optional[MKWindow] = None
+    ) -> ExperimentRecord:
+        """Inject one fault into one TEM job and classify the outcome.
+
+        When *miss_window* is given the job runs under the weakly-hard
+        recovery policy: a recovery copy is skipped (controlled miss,
+        tagged ``mk_budget_miss``) while the (m,k) window has budget, and
+        the job's hit/miss is recorded into the window afterwards.  A
+        ``None`` window — or the degenerate (0, 1) constraint — leaves the
+        hard-deadline path untouched.
+        """
         with obs_metrics.span("injection.experiment"):
-            report, mechanisms, ecc_corrections = self._run_tem_job(fault)
+            report, mechanisms, ecc_corrections = self._run_tem_job(
+                fault, miss_window=miss_window
+            )
         obs_metrics.inc("injection.experiments")
         outcome = classify_tem_report(report, self.golden)
         if ecc_corrections > 0:
@@ -164,6 +176,7 @@ class TemInjectionHarness:
         fault: Fault,
         jobs: int,
         suspector: Optional[PermanentFaultSuspector] = None,
+        miss_window: Optional[MKWindow] = None,
     ) -> "tuple[List[TemOutcome], bool]":
         """Run several successive jobs with the same (e.g. permanent) fault.
 
@@ -174,7 +187,8 @@ class TemInjectionHarness:
 
         A fresh machine is used for the whole sequence so memory state
         (including latent corruption) carries across jobs, as on real
-        hardware.
+        hardware.  With *miss_window* the sliding (m,k) budget gates every
+        job's recovery and accumulates the sequence's hits/misses.
         """
         if suspector is None:
             suspector = PermanentFaultSuspector()
@@ -194,7 +208,12 @@ class TemInjectionHarness:
                     self.deadline_steps, self.golden_steps
                 ),
                 max_copies=self.workload.max_copies,
+                accept_miss=(
+                    miss_window.can_accept_miss if miss_window is not None else None
+                ),
             )
+            if miss_window is not None:
+                miss_window.record(report.outcome is TemOutcome.OMISSION)
             outcomes.append(report.outcome)
             tripped = suspector.record_job(
                 report.errors_detected > 0 or report.outcome is not TemOutcome.OK
@@ -210,7 +229,7 @@ class TemInjectionHarness:
         return SignatureMonitor(self.workload.signature_checkpoints)
 
     def _run_tem_job(
-        self, fault: Fault
+        self, fault: Fault, miss_window: Optional[MKWindow] = None
     ) -> "tuple[TemReport, tuple[str, ...], int]":
         executable = self.workload.executable_factory()
         injector = MachineFaultInjector(executable.machine)
@@ -226,7 +245,10 @@ class TemInjectionHarness:
                 self.deadline_steps, self.golden_steps
             ),
             max_copies=self.workload.max_copies,
+            accept_miss=miss_window.can_accept_miss if miss_window is not None else None,
         )
+        if miss_window is not None:
+            miss_window.record(report.outcome is TemOutcome.OMISSION)
         corrections = executable.machine.memory.ecc_stats.corrections - corrections_before
         return report, (), corrections
 

@@ -10,6 +10,7 @@ from .analysis import (
     ResponseTimeResult,
     analyse,
     higher_priority,
+    jobs_in,
     response_time,
     utilization,
 )
@@ -17,8 +18,12 @@ from .budget import DEFAULT_BUDGET_FACTOR, ExecutionBudget, budget_for_wcet
 from .ft_analysis import (
     FaultHypothesis,
     analyse_ft,
+    analyse_mk,
     ft_response_time,
     max_tolerable_faults,
+    mk_absorbable_misses,
+    mk_max_tolerable_faults,
+    mk_response_time,
     recovery_cost,
     slack_per_period,
     tem_cost,
@@ -37,8 +42,10 @@ from .task import (
     Criticality,
     Executable,
     MachineExecutable,
+    MKWindow,
     Result,
     TaskSpec,
+    WeaklyHardConstraint,
     validate_task_set,
 )
 
@@ -55,20 +62,27 @@ __all__ = [
     "JobState",
     "JobStats",
     "KernelConfig",
+    "MKWindow",
     "MachineExecutable",
     "ResponseTimeResult",
     "Result",
     "Scheduler",
     "TaskSpec",
+    "WeaklyHardConstraint",
     "analyse",
     "analyse_ft",
+    "analyse_mk",
     "assign_criticality_monotonic",
     "assign_deadline_monotonic",
     "audsley_assignment",
     "budget_for_wcet",
     "ft_response_time",
     "higher_priority",
+    "jobs_in",
     "max_tolerable_faults",
+    "mk_absorbable_misses",
+    "mk_max_tolerable_faults",
+    "mk_response_time",
     "recovery_cost",
     "response_time",
     "slack_per_period",

@@ -61,6 +61,16 @@ def higher_priority(tasks: Sequence[TaskSpec], task: TaskSpec) -> List[TaskSpec]
     return [t for t in tasks if t.priority < task.priority]
 
 
+def jobs_in(task: TaskSpec, interval: int) -> int:
+    """Worst-case number of *task* jobs with releases inside any interval
+    of the given length — the ``ceil(w / T)`` bound every RTA interference
+    term uses, and the job count the (m,k)-aware analysis feeds into
+    :meth:`~repro.kernel.task.WeaklyHardConstraint.max_misses_in`."""
+    if interval <= 0:
+        return 0
+    return math.ceil(interval / task.period)
+
+
 def response_time(
     tasks: Sequence[TaskSpec],
     task: TaskSpec,

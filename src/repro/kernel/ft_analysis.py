@@ -38,7 +38,7 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError, SchedulingError
-from .analysis import AnalysisResult, ResponseTimeResult, higher_priority
+from .analysis import AnalysisResult, ResponseTimeResult, higher_priority, jobs_in
 from .task import TaskSpec
 
 
@@ -151,6 +151,125 @@ def max_tolerable_faults(
     best = -1
     for f in range(ceiling + 1):
         result = analyse_ft(tasks, FaultHypothesis(max_faults=f), comparison_cost)
+        if result.schedulable:
+            best = f
+        else:
+            break
+    return best
+
+
+# ----------------------------------------------------------------------
+# Weakly-hard (m,k) extension
+# ----------------------------------------------------------------------
+
+def mk_absorbable_misses(
+    tasks: Sequence[TaskSpec], task: TaskSpec, interval: int
+) -> int:
+    """Recoveries the (m,k) miss budgets can absorb in a window of length
+    *interval* at *task*'s priority level, as controlled misses instead of
+    re-executions.
+
+    A recovery can only be skipped if the task it belongs to tolerates
+    the resulting miss.  The fault hypothesis does not say *which* task
+    the faults strike, so the bound must hold even when every fault hits
+    the least tolerant task: the absorbable count is the **minimum**
+    weakly-hard allowance over all critical tasks at this or higher
+    priority (their recoveries are the ones that can delay *task*).  A
+    hard-deadline task in that set — ``weakly_hard`` unset, or the
+    degenerate (0, k) — contributes an allowance of zero, which recovers
+    the classic analysis exactly.
+    """
+    hep = [
+        t for t in tasks
+        if t.priority <= task.priority and t.is_critical
+    ]
+    if not hep:
+        return 0
+    allowed = []
+    for t in hep:
+        if t.weakly_hard is None:
+            return 0
+        allowed.append(t.weakly_hard.max_misses_in(jobs_in(t, interval)))
+    return min(allowed)
+
+
+def mk_response_time(
+    tasks: Sequence[TaskSpec],
+    task: TaskSpec,
+    hypothesis: FaultHypothesis,
+    comparison_cost: int = 0,
+    limit_factor: int = 100,
+) -> Optional[int]:
+    """Worst-case response time under TEM with (m,k) miss budgets.
+
+    Identical to :func:`ft_response_time` except that the recovery term
+    accounts only for the faults the miss budgets cannot absorb: a
+    recovery whose omission would stay within every affected task's
+    (m,k) window is *skipped* by the miss-budget-aware policy
+    (:class:`repro.core.tem.TemStateMachine` with ``accept_miss``), so it
+    reserves no slack::
+
+        R_i = C_i' + sum_{j in hp(i)} ceil(R_i / T_j) C_j'
+                   + max(0, faults(R_i) - absorbable(R_i))
+                     * max_{k in hep(i), k critical} (C_k + C_cmp)
+
+    With every constraint hard ((0,1) or unset) this reduces to
+    :func:`ft_response_time` term for term.
+    """
+    base = {t.name: tem_cost(t, comparison_cost) for t in tasks}
+    own = base[task.name]
+    hp = higher_priority(tasks, task)
+    hep = [t for t in tasks if t.priority <= task.priority]
+    worst_recovery = max((recovery_cost(t, comparison_cost) for t in hep), default=0)
+    r = own
+    bound = task.relative_deadline * limit_factor
+    while True:
+        recoveries = max(
+            0, hypothesis.faults_in(r) - mk_absorbable_misses(tasks, task, r)
+        )
+        total = (
+            own
+            + sum(math.ceil(r / t.period) * base[t.name] for t in hp)
+            + recoveries * worst_recovery
+        )
+        if total == r:
+            return r
+        if total > bound:
+            return None
+        r = total
+
+
+def analyse_mk(
+    tasks: Sequence[TaskSpec],
+    hypothesis: FaultHypothesis,
+    comparison_cost: int = 0,
+) -> AnalysisResult:
+    """(m,k)-aware fault-tolerant RTA over a whole task set."""
+    if not tasks:
+        raise SchedulingError("cannot analyse an empty task set")
+    results = [
+        ResponseTimeResult(
+            task=t.name,
+            response_time=mk_response_time(tasks, t, hypothesis, comparison_cost),
+            deadline=t.relative_deadline,
+        )
+        for t in tasks
+    ]
+    return AnalysisResult(per_task=results)
+
+
+def mk_max_tolerable_faults(
+    tasks: Sequence[TaskSpec],
+    comparison_cost: int = 0,
+    ceiling: int = 64,
+) -> int:
+    """Largest F keeping the set schedulable under the (m,k)-aware test —
+    the fault-tolerance headroom the miss budgets buy on top of
+    :func:`max_tolerable_faults`.  Returns -1 when unschedulable at F = 0.
+    """
+    best = -1
+    for f in range(ceiling + 1):
+        result = analyse_mk(tasks, FaultHypothesis(max_faults=f), comparison_cost)
         if result.schedulable:
             best = f
         else:

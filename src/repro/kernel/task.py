@@ -23,9 +23,10 @@ Two executable flavours exist:
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import enum
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Tuple
 
 from ..cpu.assembler import AssembledProgram
 from ..cpu.machine import Machine
@@ -39,6 +40,123 @@ class Criticality(enum.Enum):
 
     CRITICAL = "critical"
     NON_CRITICAL = "non_critical"
+
+
+@dataclasses.dataclass(frozen=True)
+class WeaklyHardConstraint:
+    """A weakly-hard ``(m, k)`` deadline constraint (Liang et al.,
+    arXiv:2008.06192): in *any* window of ``window_jobs`` (k) consecutive
+    jobs, at most ``max_misses`` (m) may miss their deadline.
+
+    ``(0, 1)`` is the hard-deadline degenerate case — no job may ever
+    miss — under which every weakly-hard code path must behave
+    bit-identically to the hard-deadline implementation (the differential
+    gate in ``tests/faults/test_mk_degeneracy.py`` enforces this).
+    """
+
+    max_misses: int
+    window_jobs: int
+
+    def __post_init__(self) -> None:
+        if self.window_jobs < 1:
+            raise ConfigurationError("(m,k): window k must be >= 1")
+        if not 0 <= self.max_misses < self.window_jobs:
+            raise ConfigurationError(
+                f"(m,k): need 0 <= m < k, got m={self.max_misses} "
+                f"k={self.window_jobs} (m >= k would constrain nothing)"
+            )
+
+    @property
+    def is_hard(self) -> bool:
+        """True when no miss is ever tolerated (m = 0)."""
+        return self.max_misses == 0
+
+    def max_misses_in(self, jobs: int) -> int:
+        """Largest miss count any *jobs*-long run can carry without some
+        k-window exceeding m misses.
+
+        The extremal pattern packs m misses at the start of every k-aligned
+        block: ``floor(jobs / k) * m`` full blocks plus up to ``m`` misses
+        in the final partial block.
+        """
+        if jobs <= 0:
+            return 0
+        full, rest = divmod(jobs, self.window_jobs)
+        return full * self.max_misses + min(rest, self.max_misses)
+
+
+class MKWindow:
+    """Sliding-window miss counter enforcing one task's (m,k) constraint.
+
+    The window remembers the outcomes of the last ``k - 1`` jobs (miss =
+    True); :meth:`can_accept_miss` answers the recovery policy's question
+    — *may the next job miss without any k-window exceeding m misses?* —
+    and :meth:`record` appends a job's actual outcome.
+
+    The counter is checkpointable: :meth:`state` serialises the exact
+    history and :meth:`resume` reconstructs it, and the property suite
+    (``tests/property/test_mk_window.py``) proves that splitting any
+    record sequence at any point across a checkpoint/resume leaves every
+    subsequent decision unchanged.
+    """
+
+    __slots__ = ("constraint", "_history", "jobs", "misses", "violations")
+
+    def __init__(
+        self,
+        constraint: WeaklyHardConstraint,
+        history: Iterable[int] = (),
+    ) -> None:
+        self.constraint = constraint
+        self._history: "collections.deque[int]" = collections.deque(
+            (1 if h else 0 for h in history),
+            maxlen=constraint.window_jobs - 1,
+        )
+        self.jobs = 0
+        self.misses = 0
+        self.violations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def recent_misses(self) -> int:
+        """Misses among the last ``k - 1`` recorded jobs."""
+        return sum(self._history)
+
+    def can_accept_miss(self) -> bool:
+        """True iff a miss on the *next* job keeps every window within m.
+
+        Only windows ending at the next job are newly completed, so the
+        check is local: misses in the last ``k - 1`` outcomes plus the
+        candidate miss must not exceed m.
+        """
+        return self.recent_misses + 1 <= self.constraint.max_misses
+
+    def record(self, missed: bool) -> bool:
+        """Append one job's outcome; returns True when this miss pushed a
+        k-window past m misses (an (m,k) violation — node-level failure
+        in the weakly-hard dependability model)."""
+        violated = bool(missed) and not self.can_accept_miss()
+        self.jobs += 1
+        if missed:
+            self.misses += 1
+        if violated:
+            self.violations += 1
+        self._history.append(1 if missed else 0)
+        return violated
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def state(self) -> Tuple[int, ...]:
+        """The exact window history, oldest first (JSON-friendly ints)."""
+        return tuple(self._history)
+
+    @classmethod
+    def resume(
+        cls, constraint: WeaklyHardConstraint, state: Iterable[int]
+    ) -> "MKWindow":
+        """Reconstruct a window from :meth:`state` output."""
+        return cls(constraint, history=state)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,6 +184,12 @@ class TaskSpec:
         run once and are shut down on error (Section 2.2).
     offset:
         Release offset of the first job.
+    weakly_hard:
+        Optional (m,k) constraint: the task tolerates up to m deadline
+        misses in any k consecutive jobs (``None`` = hard deadline, the
+        paper's default).  Consumed by the miss-budget-aware recovery
+        policy (:mod:`repro.core.tem`) and the (m,k)-aware FT-RTA
+        (:func:`repro.kernel.ft_analysis.mk_response_time`).
     """
 
     name: str
@@ -75,6 +199,7 @@ class TaskSpec:
     deadline: Optional[int] = None
     criticality: Criticality = Criticality.CRITICAL
     offset: int = 0
+    weakly_hard: Optional[WeaklyHardConstraint] = None
 
     def __post_init__(self) -> None:
         if self.period <= 0:

@@ -1,0 +1,172 @@
+"""Batch + shard interplay gate for weakly-hard (m,k) campaigns.
+
+ISSUE 8, satellite 3: the weakly-hard scenario family must ride the
+existing execution machinery bit-identically — the vectorised lockstep
+engine (:class:`~repro.faults.batch_campaign.BatchTemExecutor` via the
+supervisor's ``batch_runner`` seam), the crash-isolated worker pool, and
+the lease-owned shard runners of :mod:`repro.harness.shards`, including a
+shard runner SIGKILLed mid-campaign by a seeded chaos policy and resumed
+from its journal.  Every schedule must reproduce the serial scalar
+reference exactly: record stream, outcome counts, mechanism histogram
+(including the ``mk_budget_miss`` markers) and the deterministic metrics
+view.
+"""
+
+import pytest
+
+from repro.core.tem import MK_BUDGET_MISS
+from repro.experiments.weakly_hard import (
+    _mk_batch_runner,
+    _mk_trial,
+    _mk_window,
+    mk_fault_payloads,
+)
+from repro.faults.batch_campaign import BatchTemExecutor
+from repro.harness import (
+    CampaignSupervisor,
+    ChaosPolicy,
+    ShardConfig,
+    SupervisorConfig,
+    run_sharded_campaign,
+)
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+
+EXPERIMENTS = 120
+SEED = 2005
+MAX_COPIES = 3
+MK = dict(max_misses=1, window_jobs=4, prefill_miss_rate=0.35)
+
+
+def _payloads():
+    return mk_fault_payloads(
+        EXPERIMENTS, seed=SEED, max_copies=MAX_COPIES, **MK
+    )
+
+
+def _config(**mode):
+    return SupervisorConfig(
+        master_seed=SEED,
+        campaign=f"e14-mk1of4-n{EXPERIMENTS}",
+        **mode,
+    )
+
+
+def _freeze(result):
+    stats = result.statistics()
+    return {
+        "records": [r.to_json() for r in stats.records],
+        "outcome_counts": stats.outcome_counts(),
+        "mechanism_counts": dict(sorted(stats.mechanism_counts().items())),
+        "stable_view": metrics.stable_view(result.metrics_snapshot()),
+    }
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return _payloads()
+
+
+@pytest.fixture(scope="module")
+def serial(payloads):
+    with metrics.capture():
+        result = CampaignSupervisor(_mk_trial, _config(workers=0)).run(payloads)
+    return _freeze(result)
+
+
+def test_serial_reference_really_exercises_the_budget(serial):
+    # A weakly-hard campaign that never accepts a miss would make every
+    # equality below vacuous.
+    assert serial["mechanism_counts"].get(MK_BUDGET_MISS, 0) > 0
+    counters = serial["stable_view"]["counters"]
+    assert counters.get("tem.mk_accepted_misses", 0) > 0
+    assert counters["tem.mk_accepted_misses"] == serial[
+        "mechanism_counts"
+    ][MK_BUDGET_MISS]
+
+
+@pytest.mark.parametrize(
+    "mode",
+    [
+        dict(workers=2),
+        dict(workers=0, batch_size=16, batch_runner=_mk_batch_runner),
+        dict(workers=2, chunk_size=16, batch_replies=True),
+    ],
+    ids=["jobs2", "batch16", "chunked-replies"],
+)
+def test_schedule_matches_serial_scalar(payloads, serial, mode):
+    with metrics.capture():
+        result = CampaignSupervisor(_mk_trial, _config(**mode)).run(payloads)
+    assert _freeze(result) == serial
+
+
+def test_sharded_matches_serial_scalar(tmp_path, payloads, serial):
+    with metrics.capture():
+        result = run_sharded_campaign(
+            _mk_trial,
+            payloads,
+            _config(journal_path=tmp_path / "e14.jsonl"),
+            ShardConfig(shards=2, lease_ttl_s=2.0),
+        )
+    assert _freeze(result) == serial
+
+
+def test_sharded_kill_and_resume_matches_serial_scalar(
+    tmp_path, payloads, serial
+):
+    # A shard runner dies (SIGKILL) mid-campaign under seeded chaos; the
+    # lease takeover resumes its slice from the journal.  The recovered
+    # weakly-hard campaign must still be bit-identical — miss windows are
+    # per-trial payload state, so a replayed trial reconstructs the exact
+    # window the dead runner used.
+    with metrics.capture():
+        result = run_sharded_campaign(
+            _mk_trial,
+            payloads,
+            _config(
+                journal_path=tmp_path / "e14-chaos.jsonl",
+                chaos=ChaosPolicy.from_spec("die:40", seed=7),
+            ),
+            ShardConfig(shards=2, lease_ttl_s=1.2, heartbeat_s=0.1, poll_s=0.03),
+        )
+    counters = result.harness_metrics.get("counters", {})
+    assert counters.get("harness.lease_takeovers", 0) >= 1
+    assert not result.degraded
+    assert _freeze(result) == serial
+
+
+def test_batch_executor_windows_match_scalar(payloads):
+    # Window accounting parity at the executor level: the lockstep lanes
+    # must leave every trial's miss window in the exact state the scalar
+    # harness does.
+    from repro.experiments.coverage_table import _cached_harness
+
+    harness = _cached_harness(MAX_COPIES)
+    subset = payloads[:40]
+
+    scalar_windows = [_mk_window(p) for p in subset]
+    scalar_records = []
+    for payload, window in zip(subset, scalar_windows):
+        reg = MetricsRegistry()
+        with metrics.capture(reg):
+            scalar_records.append(
+                harness.run_experiment(payload[4], miss_window=window)
+            )
+
+    batch_windows = [_mk_window(p) for p in subset]
+    executor = BatchTemExecutor(harness, batch=16)
+    batch_replies = executor.run_experiments(
+        [p[4] for p in subset], miss_windows=batch_windows
+    )
+
+    assert [r.to_json() for r, _ in batch_replies] == [
+        r.to_json() for r in scalar_records
+    ]
+    for scalar_w, batch_w in zip(scalar_windows, batch_windows):
+        assert (
+            scalar_w.jobs, scalar_w.misses, scalar_w.violations,
+            scalar_w.state(),
+        ) == (
+            batch_w.jobs, batch_w.misses, batch_w.violations,
+            batch_w.state(),
+        )

@@ -13,7 +13,7 @@ class TestRunner:
         report = run_all(fast=True)
         for marker in (
             "E1 ", "E2 ", "E3 ", "E4 ", "E5 ", "E6 ", "E7 ",
-            "E8a", "E8b", "E9 ", "E10", "E11", "E12", "E13",
+            "E8a", "E8b", "E9 ", "E10", "E11", "E12", "E13", "E14",
         ):
             assert marker in report, f"section {marker.strip()} missing"
         # Key reproduced claims surface in the combined report.

@@ -1,0 +1,152 @@
+"""Miss-pattern-aware FT-RTA for weakly-hard (m,k) task sets.
+
+ISSUE 8 tentpole, kernel layer: :func:`repro.kernel.ft_analysis.mk_response_time`
+discounts recovery slack by the misses a task set's (m,k) constraints can
+absorb.  The gate here is the degeneracy: with hard constraints (or none)
+the mk analysis must agree with :func:`analyse_ft` term for term, and a
+real miss budget must only ever *shrink* response times and *grow* the
+tolerable-fault headroom.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.kernel.analysis import jobs_in
+from repro.kernel.ft_analysis import (
+    FaultHypothesis,
+    analyse_ft,
+    analyse_mk,
+    ft_response_time,
+    max_tolerable_faults,
+    mk_absorbable_misses,
+    mk_max_tolerable_faults,
+    mk_response_time,
+)
+from repro.kernel.task import Criticality, TaskSpec, WeaklyHardConstraint
+
+
+def task(name, period, wcet, priority, critical=True, weakly_hard=None):
+    return TaskSpec(
+        name=name, period=period, wcet=wcet, priority=priority,
+        criticality=Criticality.CRITICAL if critical else Criticality.NON_CRITICAL,
+        weakly_hard=weakly_hard,
+    )
+
+
+def constrain(tasks, constraint):
+    """Attach *constraint* to every critical task."""
+    return [
+        dataclasses.replace(t, weakly_hard=constraint) if t.is_critical else t
+        for t in tasks
+    ]
+
+
+HARD = WeaklyHardConstraint(max_misses=0, window_jobs=1)
+ONE_OF_FOUR = WeaklyHardConstraint(max_misses=1, window_jobs=4)
+
+
+def wheel_set(constraint=None):
+    tasks = [
+        task("sense", 40, 4, 0),
+        task("control", 80, 12, 1),
+        task("report", 200, 16, 2, critical=False),
+        task("log", 400, 24, 3, critical=False),
+    ]
+    return constrain(tasks, constraint) if constraint else tasks
+
+
+class TestAbsorbableMisses:
+    def test_no_constraint_absorbs_nothing(self):
+        tasks = wheel_set()
+        assert mk_absorbable_misses(tasks, tasks[1], 400) == 0
+
+    def test_hard_constraint_absorbs_nothing(self):
+        tasks = wheel_set(HARD)
+        assert mk_absorbable_misses(tasks, tasks[1], 400) == 0
+
+    def test_budget_is_min_over_hep_critical_tasks(self):
+        # In 400 ticks: sense runs 10 jobs -> (1,4) allows 2 full windows
+        # + partial = 2*1 + min(2,1) = 3; control runs 5 jobs -> 1*1 +
+        # min(1,1) = 2.  The pessimistic bound is the min: any specific
+        # miss must be absorbable by *whichever* task the fault hits.
+        tasks = wheel_set(ONE_OF_FOUR)
+        sense, control = tasks[0], tasks[1]
+        assert jobs_in(sense, 400) == 10
+        assert ONE_OF_FOUR.max_misses_in(10) == 3
+        assert ONE_OF_FOUR.max_misses_in(jobs_in(control, 400)) == 2
+        assert mk_absorbable_misses(tasks, control, 400) == 2
+
+    def test_one_unconstrained_critical_task_voids_the_budget(self):
+        tasks = wheel_set(ONE_OF_FOUR)
+        tasks[0] = dataclasses.replace(tasks[0], weakly_hard=None)
+        assert mk_absorbable_misses(tasks, tasks[1], 400) == 0
+
+    def test_non_critical_tasks_do_not_constrain(self):
+        # report/log are non-critical: their missing constraint must not
+        # zero the budget for lower-priority critical analysis.
+        tasks = wheel_set(ONE_OF_FOUR)
+        assert mk_absorbable_misses(tasks, tasks[1], 400) > 0
+
+
+class TestDegeneracy:
+    @pytest.mark.parametrize("constraint", [None, HARD])
+    @pytest.mark.parametrize("faults", [0, 1, 3])
+    def test_hard_mk_equals_classic_ft(self, constraint, faults):
+        tasks = wheel_set(constraint)
+        hypothesis = FaultHypothesis(max_faults=faults)
+        for t in tasks:
+            assert mk_response_time(tasks, t, hypothesis) == ft_response_time(
+                tasks, t, hypothesis
+            ), t.name
+
+    def test_analyse_mk_matches_analyse_ft_when_hard(self):
+        tasks = wheel_set(HARD)
+        hypothesis = FaultHypothesis(max_faults=2)
+        mk = analyse_mk(tasks, hypothesis)
+        ft = analyse_ft(tasks, hypothesis)
+        assert {t.name: mk.response_time(t.name) for t in tasks} == {
+            t.name: ft.response_time(t.name) for t in tasks
+        }
+        assert mk.schedulable == ft.schedulable
+
+    def test_headroom_degenerates(self):
+        tasks = wheel_set(HARD)
+        assert mk_max_tolerable_faults(tasks) == max_tolerable_faults(tasks)
+
+
+class TestBudgetShrinksResponse:
+    def test_mk_response_never_exceeds_ft(self):
+        tasks = wheel_set(ONE_OF_FOUR)
+        hypothesis = FaultHypothesis(max_faults=3)
+        for t in tasks:
+            mk = mk_response_time(tasks, t, hypothesis)
+            ft = ft_response_time(tasks, t, hypothesis)
+            assert mk is not None and ft is not None
+            assert mk <= ft, t.name
+
+    def test_absorbed_fault_costs_no_recovery_slack(self):
+        # Sense's busy period spans a single job, so (1,4) absorbs exactly
+        # one miss there: a single anticipated fault costs no recovery
+        # slack, a second one pays full recovery.
+        tasks = wheel_set(ONE_OF_FOUR)
+        fault_free = ft_response_time(tasks, tasks[0], FaultHypothesis(0))
+        assert (
+            mk_response_time(tasks, tasks[0], FaultHypothesis(1)) == fault_free
+        )
+        one_recovery = ft_response_time(tasks, tasks[0], FaultHypothesis(1))
+        assert (
+            mk_response_time(tasks, tasks[0], FaultHypothesis(2)) == one_recovery
+        )
+
+    def test_headroom_grows_with_budget(self):
+        hard = mk_max_tolerable_faults(wheel_set(HARD))
+        relaxed = mk_max_tolerable_faults(wheel_set(ONE_OF_FOUR))
+        assert relaxed > hard
+
+    def test_divergence_still_detected(self):
+        tasks = constrain(
+            [task("t1", 10, 6, 0), task("t2", 10, 6, 1)], ONE_OF_FOUR
+        )
+        assert mk_response_time(tasks, tasks[1], FaultHypothesis(1)) is None
+        assert not analyse_mk(tasks, FaultHypothesis(1)).schedulable
