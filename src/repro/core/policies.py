@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from typing import Optional
 
 from ..kernel.task import Criticality, MKWindow, WeaklyHardConstraint
 
@@ -102,7 +103,7 @@ class MissBudgetPolicy:
         return MKWindow(self.constraint)
 
     def response_for(
-        self, execution_class: ExecutionClass, window: MKWindow = None
+        self, execution_class: ExecutionClass, window: Optional[MKWindow] = None
     ) -> ErrorResponse:
         """Strategy for an error, given the task's current miss window.
 
@@ -123,7 +124,7 @@ class MissBudgetPolicy:
 
 
 def weakly_hard_policy(
-    max_misses: int, window_jobs: int, base: NlftPolicy = None
+    max_misses: int, window_jobs: int, base: Optional[NlftPolicy] = None
 ) -> MissBudgetPolicy:
     """Miss-budget-aware NLFT with an (m,k) = (max_misses, window_jobs)
     constraint; (0, 1) degenerates to the base policy exactly."""

@@ -232,7 +232,13 @@ def mk_response_time(
             + sum(math.ceil(r / t.period) * base[t.name] for t in hp)
             + recoveries * worst_recovery
         )
-        if total == r:
+        # The recovery term is non-monotone in r (absorbable misses grow
+        # with the interval), so the iteration can oscillate instead of
+        # converging from below.  Any r with demand(r) <= r is a sound
+        # response-time bound, so accept it; with hard constraints the
+        # demand is monotone and this fires only at total == r, keeping
+        # the ft_response_time degeneracy exact.
+        if total <= r:
             return r
         if total > bound:
             return None

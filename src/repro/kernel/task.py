@@ -97,7 +97,11 @@ class MKWindow:
     history and :meth:`resume` reconstructs it, and the property suite
     (``tests/property/test_mk_window.py``) proves that splitting any
     record sequence at any point across a checkpoint/resume leaves every
-    subsequent decision unchanged.
+    subsequent decision unchanged.  The ``jobs``/``misses``/``violations``
+    counters are shard-local statistics, deliberately excluded from the
+    checkpoint: a resumed window restarts them at zero, and campaign
+    totals are summed across shard records rather than read off a single
+    window.
     """
 
     __slots__ = ("constraint", "_history", "jobs", "misses", "violations")
@@ -148,14 +152,21 @@ class MKWindow:
     # Checkpoint / resume
     # ------------------------------------------------------------------
     def state(self) -> Tuple[int, ...]:
-        """The exact window history, oldest first (JSON-friendly ints)."""
+        """The window history (last ``k - 1`` outcomes), oldest first, as
+        JSON-friendly ints.  The ``jobs``/``misses``/``violations``
+        statistics counters are *not* part of the checkpoint (see the
+        class docstring)."""
         return tuple(self._history)
 
     @classmethod
     def resume(
         cls, constraint: WeaklyHardConstraint, state: Iterable[int]
     ) -> "MKWindow":
-        """Reconstruct a window from :meth:`state` output."""
+        """Reconstruct a window from :meth:`state` output.
+
+        Every subsequent :meth:`can_accept_miss`/:meth:`record` decision
+        matches the original window's; the statistics counters restart at
+        zero (they are shard-local, not checkpointed)."""
         return cls(constraint, history=state)
 
 

@@ -150,3 +150,34 @@ class TestBudgetShrinksResponse:
         )
         assert mk_response_time(tasks, tasks[1], FaultHypothesis(1)) is None
         assert not analyse_mk(tasks, FaultHypothesis(1)).schedulable
+
+
+class TestOscillationTerminates:
+    """Regression: the recovery term max(0, F - absorbable(r)) is
+    non-monotone in r, so the demand can *drop* as the interval grows.
+    The fixed point iteration used to require total == r and would bounce
+    between two interval lengths forever; it must instead accept any r
+    with demand(r) <= r as a sound bound."""
+
+    def oscillating_set(self):
+        # demand(20) = 30 (1 recovery unabsorbed) but demand(30) = 20
+        # (a second job enters the window and absorbs both faults):
+        # the == test never fires.
+        return [
+            task(
+                "bbw", 25, 10, 0,
+                weakly_hard=WeaklyHardConstraint(max_misses=2, window_jobs=3),
+            )
+        ]
+
+    def test_mk_response_time_terminates(self):
+        tasks = self.oscillating_set()
+        r = mk_response_time(tasks, tasks[0], FaultHypothesis(max_faults=2))
+        # The returned bound must actually satisfy demand(r) <= r.
+        assert r == 30
+        assert not analyse_mk(tasks, FaultHypothesis(max_faults=2)).schedulable
+
+    def test_headroom_terminates(self):
+        # mk_max_tolerable_faults sweeps F upward and hits the
+        # oscillating configuration at F = 2.
+        assert mk_max_tolerable_faults(self.oscillating_set()) == 1
