@@ -45,6 +45,7 @@ from .policies import (
 )
 from .tem import (
     MK_BUDGET_MISS,
+    SpatialTem,
     TemAction,
     TemOutcome,
     TemReport,
@@ -69,6 +70,7 @@ __all__ = [
     "ProtectedStore",
     "REINTEGRATION_TICKS",
     "SignatureMonitor",
+    "SpatialTem",
     "TemAction",
     "TemOutcome",
     "TemReport",

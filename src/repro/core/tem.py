@@ -256,15 +256,201 @@ class TemStateMachine:
         DES kernel and the direct injection harness)."""
         report = self._finished
         assert report is not None
-        registry = obs_metrics.active()
-        registry.inc("tem.jobs")
-        registry.inc(report.outcome.counter_name)
-        registry.inc("tem.copies", report.copies_run)
-        registry.inc("tem.errors_detected", report.errors_detected)
-        if report.omission_reason is not None and report.omission_reason.startswith(
-            MK_BUDGET_MISS
-        ):
-            registry.inc("tem.mk_accepted_misses")
+        _account_report(report)
+
+
+def _account_report(report: TemReport) -> None:
+    """Metrics once per terminal TEM job (temporal and spatial alike)."""
+    registry = obs_metrics.active()
+    registry.inc("tem.jobs")
+    registry.inc(report.outcome.counter_name)
+    registry.inc("tem.copies", report.copies_run)
+    registry.inc("tem.errors_detected", report.errors_detected)
+    if report.omission_reason is not None and report.omission_reason.startswith(
+        MK_BUDGET_MISS
+    ):
+        registry.inc("tem.mk_accepted_misses")
+
+
+class SpatialTem:
+    """Spatial-redundancy TEM: copies race concurrently on distinct cores.
+
+    The EFTOS voting-farm arrangement (arXiv:1401.2920) applied at node
+    level (ROADMAP item 4): instead of running the two copies of a
+    critical job back to back on one core, the kernel launches them
+    *concurrently* on different cores and compares at joint completion; a
+    recovery copy (launched on a third core when one exists) replaces any
+    copy an EDM aborts, or breaks the tie between two disagreeing results.
+
+    Protocol — the driver (:class:`repro.kernel.scheduler.Scheduler`):
+
+    * calls :meth:`claim_launches` and starts exactly that many new
+      copies (two at release, replacements/tie-breakers later);
+    * reports every copy's end with :meth:`copy_completed` or
+      :meth:`copy_aborted`, then re-checks :attr:`finished` and calls
+      :meth:`claim_launches` again while undecided;
+    * on :attr:`finished`, reads :attr:`report` and cancels any copy
+      still running (the decision races the slowest copy).
+
+    Deliver/omit rules match :class:`TemStateMachine`: two matching
+    results deliver (MASKED when any error was detected on the way),
+    three disagreeing results or an exhausted copy/deadline/miss budget
+    force an omission.  ``accept_miss`` is consulted exactly when a
+    *recovery* launch (third copy onward) would be needed after a
+    detected error, mirroring the temporal machine's weakly-hard
+    short-circuit.
+    """
+
+    def __init__(
+        self,
+        can_run_another_copy: Callable[[], bool],
+        max_copies: int = TemStateMachine.DEFAULT_MAX_COPIES,
+        accept_miss: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self._can_run_another_copy = can_run_another_copy
+        self._max_copies = max_copies
+        self._accept_miss = accept_miss
+        self._results: List[Result] = []
+        self._mechanisms: List[str] = []
+        self._errors_detected = 0
+        self._launched = 0
+        self._in_flight = 0
+        self._mismatch_noted = False
+        self._finished: Optional[TemReport] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._finished is not None
+
+    @property
+    def report(self) -> TemReport:
+        if self._finished is None:
+            raise ReproError("spatial TEM job still in progress; no report yet")
+        return self._finished
+
+    @property
+    def copies_launched(self) -> int:
+        return self._launched
+
+    @property
+    def in_flight(self) -> int:
+        """Copies launched but not yet reported complete/aborted."""
+        return self._in_flight
+
+    @property
+    def errors_detected(self) -> int:
+        return self._errors_detected
+
+    # ------------------------------------------------------------------
+    # Driver protocol
+    # ------------------------------------------------------------------
+    def claim_launches(self) -> int:
+        """Copies the driver must launch *now* (0 once decided).
+
+        May instead settle the job as an omission when no further launch
+        is allowed and the copies still in flight cannot produce a
+        decision on their own.
+        """
+        if self._finished is not None:
+            return 0
+        claimed = 0
+        while self._needed(claimed) > 0:
+            if self._launched + claimed >= self._max_copies:
+                if self._in_flight + claimed == 0:
+                    self._finish_omitted("copy budget exhausted (spatial)")
+                break
+            if self._launched + claimed >= 2:
+                # A recovery launch after a detected error: the weakly-hard
+                # miss budget may absorb the miss instead (cf. the temporal
+                # machine's accept_miss short-circuit).
+                if (
+                    self._accept_miss is not None
+                    and self._errors_detected > 0
+                    and self._accept_miss()
+                ):
+                    self._mechanisms.append(MK_BUDGET_MISS)
+                    self._finish_omitted(
+                        f"{MK_BUDGET_MISS}: recovery skipped (spatial)"
+                    )
+                    break
+            if self._launched + claimed >= 1 and not self._can_run_another_copy():
+                if self._in_flight + claimed == 0:
+                    self._finish_omitted(
+                        "deadline does not allow another copy (spatial)"
+                    )
+                break
+            claimed += 1
+        if self._finished is not None:
+            return 0
+        self._launched += claimed
+        self._in_flight += claimed
+        return claimed
+
+    def copy_completed(self, result: Result) -> None:
+        """One concurrent copy finished and produced *result*."""
+        self._expect_in_flight()
+        self._results.append(tuple(result))
+        self._evaluate()
+
+    def copy_aborted(self, mechanism: str) -> None:
+        """An EDM terminated one concurrent copy."""
+        self._expect_in_flight()
+        self._note_error(mechanism)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _needed(self, claimed: int) -> int:
+        """Further live copies needed to still reach a decision."""
+        required = 2 if len(self._results) < 2 else len(self._results) + 1
+        return (required - len(self._results)) - (self._in_flight + claimed)
+
+    def _expect_in_flight(self) -> None:
+        if self._in_flight <= 0:
+            raise ReproError("no spatial copy is currently in flight")
+        self._in_flight -= 1
+
+    def _note_error(self, mechanism: str) -> None:
+        self._errors_detected += 1
+        self._mechanisms.append(mechanism)
+
+    def _evaluate(self) -> None:
+        if self._finished is not None or len(self._results) < 2:
+            return
+        vote = majority_vote(self._results)
+        if vote is not None:
+            outcome = (
+                TemOutcome.OK if self._errors_detected == 0 else TemOutcome.MASKED
+            )
+            self._finished = TemReport(
+                outcome=outcome,
+                delivered_result=vote,
+                copies_run=self._launched,
+                errors_detected=self._errors_detected,
+                detection_mechanisms=list(self._mechanisms),
+            )
+            _account_report(self._finished)
+            return
+        if len(self._results) >= 3:
+            self._finish_omitted("no_majority")
+            return
+        # Two disagreeing results: one detected comparison error, noted
+        # once; a tie-breaking copy is claimed by the next claim_launches.
+        if not self._mismatch_noted:
+            self._mismatch_noted = True
+            self._note_error("comparison")
+
+    def _finish_omitted(self, reason: str) -> None:
+        self._finished = TemReport(
+            outcome=TemOutcome.OMISSION,
+            delivered_result=None,
+            copies_run=self._launched,
+            errors_detected=self._errors_detected,
+            detection_mechanisms=list(self._mechanisms),
+            omission_reason=reason,
+        )
+        _account_report(self._finished)
 
 
 def run_tem_direct(

@@ -86,6 +86,7 @@ def mk_fault_payloads(
     max_misses: int = 0,
     window_jobs: int = 1,
     prefill_miss_rate: float = 0.0,
+    assignments: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> List[MkPayload]:
     """Deterministic weakly-hard payload list over the E5 fault stream.
 
@@ -96,20 +97,33 @@ def mk_fault_payloads(
     the degenerate (0, 1) the prefix is empty and **zero** random numbers
     are consumed, so the payloads differ from E5's only by the constant
     constraint fields.
+
+    *assignments* models a node whose tasks carry **heterogeneous** (m, k)
+    contracts in one campaign: trial *i* takes the ``(m, k)`` pair
+    ``assignments[i % len(assignments)]`` (round-robin over the injected
+    stream, mirroring how faults land uniformly across a task set), with
+    its prefill sized by that trial's own window.  ``assignments=None``
+    (or a single pair equal to ``(max_misses, window_jobs)``) reproduces
+    the homogeneous campaign bit for bit.
     """
-    WeaklyHardConstraint(max_misses=max_misses, window_jobs=window_jobs)
+    if assignments is None:
+        assignments = ((max_misses, window_jobs),)
+    if not assignments:
+        raise ValueError("assignments must name at least one (m, k) pair")
+    for m, k in assignments:
+        WeaklyHardConstraint(max_misses=m, window_jobs=k)
     base = e5_fault_payloads(experiments, seed=seed, max_copies=max_copies)
     prefill_rng = np.random.default_rng(seed + 3)
     payloads: List[MkPayload] = []
-    for copy_cap, fault in base:
-        if window_jobs > 1 and prefill_miss_rate > 0.0:
+    for index, (copy_cap, fault) in enumerate(base):
+        m, k = assignments[index % len(assignments)]
+        if k > 1 and prefill_miss_rate > 0.0:
             bits = tuple(
-                int(b)
-                for b in prefill_rng.random(window_jobs - 1) < prefill_miss_rate
+                int(b) for b in prefill_rng.random(k - 1) < prefill_miss_rate
             )
         else:
-            bits = (0,) * (window_jobs - 1)
-        payloads.append((copy_cap, max_misses, window_jobs, bits, fault))
+            bits = (0,) * (k - 1)
+        payloads.append((copy_cap, m, k, bits, fault))
     return payloads
 
 
@@ -185,6 +199,7 @@ def run_mk_campaign(
     chaos: Optional[ChaosPolicy] = None,
     lease_ttl_s: float = 2.0,
     batch: int = 0,
+    assignments: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> "tuple[CampaignStatistics, List[MkPayload]]":
     """One (m,k) injection campaign through the full harness stack.
 
@@ -193,7 +208,8 @@ def run_mk_campaign(
     ``shards`` schedules all produce bit-identical statistics.  Returns
     the statistics *and* the payload list (records are in payload order,
     which is what pairs each outcome with its window prefill for the
-    regime estimators).
+    regime estimators).  *assignments* runs heterogeneous per-task (m,k)
+    contracts in a single campaign (see :func:`mk_fault_payloads`).
     """
     payloads = mk_fault_payloads(
         experiments,
@@ -202,6 +218,7 @@ def run_mk_campaign(
         max_misses=max_misses,
         window_jobs=window_jobs,
         prefill_miss_rate=prefill_miss_rate,
+        assignments=assignments,
     )
     name = campaign or f"e14-mk{max_misses}of{window_jobs}-n{experiments}"
     config = SupervisorConfig(

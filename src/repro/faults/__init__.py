@@ -7,6 +7,7 @@ of refs [7, 8, 16]; see DESIGN.md.
 from .campaign import BUDGET_STEP_FACTOR, TemInjectionHarness, TemWorkload
 from .generators import (
     DEFAULT_TARGET_WEIGHTS,
+    critical_section_arrivals,
     memory_scan,
     random_fault,
     random_fault_list,
@@ -49,6 +50,7 @@ __all__ = [
     "TemInjectionHarness",
     "TemWorkload",
     "classify_tem_report",
+    "critical_section_arrivals",
     "memory_scan",
     "random_fault",
     "random_fault_list",

@@ -144,6 +144,48 @@ def register_scan(
                 )
 
 
+def critical_section_arrivals(
+    rng: np.random.Generator,
+    task,
+    count: int,
+    horizon: int,
+) -> List[int]:
+    """Fault-arrival ticks aimed *inside* a task's critical sections.
+
+    Multicore campaigns need strikes that land while a copy holds (or is
+    inside) a shared-resource critical section — the case where a classic
+    lock's blocking time blows up and a lock-free attempt merely fails to
+    commit (:mod:`repro.kernel.resources`).  For each arrival a job of
+    *task* in ``[0, horizon)`` is drawn uniformly, then a tick uniform
+    over that job's section windows ``[release + start, release + end)``
+    (fault-free timing; under contention the section stretches, so the
+    tick still lands in or before the section — never after it).
+
+    Returns sorted absolute ticks.  The *task* must declare at least one
+    critical section and one full period must fit in the horizon.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    windows = [(cs.start, cs.end) for cs in task.critical_sections]
+    if not windows:
+        raise ConfigurationError(
+            f"task {task.name!r} has no critical sections to target"
+        )
+    jobs = horizon // task.period
+    if jobs < 1:
+        raise ConfigurationError("horizon shorter than one task period")
+    lengths = np.array([end - start for start, end in windows], dtype=float)
+    weights = lengths / lengths.sum()
+    ticks: List[int] = []
+    for _ in range(count):
+        job = int(rng.integers(0, jobs))
+        window = windows[int(rng.choice(len(windows), p=weights))]
+        offset = int(rng.integers(window[0], window[1]))
+        ticks.append(job * task.period + task.offset + offset)
+    ticks.sort()
+    return ticks
+
+
 def memory_scan(
     addresses: Sequence[int],
     bits: Sequence[int],

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError, SchedulingError
 from .analysis import AnalysisResult, ResponseTimeResult, higher_priority, jobs_in
+from .cores import PlacementPolicy
 from .task import TaskSpec
 
 
@@ -300,3 +301,202 @@ def slack_per_period(
 def tem_utilization(tasks: Sequence[TaskSpec], comparison_cost: int = 0) -> float:
     """Fault-free utilization with TEM doubling applied."""
     return sum(tem_cost(t, comparison_cost) / t.period for t in tasks)
+
+
+# ----------------------------------------------------------------------
+# Multicore extension (ROADMAP item 4)
+# ----------------------------------------------------------------------
+
+def partition_tasks(
+    tasks: Sequence[TaskSpec],
+    cores: int,
+    comparison_cost: int = 0,
+) -> List[List[TaskSpec]]:
+    """Deterministic task-to-core assignment for partitioned scheduling.
+
+    Tasks with an explicit :attr:`~repro.kernel.task.TaskSpec.core` keep
+    their pin; the rest are placed first-fit-decreasing by TEM-inflated
+    utilization (a standard bin-packing heuristic), with ties broken by
+    registration order so the assignment is reproducible.  With one core
+    everything lands on core 0 and each partition *is* the input set.
+    """
+    if cores < 1:
+        raise ConfigurationError("a node needs at least one core")
+    partitions: List[List[TaskSpec]] = [[] for _ in range(cores)]
+    load = [0.0] * cores
+    floating: List[TaskSpec] = []
+    for task in tasks:
+        if task.core is not None:
+            if task.core >= cores:
+                raise ConfigurationError(
+                    f"task {task.name!r} is pinned to core {task.core} but "
+                    f"the node has only {cores} core(s)"
+                )
+            partitions[task.core].append(task)
+            load[task.core] += tem_cost(task, comparison_cost) / task.period
+        else:
+            floating.append(task)
+    floating.sort(
+        key=lambda t: tem_cost(t, comparison_cost) / t.period, reverse=True
+    )
+    for task in floating:
+        core = min(range(cores), key=lambda c: (load[c], c))
+        partitions[core].append(task)
+        load[core] += tem_cost(task, comparison_cost) / task.period
+    # Preserve priority-analysis preconditions: keep each partition in the
+    # original (validated) task-set order.
+    order = {t.name: i for i, t in enumerate(tasks)}
+    for partition in partitions:
+        partition.sort(key=lambda t: order[t.name])
+    return partitions
+
+
+def _global_response_time(
+    tasks: Sequence[TaskSpec],
+    task: TaskSpec,
+    hypothesis: FaultHypothesis,
+    cores: int,
+    comparison_cost: int,
+    limit_factor: int,
+    with_mk: bool,
+) -> Optional[int]:
+    """Global-FP response-time iteration (shared by ft/mk variants).
+
+    The classic multiprocessor extension of the busy-period argument: on
+    M cores a job is only delayed while *all* M cores are busy with
+    equal-or-higher-priority work, so interference (and the reserved
+    recovery demand, which runs at the recovering task's priority) is
+    divided by M::
+
+        R_i = C_i' + floor((sum_{j in hp(i)} ceil(R_i / T_j) C_j'
+                            + recoveries(R_i) * maxrec(i)) / M)
+
+    With M = 1 the floor-division is the identity, every iterate equals
+    the single-processor iteration's, and the fixed point is bit-identical
+    to :func:`ft_response_time` (or :func:`mk_response_time` when
+    *with_mk*) — the degeneracy gate the tests pin down.
+    """
+    base = {t.name: tem_cost(t, comparison_cost) for t in tasks}
+    own = base[task.name]
+    hp = higher_priority(tasks, task)
+    hep = [t for t in tasks if t.priority <= task.priority]
+    worst_recovery = max((recovery_cost(t, comparison_cost) for t in hep), default=0)
+    r = own
+    bound = task.relative_deadline * limit_factor
+    while True:
+        recoveries = hypothesis.faults_in(r)
+        if with_mk:
+            recoveries = max(0, recoveries - mk_absorbable_misses(tasks, task, r))
+        interference = sum(math.ceil(r / t.period) * base[t.name] for t in hp)
+        total = own + (interference + recoveries * worst_recovery) // cores
+        # Same convergence rules as the single-core iterations: the hard
+        # variant's demand is monotone (equality suffices); the (m,k)
+        # recovery term is not, so any total <= r is a sound bound.
+        if total <= r if with_mk else total == r:
+            return r
+        if total > bound:
+            return None
+        r = total
+
+
+def ft_response_time_mc(
+    tasks: Sequence[TaskSpec],
+    task: TaskSpec,
+    hypothesis: FaultHypothesis,
+    cores: int = 1,
+    placement: PlacementPolicy = PlacementPolicy.PARTITIONED,
+    comparison_cost: int = 0,
+    limit_factor: int = 100,
+) -> Optional[int]:
+    """Worst-case response time of *task* on an M-core node.
+
+    Partitioned placement analyses *task*'s partition with the
+    single-processor test (interference only from co-located tasks);
+    global placement uses the M-divided busy-period iteration.  Both
+    reduce term for term to :func:`ft_response_time` at ``cores=1``.
+    """
+    if placement is PlacementPolicy.PARTITIONED:
+        partitions = partition_tasks(tasks, cores, comparison_cost)
+        for partition in partitions:
+            if any(t.name == task.name for t in partition):
+                return ft_response_time(
+                    partition, task, hypothesis, comparison_cost, limit_factor
+                )
+        raise SchedulingError(f"task {task.name!r} not in the analysed set")
+    return _global_response_time(
+        tasks, task, hypothesis, cores, comparison_cost, limit_factor, with_mk=False
+    )
+
+
+def mk_response_time_mc(
+    tasks: Sequence[TaskSpec],
+    task: TaskSpec,
+    hypothesis: FaultHypothesis,
+    cores: int = 1,
+    placement: PlacementPolicy = PlacementPolicy.PARTITIONED,
+    comparison_cost: int = 0,
+    limit_factor: int = 100,
+) -> Optional[int]:
+    """(m,k)-aware multicore response time (see :func:`ft_response_time_mc`)."""
+    if placement is PlacementPolicy.PARTITIONED:
+        partitions = partition_tasks(tasks, cores, comparison_cost)
+        for partition in partitions:
+            if any(t.name == task.name for t in partition):
+                return mk_response_time(
+                    partition, task, hypothesis, comparison_cost, limit_factor
+                )
+        raise SchedulingError(f"task {task.name!r} not in the analysed set")
+    return _global_response_time(
+        tasks, task, hypothesis, cores, comparison_cost, limit_factor, with_mk=True
+    )
+
+
+def analyse_ft_mc(
+    tasks: Sequence[TaskSpec],
+    hypothesis: FaultHypothesis,
+    cores: int = 1,
+    placement: PlacementPolicy = PlacementPolicy.PARTITIONED,
+    comparison_cost: int = 0,
+) -> AnalysisResult:
+    """Fault-tolerant RTA of a task set on an M-core node.
+
+    ``analyse_ft_mc(tasks, hyp, cores=1)`` equals :func:`analyse_ft`
+    exactly — same per-task response times, same schedulability verdict —
+    for either placement policy (the M = 1 degeneracy gate).
+    """
+    if not tasks:
+        raise SchedulingError("cannot analyse an empty task set")
+    results = [
+        ResponseTimeResult(
+            task=t.name,
+            response_time=ft_response_time_mc(
+                tasks, t, hypothesis, cores, placement, comparison_cost
+            ),
+            deadline=t.relative_deadline,
+        )
+        for t in tasks
+    ]
+    return AnalysisResult(per_task=results)
+
+
+def analyse_mk_mc(
+    tasks: Sequence[TaskSpec],
+    hypothesis: FaultHypothesis,
+    cores: int = 1,
+    placement: PlacementPolicy = PlacementPolicy.PARTITIONED,
+    comparison_cost: int = 0,
+) -> AnalysisResult:
+    """(m,k)-aware multicore RTA; equals :func:`analyse_mk` at ``cores=1``."""
+    if not tasks:
+        raise SchedulingError("cannot analyse an empty task set")
+    results = [
+        ResponseTimeResult(
+            task=t.name,
+            response_time=mk_response_time_mc(
+                tasks, t, hypothesis, cores, placement, comparison_cost
+            ),
+            deadline=t.relative_deadline,
+        )
+        for t in tasks
+    ]
+    return AnalysisResult(per_task=results)

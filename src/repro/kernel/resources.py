@@ -1,0 +1,215 @@
+"""Shared resources with fault-tolerant access protocols (ROADMAP item 4).
+
+Multicore nodes share data structures — sensor images, actuator command
+buffers, the kernel's own tables — across cores.  A fault striking a task
+*inside* a critical section is qualitatively worse than one striking
+straight-line code: with a classical lock the error can leave the resource
+held, stretching every other core's blocking time; with an optimistic
+protocol the failed attempt simply never commits.  Two protocols are
+modelled so the campaigns can measure that trade (blocking-time blowup vs
+retry overhead):
+
+* :attr:`ResourceProtocol.LOCK` — a classical MSRP/priority-ceiling-style
+  spin lock: a task that finds the resource busy *spins* (burning its own
+  budget) until granted, and both spinning and holding tasks run
+  non-preemptively so the blocking a high-priority task suffers is bounded
+  by one critical section per remote core — plus the kernel's cleanup
+  delay when a fault aborts a holder mid-section.
+* :attr:`ResourceProtocol.LOCK_FREE` — a LEFT-RS-style lock-free retry
+  loop (arXiv:2512.21701): a task enters its section optimistically,
+  snapshots the resource's *commit counter*, and at the end commits only
+  if no other core committed meanwhile; otherwise it re-executes the
+  section.  Faulty attempts never commit, so an aborted task leaves no
+  state for others to clean up.
+
+The :class:`ResourceManager` is pure bookkeeping — holders, waiter queues,
+commit counters, statistics.  All *timing* (spin durations, retry
+re-execution, cleanup delays) is played out by the DES scheduler
+(:mod:`repro.kernel.scheduler`), which consults the manager at section
+boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, SchedulingError
+
+
+class ResourceProtocol(enum.Enum):
+    """How tasks arbitrate access to a shared resource."""
+
+    #: Classical spin lock with non-preemptable holders (MSRP-style).
+    LOCK = "lock"
+    #: LEFT-RS-style optimistic retry loop (commit-counter conflict check).
+    LOCK_FREE = "lock_free"
+
+
+@dataclasses.dataclass(frozen=True)
+class CriticalSection:
+    """One shared-resource access inside a task's copy.
+
+    Offsets are ticks of *pure computation* into the copy: the section is
+    entered when the copy has executed ``start`` ticks and left
+    ``duration`` ticks of execution later.  Spins and retries stretch the
+    wall-clock picture but not these computation offsets.
+    """
+
+    resource: str
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if not self.resource:
+            raise ConfigurationError("critical section needs a resource name")
+        if self.start < 0:
+            raise ConfigurationError("critical section start must be non-negative")
+        if self.duration <= 0:
+            raise ConfigurationError("critical section duration must be positive")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+def validate_sections(sections: "Tuple[CriticalSection, ...]", wcet: int, name: str) -> None:
+    """Sections must be ordered, non-overlapping and inside the WCET."""
+    previous_end = 0
+    for section in sections:
+        if section.start < previous_end:
+            raise ConfigurationError(
+                f"task {name!r}: critical sections must be ordered and "
+                f"non-overlapping (section on {section.resource!r} starts at "
+                f"{section.start}, previous ends at {previous_end})"
+            )
+        if section.end > wcet:
+            raise ConfigurationError(
+                f"task {name!r}: critical section on {section.resource!r} "
+                f"ends at {section.end}, past the WCET {wcet}"
+            )
+        previous_end = section.end
+
+
+@dataclasses.dataclass
+class ResourceStats:
+    """Per-node resource-contention accounting (campaign bookkeeping).
+
+    Tick-valued counters are charged by the scheduler (only it knows the
+    simulated clock); event counts are charged here.
+    """
+
+    #: Successful acquisitions (LOCK grants + LOCK_FREE commits).
+    acquisitions: int = 0
+    #: LOCK: requests that found the resource busy and had to spin.
+    contentions: int = 0
+    #: LOCK: total ticks spent spinning (remote blocking).
+    blocking_ticks: int = 0
+    #: LOCK_FREE: section re-executions forced by a remote commit.
+    retries: int = 0
+    #: LOCK_FREE: total ticks of section re-execution.
+    retry_ticks: int = 0
+    #: Copies aborted by a fault while inside (or spinning on) a section.
+    cs_faults: int = 0
+    #: LOCK: extra holding ticks spent cleaning up after a faulted holder.
+    cleanup_ticks: int = 0
+
+
+@dataclasses.dataclass
+class _ResourceState:
+    name: str
+    holder: Optional[object] = None
+    commit_count: int = 0
+    #: Waiters as (priority, arrival_seq, job) — granted best priority
+    #: first, FIFO within a priority (deterministic).
+    waiters: List["Tuple[int, int, object]"] = dataclasses.field(default_factory=list)
+
+
+class ResourceManager:
+    """Bookkeeping for one node's shared resources under one protocol."""
+
+    def __init__(self, protocol: ResourceProtocol = ResourceProtocol.LOCK) -> None:
+        self.protocol = protocol
+        self.stats = ResourceStats()
+        self._resources: Dict[str, _ResourceState] = {}
+        self._arrival_seq = 0
+
+    def _state(self, name: str) -> _ResourceState:
+        state = self._resources.get(name)
+        if state is None:
+            state = _ResourceState(name=name)
+            self._resources[name] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # LOCK protocol
+    # ------------------------------------------------------------------
+    def lock_acquire(self, name: str, job: object, priority: int) -> bool:
+        """Try to take the lock; False enqueues *job* as a spinning waiter."""
+        state = self._state(name)
+        if state.holder is None:
+            state.holder = job
+            self.stats.acquisitions += 1
+            return True
+        self._arrival_seq += 1
+        state.waiters.append((priority, self._arrival_seq, job))
+        self.stats.contentions += 1
+        return False
+
+    def lock_release(self, name: str, job: object) -> Optional[object]:
+        """Release the lock; returns the waiter to grant next (if any).
+
+        The grantee becomes the holder immediately — the scheduler only
+        has to fold its spin time and resume its segment.
+        """
+        state = self._state(name)
+        if state.holder is not job:
+            raise SchedulingError(f"resource {name!r} released by a non-holder")
+        state.holder = None
+        state.commit_count += 1
+        if not state.waiters:
+            return None
+        state.waiters.sort(key=lambda w: (w[0], w[1]))
+        _, _, grantee = state.waiters.pop(0)
+        state.holder = grantee
+        self.stats.acquisitions += 1
+        return grantee
+
+    def cancel_wait(self, name: str, job: object) -> None:
+        """Remove *job* from the waiter queue (abort/preemption cleanup)."""
+        state = self._state(name)
+        state.waiters = [w for w in state.waiters if w[2] is not job]
+
+    def holder_of(self, name: str) -> Optional[object]:
+        return self._state(name).holder
+
+    # ------------------------------------------------------------------
+    # LOCK_FREE protocol
+    # ------------------------------------------------------------------
+    def free_begin(self, name: str) -> int:
+        """Optimistic section entry: snapshot the commit counter."""
+        return self._state(name).commit_count
+
+    def free_commit(self, name: str, entry_count: int) -> bool:
+        """Commit if nobody else committed since entry; else signal retry."""
+        state = self._state(name)
+        if state.commit_count != entry_count:
+            self.stats.retries += 1
+            return False
+        state.commit_count += 1
+        self.stats.acquisitions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop holders and waiters (node shutdown/restart).
+
+        Commit counters survive — they are monotone version numbers, and
+        restarting a node must not make a stale in-flight snapshot on
+        another node suddenly look current.
+        """
+        for name in sorted(self._resources):
+            state = self._resources[name]
+            state.holder = None
+            state.waiters.clear()

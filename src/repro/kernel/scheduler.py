@@ -1,43 +1,61 @@
-"""Fixed-priority preemptive scheduler with TEM support.
+"""Fixed-priority preemptive M-core scheduler with TEM support.
 
-This is the heart of the simulated real-time kernel (Sections 2.5 and 2.8).
-Responsibilities:
+This is the heart of the simulated real-time kernel (Sections 2.5 and 2.8,
+extended to multicore nodes per ROADMAP item 4).  Responsibilities:
 
 * periodic job release for every registered task;
-* fixed-priority preemptive dispatching (lower priority number wins);
+* fixed-priority preemptive dispatching over M cores (lower priority
+  number wins) under a partitioned or global placement policy
+  (:class:`~repro.kernel.cores.PlacementPolicy`); with M = 1 both reduce
+  bit-identically to the paper's single-processor kernel;
 * playing execution *copies* out over simulated time, including budget
   timers (execution-time monitoring) and EDM-triggered aborts;
 * driving a :class:`~repro.core.tem.TemStateMachine` per critical job —
   double execution, comparison, recovery copies, majority vote, deadline
-  checks, omission enforcement;
+  checks, omission enforcement — or, for tasks marked
+  :attr:`~repro.kernel.task.TemMode.SPATIAL`, a
+  :class:`~repro.core.tem.SpatialTem` coordinator racing concurrent copies
+  on distinct cores;
+* arbitrating shared-resource critical sections through a
+  :class:`~repro.kernel.resources.ResourceManager` (MSRP-style spin lock
+  or LEFT-RS-style lock-free retries), including the kernel-side cleanup
+  when a fault aborts a copy *inside* a section;
+* enforcing weakly-hard (m,k) miss budgets: the scheduler owns one
+  checkpointable :class:`~repro.kernel.task.MKWindow` per weakly-hard
+  task and threads its ``accept_miss`` hook into the TEM machinery;
 * shutting down non-critical tasks on their first detected error
   (Section 2.2, strategy 2);
 * escalating kernel-level errors to the node (strategy 3: fail-silent).
 
 Fault effects (:class:`~repro.cpu.profiles.FaultEffect`) are applied through
 :meth:`Scheduler.apply_fault_effect`, which the node layer calls when the
-fault injector strikes the host processor.
+fault injector strikes the host processor (optionally naming the struck
+core on a multicore node).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..core.tem import TemAction, TemOutcome, TemStateMachine
+from ..core.tem import SpatialTem, TemAction, TemOutcome, TemStateMachine
 from ..cpu.profiles import FaultEffect
 from ..errors import ConfigurationError, SchedulingError
 from ..sim import PRIORITY_KERNEL, PRIORITY_OBSERVER, EventHandle, Simulator, TraceRecorder
 from .budget import DEFAULT_BUDGET_FACTOR, ExecutionBudget, budget_for_wcet
+from .cores import CoreSet, PlacementPolicy
+from .resources import ResourceManager, ResourceProtocol
 from .task import (
     CopyPlan,
     Criticality,
     Executable,
+    MKWindow,
     Result,
     TaskSpec,
+    TemMode,
     validate_task_set,
 )
 
@@ -62,6 +80,19 @@ class KernelConfig:
         (the paper's FS baseline): detection machinery runs unchanged —
         double execution, comparison, EDMs — but the reaction to ANY
         detected error is to silence the node instead of recovering.
+    cores:
+        Number of identical cores on this node (M).  The default of 1 is
+        the paper's single-processor node, reproduced bit for bit.
+    placement:
+        Partitioned (per-task home cores) or global (one shared ready
+        queue, migration allowed) fixed-priority scheduling.
+    resource_protocol:
+        Arbitration for shared-resource critical sections: MSRP-style
+        spin lock or LEFT-RS-style lock-free retry loop.
+    cs_fault_cleanup_cost:
+        Extra ticks the kernel keeps a *lock* held while cleaning up
+        after a fault aborted the holder mid-section (the blocking-time
+        blowup the lock-free protocol avoids by construction).
     """
 
     budget_factor: float = DEFAULT_BUDGET_FACTOR
@@ -69,12 +100,20 @@ class KernelConfig:
     tem_max_copies: int = TemStateMachine.DEFAULT_MAX_COPIES
     context_switch_cost: int = 0
     fail_silent_mode: bool = False
+    cores: int = 1
+    placement: PlacementPolicy = PlacementPolicy.PARTITIONED
+    resource_protocol: ResourceProtocol = ResourceProtocol.LOCK
+    cs_fault_cleanup_cost: int = 0
 
     def __post_init__(self) -> None:
         if self.comparison_cost < 0 or self.context_switch_cost < 0:
             raise ConfigurationError("kernel overheads must be non-negative")
         if self.tem_max_copies < 2:
             raise ConfigurationError("TEM needs at least two copies per job")
+        if self.cores < 1:
+            raise ConfigurationError("a node needs at least one core")
+        if self.cs_fault_cleanup_cost < 0:
+            raise ConfigurationError("cleanup cost must be non-negative")
 
 
 class JobState(enum.Enum):
@@ -97,10 +136,33 @@ class JobStats:
     kernel_errors: int = 0
     noncritical_shutdowns: int = 0
     preemptions: int = 0
+    #: Global-FP only: jobs resumed on a different core than they last ran.
+    migrations: int = 0
+    #: Weakly-hard misses the scheduler-owned (m,k) windows could NOT absorb.
+    mk_violations: int = 0
+
+
+@dataclasses.dataclass
+class _Section:
+    """Runtime state of one critical section within the current copy.
+
+    ``enter_at``/``exit_at`` are *consumed-time* offsets; spins and
+    retries stretch them together with the plan duration so that the
+    computation inside and after the section keeps its length.
+    """
+
+    resource: str
+    length: int
+    enter_at: int
+    exit_at: int
+    entered: bool = False
+    done: bool = False
+    entry_count: int = 0
+    retries: int = 0
 
 
 class Job:
-    """One released instance of a task."""
+    """One released instance of a task (or one spatial copy of one)."""
 
     _sequence = 0
 
@@ -119,6 +181,25 @@ class Job:
         self.consumed = 0
         self.deadline_event: Optional[EventHandle] = None
         self.delivered: Optional[Result] = None
+        # --- multicore state ---
+        self.core: Optional[int] = None  # core of the last dispatch
+        self.home_core: Optional[int] = None  # placement override (spatial copies)
+        self.sections: List[_Section] = []
+        self.spinning_on: Optional[_Section] = None
+        self.holding: List[str] = []
+        # --- spatial TEM ---
+        self.spatial: Optional["_SpatialState"] = None  # on the logical job
+        self.spatial_parent: Optional["Job"] = None  # on each copy
+        self.launch_index = 0
+
+
+@dataclasses.dataclass
+class _SpatialState:
+    """Book-keeping for one spatially-redundant job (the logical parent)."""
+
+    tem: SpatialTem
+    copies: List[Job] = dataclasses.field(default_factory=list)
+    next_index: int = 0
 
 
 @dataclasses.dataclass
@@ -126,6 +207,10 @@ class _Running:
     job: Job
     started_at: int
     event: EventHandle
+    core: int = 0
+    #: Context-switch ticks charged at the head of this segment (zero for
+    #: in-place continuations at section boundaries).
+    overhead: int = 0
 
 
 @dataclasses.dataclass
@@ -171,12 +256,14 @@ class Scheduler:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.config = config if config is not None else KernelConfig()
         self.stats = JobStats()
+        self._cores = CoreSet(self.config.cores)
+        self.resources = ResourceManager(self.config.resource_protocol)
         self._tasks: Dict[str, _TaskEntry] = {}
         self._ready: List[Job] = []
-        self._running: Optional[_Running] = None
         self._started = False
         self._silent = False
         self._latent_effects: List[FaultEffect] = []
+        self._mk_windows: Dict[str, MKWindow] = {}
         # Node-layer callbacks.
         self.on_deliver: Optional[Callable[[TaskSpec, Job, Result], None]] = None
         self.on_omission: Optional[Callable[[TaskSpec, Job, str], None]] = None
@@ -198,11 +285,22 @@ class Scheduler:
             raise SchedulingError("cannot add tasks after the kernel started")
         if spec.name in self._tasks:
             raise SchedulingError(f"task {spec.name!r} already registered")
+        if (
+            spec.core is not None
+            and self.config.placement is PlacementPolicy.PARTITIONED
+            and spec.core >= self.config.cores
+        ):
+            raise ConfigurationError(
+                f"task {spec.name!r} is pinned to core {spec.core} but the "
+                f"node has only {self.config.cores} core(s)"
+            )
         self._tasks[spec.name] = _TaskEntry(
             spec=spec,
             executable=executable,
             input_provider=input_provider if input_provider is not None else tuple,
         )
+        if spec.weakly_hard is not None:
+            self._mk_windows[spec.name] = MKWindow(spec.weakly_hard)
         validate_task_set([entry.spec for entry in self._tasks.values()])
 
     def add_sporadic_task(
@@ -266,7 +364,7 @@ class Scheduler:
     def shutdown(self) -> None:
         """Stop all activity immediately (node becomes silent).
 
-        Cancels pending releases, the running segment and deadline events.
+        Cancels pending releases, the running segments and deadline events.
         Used for fail-silent failures and node restarts.
         """
         self._silent = True
@@ -274,13 +372,16 @@ class Scheduler:
             if entry.release_event is not None:
                 entry.release_event.cancel()
                 entry.release_event = None
-        if self._running is not None:
-            self._running.event.cancel()
-            self._running = None
+        for core in range(self._cores.count):
+            slot = self._cores.slots[core]
+            if slot is not None:
+                slot.event.cancel()
+                self._cores.slots[core] = None
         for job in self._ready:
             if job.deadline_event is not None:
                 job.deadline_event.cancel()
         self._ready.clear()
+        self.resources.reset()
 
     def restart(self) -> None:
         """Re-arm the kernel after a node restart (fresh job streams)."""
@@ -300,12 +401,63 @@ class Scheduler:
 
     @property
     def busy(self) -> bool:
-        """True if a copy is executing right now."""
-        return self._running is not None
+        """True if a copy is executing on any core right now."""
+        return self._cores.busy
+
+    @property
+    def cores(self) -> int:
+        """Number of cores on this node."""
+        return self._cores.count
+
+    def running_on(self, core: int) -> Optional[Job]:
+        """The job executing on *core* right now (None when idle)."""
+        slot = self._cores.slots[core]
+        return slot.job if slot is not None else None
 
     def active_tasks(self) -> List[str]:
         """Names of tasks still scheduled (non-critical ones may shut down)."""
         return [name for name, entry in self._tasks.items() if entry.active]
+
+    # ------------------------------------------------------------------
+    # Weakly-hard (m,k) window ownership (ROADMAP item 3 remainder)
+    # ------------------------------------------------------------------
+    def mk_window(self, name: str) -> Optional[MKWindow]:
+        """The scheduler-owned miss window of one weakly-hard task."""
+        return self._mk_windows.get(name)
+
+    def mk_state(self) -> Dict[str, "Tuple[int, ...]"]:
+        """Checkpoint of every task's (m,k) window (JSON-friendly).
+
+        Part of the kernel's resumable state: pair it with the
+        simulator/journal checkpoint and feed it back through
+        :meth:`restore_mk_state` so miss-budget decisions after a resume
+        are bit-identical to an uninterrupted run (the
+        :class:`~repro.kernel.task.MKWindow` checkpoint contract).
+        """
+        return {name: self._mk_windows[name].state() for name in sorted(self._mk_windows)}
+
+    def restore_mk_state(self, state: Mapping[str, Iterable[int]]) -> None:
+        """Restore :meth:`mk_state` output into the scheduler's windows."""
+        for name in sorted(state):
+            window = self._mk_windows.get(name)
+            if window is None:
+                raise SchedulingError(f"no weakly-hard window for task {name!r}")
+            self._mk_windows[name] = MKWindow.resume(
+                window.constraint, tuple(state[name])
+            )
+
+    def _record_mk(self, job: Job, missed: bool) -> None:
+        """Feed one terminal job outcome into the task's miss window."""
+        if job.spatial_parent is not None:  # copies are not jobs
+            return
+        window = self._mk_windows.get(job.task.name)
+        if window is None:
+            return
+        if window.record(missed):
+            self.stats.mk_violations += 1
+            self.trace.emit(
+                self.sim.now, "kernel.mk_violation", self.name, job=job.job_id
+            )
 
     # ------------------------------------------------------------------
     # Release machinery
@@ -333,9 +485,30 @@ class Scheduler:
         self.stats.released += 1
         self.trace.emit(self.sim.now, "kernel.release", self.name, job=job.job_id)
         if spec.is_critical:
+            window = self._mk_windows.get(spec.name)
+            accept_miss = window.can_accept_miss if window is not None else None
+            if spec.tem_mode is TemMode.SPATIAL and self._cores.count > 1:
+                # Spatial redundancy: concurrent copies on distinct cores.
+                job.spatial = _SpatialState(
+                    tem=SpatialTem(
+                        can_run_another_copy=self._deadline_predicate(job),
+                        max_copies=self.config.tem_max_copies,
+                        accept_miss=accept_miss,
+                    )
+                )
+                job.deadline_event = self.sim.schedule_at(
+                    job.absolute_deadline,
+                    lambda: self._deadline_check(job),
+                    priority=PRIORITY_OBSERVER,
+                    label=f"{self.name}:deadline:{job.job_id}",
+                )
+                self._spawn_spatial_copies(job)
+                self._dispatch()
+                return
             job.tem = TemStateMachine(
                 can_run_another_copy=self._deadline_predicate(job),
                 max_copies=self.config.tem_max_copies,
+                accept_miss=accept_miss,
             )
             action = job.tem.next_action()
             if action is not TemAction.RUN_COPY:  # pragma: no cover - cannot happen
@@ -357,37 +530,207 @@ class Scheduler:
         return can_run_another_copy
 
     # ------------------------------------------------------------------
+    # Spatial TEM copy management
+    # ------------------------------------------------------------------
+    def _spatial_core(self, task: TaskSpec, index: int) -> Optional[int]:
+        """Home core for spatial copy *index* (None = go anywhere).
+
+        Partitioned placement spreads the two copies across neighbouring
+        cores and puts the recovery copy on a third core when one exists;
+        global placement lets the shared ready queue spread them.
+        """
+        if self.config.placement is not PlacementPolicy.PARTITIONED:
+            return None
+        base = task.core if task.core is not None else 0
+        return (base + index) % self._cores.count
+
+    def _spawn_spatial_copies(self, parent: Job) -> None:
+        state = parent.spatial
+        assert state is not None
+        count = state.tem.claim_launches()
+        if state.tem.finished:
+            self._settle_spatial(parent)
+            return
+        for _ in range(count):
+            index = state.next_index
+            state.next_index += 1
+            copy = Job(parent.task, parent.release_time, parent.inputs)
+            copy.spatial_parent = parent
+            copy.launch_index = index
+            copy.home_core = self._spatial_core(parent.task, index)
+            state.copies.append(copy)
+            category = "tem.recovery" if index >= 2 else "tem.copy"
+            self.trace.emit(
+                self.sim.now, category, self.name,
+                job=parent.job_id, copy=index + 1,
+            )
+            self._ready.append(copy)
+
+    def _spatial_copy_finished(self, job: Job) -> Job:
+        """Retire one spatial copy; returns its logical parent."""
+        parent = job.spatial_parent
+        assert parent is not None and parent.spatial is not None
+        job.state = JobState.FINISHED
+        if job in parent.spatial.copies:
+            parent.spatial.copies.remove(job)
+        self._end_copy_cleanup(job, faulted=False)
+        return parent
+
+    def _advance_spatial(self, parent: Job) -> None:
+        state = parent.spatial
+        assert state is not None
+        if self.config.fail_silent_mode and state.tem.errors_detected > 0:
+            self._cancel_spatial_copies(parent)
+            self._finish_job(parent)
+            self.fail_silent_escalation("fs_detected_error")
+            return
+        if not state.tem.finished:
+            # _spawn_spatial_copies settles itself when the claim ends the
+            # machine (omission cap / deadline refusal) — don't settle twice.
+            self._spawn_spatial_copies(parent)
+            return
+        self._settle_spatial(parent)
+
+    def _settle_spatial(self, parent: Job) -> None:
+        state = parent.spatial
+        assert state is not None
+        report = state.tem.report
+        self._cancel_spatial_copies(parent)
+        if report.delivered_result is not None:
+            self.trace.emit(
+                self.sim.now, "tem.vote", self.name,
+                job=parent.job_id, outcome=report.outcome.value,
+                copies=report.copies_run,
+            )
+            self._finish_delivered(
+                parent,
+                report.delivered_result,
+                masked=report.outcome is TemOutcome.MASKED,
+            )
+            return
+        self._finish_omitted(parent, report.omission_reason or "tem")
+
+    def _cancel_spatial_copies(self, parent: Job) -> None:
+        """Abort every copy still live — the decision races the slowest
+        copy, which may be running on a remote core right now."""
+        state = parent.spatial
+        assert state is not None
+        for copy in list(state.copies):
+            state.copies.remove(copy)
+            copy.state = JobState.FINISHED
+            if copy in self._ready:
+                self._ready.remove(copy)
+            core = self._core_running_job(copy)
+            if core is not None:
+                slot = self._cores.slots[core]
+                assert slot is not None
+                slot.event.cancel()
+                self._cores.slots[core] = None
+                self.trace.emit(
+                    self.sim.now, "tem.cancel", self.name,
+                    job=parent.job_id, core=core,
+                )
+            self._end_copy_cleanup(copy, faulted=False)
+
+    # ------------------------------------------------------------------
     # Dispatching
     # ------------------------------------------------------------------
+    def _home_core(self, job: Job) -> int:
+        if job.home_core is not None:
+            return job.home_core
+        if job.task.core is not None:
+            return job.task.core
+        return 0
+
+    def _preemptable(self, slot: _Running) -> bool:
+        """MSRP rule: spinning and lock-holding jobs run non-preemptively
+        (preemption is deferred to the section exit)."""
+        return not slot.job.holding and slot.job.spinning_on is None
+
     def _dispatch(self) -> None:
         if self._silent:
             return
-        best = min(self._ready, key=lambda j: j.task.priority, default=None)
-        if self._running is not None:
-            if best is None or best.task.priority >= self._running.job.task.priority:
+        if self.config.placement is PlacementPolicy.PARTITIONED:
+            for core in range(self._cores.count):
+                self._dispatch_core(core)
+        else:
+            while self._dispatch_global():
+                pass
+
+    def _best_for_core(self, core: int) -> Optional[Job]:
+        return min(
+            (j for j in self._ready if self._home_core(j) == core),
+            key=lambda j: j.task.priority,
+            default=None,
+        )
+
+    def _dispatch_core(self, core: int) -> None:
+        """Single-core fixed-priority dispatch of one partition."""
+        best = self._best_for_core(core)
+        slot = self._cores.slots[core]
+        if slot is not None:
+            if best is None or best.task.priority >= slot.job.task.priority:
                 return
-            self._preempt()
-            best = min(self._ready, key=lambda j: j.task.priority, default=None)
+            if not self._preemptable(slot):
+                return
+            self._preempt(core)
+            best = self._best_for_core(core)
         if best is None:
             return
         self._ready.remove(best)
-        self._start_segment(best)
+        self._start_segment(best, core)
 
-    def _preempt(self) -> None:
-        running = self._running
-        assert running is not None
-        elapsed = self.sim.now - running.started_at
-        running.job.consumed += elapsed
-        if running.job.budget is not None:
-            running.job.budget.consume(elapsed)
-        running.event.cancel()
-        running.job.state = JobState.READY
-        self._ready.append(running.job)
-        self._running = None
+    def _dispatch_global(self) -> bool:
+        """One global-FP placement step; True when a job was started."""
+        best = min(self._ready, key=lambda j: j.task.priority, default=None)
+        if best is None:
+            return False
+        core = self._cores.idle_core()
+        if core is None:
+            core = self._cores.victim_core(
+                urgency=lambda slot: slot.job.task.priority,
+                preemptable=self._preemptable,
+            )
+            if core is None:
+                return False
+            victim = self._cores.slots[core]
+            assert victim is not None
+            if best.task.priority >= victim.job.task.priority:
+                return False
+            self._preempt(core)
+            best = min(self._ready, key=lambda j: j.task.priority, default=None)
+            if best is None:  # pragma: no cover - preempted job re-queued
+                return False
+        self._ready.remove(best)
+        self._start_segment(best, core)
+        return True
+
+    def _preempt(self, core: int) -> None:
+        slot = self._cores.slots[core]
+        assert slot is not None
+        job = slot.job
+        elapsed = self.sim.now - slot.started_at
+        job.consumed += elapsed
+        if job.budget is not None:
+            job.budget.consume(elapsed)
+        slot.event.cancel()
+        job.state = JobState.READY
+        self._ready.append(job)
+        self._cores.slots[core] = None
         self.stats.preemptions += 1
-        self.trace.emit(self.sim.now, "kernel.preempt", self.name, job=running.job.job_id)
+        self.trace.emit(
+            self.sim.now, "kernel.preempt", self.name,
+            job=job.job_id, **self._core_kwargs(core),
+        )
 
-    def _start_segment(self, job: Job) -> None:
+    def _core_kwargs(self, core: int) -> Dict[str, int]:
+        """Trace detail: name the core only on a multicore node, keeping
+        single-core traces (and the E6 timeline) byte-identical."""
+        if self._cores.count > 1:
+            return {"core": core}
+        return {}
+
+    def _start_segment(self, job: Job, core: int) -> None:
         if job.plan is None:
             self._plan_copy(job)
         job.state = JobState.RUNNING
@@ -399,29 +742,82 @@ class Scheduler:
             priority=PRIORITY_KERNEL,
             label=f"{self.name}:segment:{job.job_id}:{reason}",
         )
-        self._running = _Running(job=job, started_at=start_at, event=event)
+        self._cores.slots[core] = _Running(
+            job=job, started_at=start_at, event=event, core=core,
+            overhead=self.config.context_switch_cost,
+        )
+        if self._cores.count > 1:
+            if job.core is not None and job.core != core:
+                self.stats.migrations += 1
+                self.trace.emit(
+                    self.sim.now, "kernel.migrate", self.name,
+                    job=job.job_id, src=job.core, dst=core,
+                )
+            job.core = core
         self.trace.emit(
             self.sim.now, "kernel.dispatch", self.name,
             job=job.job_id, copy=job.copy_index, reason=reason, fire_in=fire_in,
+            **self._core_kwargs(core),
+        )
+
+    def _continue_segment(self, job: Job, core: int) -> None:
+        """Resume the running copy in place after a section boundary —
+        no dispatch, no context switch, no preemption decision."""
+        fire_in, reason = self._next_boundary(job)
+        event = self.sim.schedule_after(
+            fire_in,
+            lambda: self._segment_event(job, reason),
+            priority=PRIORITY_KERNEL,
+            label=f"{self.name}:segment:{job.job_id}:{reason}",
+        )
+        self._cores.slots[core] = _Running(
+            job=job, started_at=self.sim.now, event=event, core=core, overhead=0,
         )
 
     def _plan_copy(self, job: Job) -> None:
         entry = self._tasks[job.task.name]
         plan = entry.executable.plan_copy(job.inputs, job.copy_index)
-        if job.copy_index >= 1 and self.config.comparison_cost:
+        # Spatial copies are sibling executions of ONE job: the comparison
+        # surcharge lands on the second-and-later launches, mirroring the
+        # temporal machine's second-and-later copies.
+        later_copy = (
+            job.copy_index >= 1
+            if job.spatial_parent is None
+            else job.launch_index >= 1
+        )
+        if later_copy and self.config.comparison_cost:
             plan.duration += self.config.comparison_cost
         job.copy_index += 1
         job.plan = plan
         job.consumed = 0
         job.budget = ExecutionBudget(
             budget_for_wcet(job.task.wcet, self.config.budget_factor)
-            + (self.config.comparison_cost if job.copy_index > 1 else 0)
+            + (self.config.comparison_cost if later_copy else 0)
         )
+        job.sections = []
+        for section in job.task.critical_sections:
+            if section.start >= plan.duration:
+                continue  # this copy's computation never reaches the section
+            exit_at = min(section.end, plan.duration)
+            job.sections.append(
+                _Section(
+                    resource=section.resource,
+                    length=exit_at - section.start,
+                    enter_at=section.start,
+                    exit_at=exit_at,
+                )
+            )
         # Latent fault effects (struck while the CPU was idle) hit the next
         # copy that gets planned.
         while self._latent_effects:
             effect = self._latent_effects.pop()
             self._apply_effect_to_plan(job, effect)
+
+    def _current_section(self, job: Job) -> Optional[_Section]:
+        for section in job.sections:
+            if not section.done:
+                return section
+        return None
 
     def _next_boundary(self, job: Job) -> "tuple[int, str]":
         plan = job.plan
@@ -430,24 +826,37 @@ class Scheduler:
         candidates: List["tuple[int, str]"] = []
         if plan.detected_error is not None and plan.error_at is not None:
             candidates.append((max(0, plan.error_at - job.consumed), "error"))
+        section = self._current_section(job)
+        if section is not None:
+            if section.entered:
+                candidates.append((max(0, section.exit_at - job.consumed), "cs_exit"))
+            else:
+                candidates.append((max(0, section.enter_at - job.consumed), "cs_enter"))
         candidates.append((max(1, plan.duration - job.consumed), "complete"))
         candidates.append((budget.remaining, "budget"))
-        # Deterministic tie-break: error beats complete beats budget.
-        order = {"error": 0, "complete": 1, "budget": 2}
+        # Deterministic tie-break: error beats section boundaries beats
+        # complete beats budget.
+        order = {"error": 0, "cs_exit": 1, "cs_enter": 2, "complete": 3, "budget": 4}
         return min(candidates, key=lambda c: (c[0], order[c[1]]))
 
     # ------------------------------------------------------------------
     # Segment events
     # ------------------------------------------------------------------
+    def _core_running_job(self, job: Job) -> Optional[int]:
+        return self._cores.core_of(lambda slot: slot.job is job)
+
     def _segment_event(self, job: Job, reason: str) -> None:
-        running = self._running
-        if running is None or running.job is not job:  # pragma: no cover - defensive
+        core = self._core_running_job(job)
+        if core is None:  # pragma: no cover - defensive
             raise SchedulingError("segment event fired for a non-running job")
-        elapsed = self.sim.now - running.started_at
-        job.consumed += max(0, elapsed - self.config.context_switch_cost)
+        slot = self._cores.slots[core]
+        assert slot is not None
+        elapsed = self.sim.now - slot.started_at
+        progressed = max(0, elapsed - slot.overhead)
+        job.consumed += progressed
         if job.budget is not None:
-            job.budget.consume(max(0, elapsed - self.config.context_switch_cost))
-        self._running = None
+            job.budget.consume(progressed)
+        self._cores.slots[core] = None
         if reason == "complete":
             self._copy_completed(job)
         elif reason == "error":
@@ -455,10 +864,220 @@ class Scheduler:
             self._copy_detected_error(job, job.plan.detected_error or "cpu_exception")
         elif reason == "budget":
             self._copy_detected_error(job, "execution_time")
+        elif reason == "cs_enter":
+            self._cs_enter(job, core)
+            return
+        elif reason == "cs_exit":
+            self._cs_exit(job, core)
+            return
         else:  # pragma: no cover - exhaustive
-            raise SchedulingError(f"unknown segment event reason {reason!r}")
+            raise SchedulingError(f"unknown segment event reason {reason}")
         self._dispatch()
 
+    # ------------------------------------------------------------------
+    # Critical-section boundaries
+    # ------------------------------------------------------------------
+    def _cs_enter(self, job: Job, core: int) -> None:
+        section = self._current_section(job)
+        assert section is not None and not section.entered
+        if self.resources.protocol is ResourceProtocol.LOCK:
+            granted = self.resources.lock_acquire(
+                section.resource, job, job.task.priority
+            )
+            if not granted:
+                # Spin: the core burns the job's own budget until granted
+                # (MSRP busy-wait); only the budget timer can interrupt.
+                job.spinning_on = section
+                assert job.budget is not None
+                event = self.sim.schedule_after(
+                    job.budget.remaining,
+                    lambda: self._segment_event(job, "budget"),
+                    priority=PRIORITY_KERNEL,
+                    label=f"{self.name}:segment:{job.job_id}:budget",
+                )
+                self._cores.slots[core] = _Running(
+                    job=job, started_at=self.sim.now, event=event,
+                    core=core, overhead=0,
+                )
+                self.trace.emit(
+                    self.sim.now, "kernel.cs_spin", self.name,
+                    job=job.job_id, resource=section.resource,
+                    **self._core_kwargs(core),
+                )
+                return
+            job.holding.append(section.resource)
+        else:
+            section.entry_count = self.resources.free_begin(section.resource)
+        section.entered = True
+        self.trace.emit(
+            self.sim.now, "kernel.cs_enter", self.name,
+            job=job.job_id, resource=section.resource,
+            **self._core_kwargs(core),
+        )
+        self._continue_segment(job, core)
+
+    def _cs_exit(self, job: Job, core: int) -> None:
+        section = self._current_section(job)
+        assert section is not None and section.entered
+        if self.resources.protocol is ResourceProtocol.LOCK:
+            section.done = True
+            self._release_lock(job, section.resource)
+            self.trace.emit(
+                self.sim.now, "kernel.cs_exit", self.name,
+                job=job.job_id, resource=section.resource,
+                **self._core_kwargs(core),
+            )
+            if self._finish_copy_if_done(job):
+                return
+            self._continue_segment(job, core)
+            # A section exit is a preemption point: preemptions deferred
+            # while the lock was held (or spun on) fire now.
+            self._dispatch()
+            return
+        committed = self.resources.free_commit(section.resource, section.entry_count)
+        if committed:
+            section.done = True
+            self.trace.emit(
+                self.sim.now, "kernel.cs_exit", self.name,
+                job=job.job_id, resource=section.resource,
+                retries=section.retries, **self._core_kwargs(core),
+            )
+            if self._finish_copy_if_done(job):
+                return
+            self._continue_segment(job, core)
+            return
+        # Conflict: a remote core committed during our section — re-execute
+        # it (the LEFT-RS retry loop).  The plan stretches by one section
+        # length; computation after the section shifts with it.
+        section.retries += 1
+        self.resources.stats.retry_ticks += section.length
+        assert job.plan is not None
+        job.plan.duration += section.length
+        for later in job.sections:
+            if not later.done and not later.entered and later is not section:
+                later.enter_at += section.length
+                later.exit_at += section.length
+        section.exit_at = job.consumed + section.length
+        section.entry_count = self.resources.free_begin(section.resource)
+        self.trace.emit(
+            self.sim.now, "kernel.cs_retry", self.name,
+            job=job.job_id, resource=section.resource,
+            attempt=section.retries, **self._core_kwargs(core),
+        )
+        self._continue_segment(job, core)
+
+    def _finish_copy_if_done(self, job: Job) -> bool:
+        """A section that ends exactly at the plan's end completes the
+        copy in the same tick (no empty 1-tick continuation segment)."""
+        assert job.plan is not None
+        if job.consumed >= job.plan.duration:
+            self._copy_completed(job)
+            self._dispatch()
+            return True
+        return False
+
+    def _release_lock(self, job: Job, resource: str) -> None:
+        grantee = self.resources.lock_release(resource, job)
+        job.holding.remove(resource)
+        if grantee is not None:
+            assert isinstance(grantee, Job)
+            self._grant(grantee, resource)
+
+    def _grant(self, job: Job, resource: str) -> None:
+        """Hand the freed lock to the highest-priority spinner and resume
+        its segment, folding the spin into its consumed time/budget."""
+        core = self._core_running_job(job)
+        section = job.spinning_on
+        if core is None or section is None or section.resource != resource:
+            # pragma: no cover - waiters are deregistered before they stop
+            raise SchedulingError(f"lock {resource!r} granted to a non-spinner")
+        slot = self._cores.slots[core]
+        assert slot is not None
+        slot.event.cancel()
+        elapsed = self.sim.now - slot.started_at
+        job.consumed += elapsed
+        if job.budget is not None:
+            job.budget.consume(elapsed)
+        self.resources.stats.blocking_ticks += elapsed
+        # Spinning burned wall ticks without computing: stretch the plan
+        # and shift the pending boundaries so the computation keeps its
+        # length.
+        assert job.plan is not None
+        job.plan.duration += elapsed
+        for pending in job.sections:
+            if not pending.done and not pending.entered:
+                pending.enter_at += elapsed
+                pending.exit_at += elapsed
+        job.spinning_on = None
+        job.holding.append(resource)
+        section.entered = True
+        self.trace.emit(
+            self.sim.now, "kernel.cs_enter", self.name,
+            job=job.job_id, resource=resource, spun=elapsed,
+            **self._core_kwargs(core),
+        )
+        self._cores.slots[core] = None
+        self._continue_segment(job, core)
+
+    def _end_copy_cleanup(self, job: Job, faulted: bool) -> None:
+        """Resource cleanup when a copy stops mid-section (abort, deadline
+        miss, spatial cancellation): cancel spins, free held locks.
+
+        A *fault* that aborts a lock holder leaves the resource in an
+        unknown state; the kernel keeps it held for
+        ``cs_fault_cleanup_cost`` ticks of repair before granting it on —
+        the blocking-time blowup the campaigns measure.  The lock-free
+        protocol has nothing to repair: the attempt never committed.
+        """
+        if job.spinning_on is not None:
+            self.resources.cancel_wait(job.spinning_on.resource, job)
+            job.spinning_on = None
+            if faulted:
+                self.resources.stats.cs_faults += 1
+        inside = any(s.entered and not s.done for s in job.sections)
+        if faulted and inside and not job.holding:
+            # Lock-free attempt died mid-section: never commits, no cleanup.
+            self.resources.stats.cs_faults += 1
+        for resource in list(job.holding):
+            if faulted:
+                self.resources.stats.cs_faults += 1
+                cost = self.config.cs_fault_cleanup_cost
+                if cost > 0:
+                    self.resources.stats.cleanup_ticks += cost
+                    job.holding.remove(resource)
+                    self.trace.emit(
+                        self.sim.now, "kernel.cs_cleanup", self.name,
+                        job=job.job_id, resource=resource, cost=cost,
+                    )
+                    self.sim.schedule_after(
+                        cost,
+                        lambda resource=resource, job=job: self._cleanup_release(
+                            resource, job
+                        ),
+                        priority=PRIORITY_KERNEL,
+                        label=f"{self.name}:cleanup:{resource}",
+                    )
+                    continue
+            job.holding.remove(resource)
+            grantee = self.resources.lock_release(resource, job)
+            if grantee is not None:
+                assert isinstance(grantee, Job)
+                self._grant(grantee, resource)
+        job.sections = []
+
+    def _cleanup_release(self, resource: str, job: Job) -> None:
+        if self._silent:
+            return
+        if self.resources.holder_of(resource) is not job:
+            return  # the node restarted; holders were reset
+        grantee = self.resources.lock_release(resource, job)
+        if grantee is not None:
+            assert isinstance(grantee, Job)
+            self._grant(grantee, resource)
+
+    # ------------------------------------------------------------------
+    # Copy outcomes
+    # ------------------------------------------------------------------
     def _copy_completed(self, job: Job) -> None:
         plan = job.plan
         assert plan is not None
@@ -469,6 +1088,19 @@ class Scheduler:
         )
         if plan.result is None:  # pragma: no cover - defensive
             raise SchedulingError("completed copy carries no result")
+        if job.spatial_parent is not None:
+            parent = self._spatial_copy_finished(job)
+            if plan.bypasses_comparison:
+                # Control-flow error skipped the comparison: the unchecked
+                # (wrong) result escapes to the outputs (Section 2.7).
+                assert parent.spatial is not None
+                self._cancel_spatial_copies(parent)
+                self._finish_undetected(parent, plan.result)
+                return
+            assert parent.spatial is not None
+            parent.spatial.tem.copy_completed(plan.result)
+            self._advance_spatial(parent)
+            return
         if plan.bypasses_comparison:
             # Control-flow error skipped the comparison (Section 2.7): the
             # unchecked (wrong) result escapes to the outputs.
@@ -488,9 +1120,21 @@ class Scheduler:
             self.sim.now, "kernel.edm", self.name,
             job=job.job_id, mechanism=mechanism,
         )
+        self._end_copy_cleanup(job, faulted=True)
         if self.config.fail_silent_mode:
-            self._finish_job(job)
+            if job.spatial_parent is not None:
+                parent = self._spatial_copy_finished(job)
+                self._cancel_spatial_copies(parent)
+                self._finish_job(parent)
+            else:
+                self._finish_job(job)
             self.fail_silent_escalation(mechanism)
+            return
+        if job.spatial_parent is not None:
+            parent = self._spatial_copy_finished(job)
+            assert parent.spatial is not None
+            parent.spatial.tem.copy_aborted(mechanism)
+            self._advance_spatial(parent)
             return
         if job.tem is not None:
             job.tem.copy_aborted(mechanism)
@@ -552,6 +1196,8 @@ class Scheduler:
             job.deadline_event = None
         if job in self._ready:
             self._ready.remove(job)
+        if job.spinning_on is not None or job.holding or job.sections:
+            self._end_copy_cleanup(job, faulted=False)
 
     def _finish_delivered(self, job: Job, result: Result, masked: bool) -> None:
         self._finish_job(job)
@@ -560,6 +1206,7 @@ class Scheduler:
             self.stats.delivered_masked += 1
         else:
             self.stats.delivered_ok += 1
+        self._record_mk(job, missed=False)
         self.trace.emit(
             self.sim.now, "kernel.deliver", self.name,
             job=job.job_id, masked=masked,
@@ -570,6 +1217,7 @@ class Scheduler:
     def _finish_omitted(self, job: Job, reason: str) -> None:
         self._finish_job(job)
         self.stats.omissions += 1
+        self._record_mk(job, missed=True)
         self.trace.emit(
             self.sim.now, "kernel.omission", self.name,
             job=job.job_id, reason=reason,
@@ -580,6 +1228,7 @@ class Scheduler:
     def _finish_undetected(self, job: Job, result: Result) -> None:
         self._finish_job(job)
         self.stats.undetected_wrong_outputs += 1
+        self._record_mk(job, missed=False)
         self.trace.emit(
             self.sim.now, "kernel.undetected_output", self.name, job=job.job_id
         )
@@ -591,45 +1240,78 @@ class Scheduler:
             return
         self.stats.deadline_misses += 1
         self.trace.emit(self.sim.now, "kernel.deadline_miss", self.name, job=job.job_id)
-        if self._running is not None and self._running.job is job:
-            self._running.event.cancel()
-            self._running = None
+        if job.spatial is not None:
+            self._cancel_spatial_copies(job)
+            self._finish_omitted(job, "deadline")
+            self._dispatch()
+            return
+        core = self._core_running_job(job)
+        if core is not None:
+            slot = self._cores.slots[core]
+            assert slot is not None
+            slot.event.cancel()
+            self._cores.slots[core] = None
         self._finish_omitted(job, "deadline")
         self._dispatch()
 
     # ------------------------------------------------------------------
     # Fault-effect application (called by the node layer)
     # ------------------------------------------------------------------
-    def apply_fault_effect(self, effect: FaultEffect) -> str:
+    def apply_fault_effect(self, effect: FaultEffect, core: int = 0) -> str:
         """Apply one manifested fault effect to the kernel's current state.
 
-        Returns a short classification string for campaign bookkeeping.
+        *core* names the struck core on a multicore node (transient
+        hardware faults are per-core physical events); the default of 0 is
+        the paper's single processor.  Returns a short classification
+        string for campaign bookkeeping.
         """
         if self._silent:
             return "node_silent"
+        if core < 0 or core >= self._cores.count:
+            raise ConfigurationError(
+                f"fault struck core {core}, node has {self._cores.count}"
+            )
         if effect is FaultEffect.NO_EFFECT:
             return "no_effect"
         if effect is FaultEffect.KERNEL_CORRUPTION:
             self.kernel_error("kernel_check")
             return "kernel_error"
-        running = self._running
-        if running is None:
-            # CPU idle: the corruption lies latent until the next copy.
+        slot = self._cores.slots[core]
+        if slot is None:
+            # Core idle: the corruption lies latent until the next copy.
             self._latent_effects.append(effect)
             return "latent"
-        job = running.job
-        self._fold_running_time(running)
+        job = slot.job
+        self._fold_running_time(core)
         self._apply_effect_to_plan(job, effect)
         self._rearm(job)
         return "applied_to_copy"
 
-    def _fold_running_time(self, running: _Running) -> None:
-        elapsed = self.sim.now - running.started_at
-        running.job.consumed += elapsed
-        if running.job.budget is not None:
-            running.job.budget.consume(elapsed)
-        running.event.cancel()
-        self._running = None
+    def _fold_running_time(self, core: int) -> None:
+        slot = self._cores.slots[core]
+        assert slot is not None
+        job = slot.job
+        elapsed = self.sim.now - slot.started_at
+        job.consumed += elapsed
+        if job.budget is not None:
+            job.budget.consume(elapsed)
+        slot.event.cancel()
+        self._cores.slots[core] = None
+        if job.spinning_on is not None:
+            # The spin is interrupted: the burned ticks were pure blocking.
+            # Stretch the plan so the pending boundaries stay aligned with
+            # the computation, and leave the waiter queue — the job will
+            # re-request the lock when it reaches the entry boundary again.
+            section = job.spinning_on
+            self.resources.cancel_wait(section.resource, job)
+            self.resources.stats.blocking_ticks += elapsed
+            assert job.plan is not None
+            job.plan.duration += elapsed
+            for pending in job.sections:
+                if not pending.done and not pending.entered:
+                    pending.enter_at += elapsed
+                    pending.exit_at += elapsed
+            job.spinning_on = None
 
     def _rearm(self, job: Job) -> None:
         job.state = JobState.READY

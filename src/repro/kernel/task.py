@@ -33,6 +33,7 @@ from ..cpu.machine import Machine
 from ..errors import ConfigurationError
 
 from ..types import Result
+from .resources import CriticalSection, validate_sections
 
 
 class Criticality(enum.Enum):
@@ -40,6 +41,22 @@ class Criticality(enum.Enum):
 
     CRITICAL = "critical"
     NON_CRITICAL = "non_critical"
+
+
+class TemMode(enum.Enum):
+    """How a critical task's redundant copies are arranged (ROADMAP item 4).
+
+    TEMPORAL is the paper's mechanism — copies run back to back on one
+    core.  SPATIAL runs the two copies *concurrently on different cores*
+    (node-level spatial redundancy, cf. the EFTOS voting farm,
+    arXiv:1401.2920) with the comparison at joint completion and the
+    recovery copy placed on a third core when one exists.  On a
+    single-core node SPATIAL degenerates to TEMPORAL — there is no second
+    core to be spatial on.
+    """
+
+    TEMPORAL = "temporal"
+    SPATIAL = "spatial"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -201,6 +218,18 @@ class TaskSpec:
         paper's default).  Consumed by the miss-budget-aware recovery
         policy (:mod:`repro.core.tem`) and the (m,k)-aware FT-RTA
         (:func:`repro.kernel.ft_analysis.mk_response_time`).
+    core:
+        Home core under partitioned multicore scheduling (``None`` =
+        core 0, which on an M = 1 node is the paper's single processor).
+        Ignored under global scheduling.
+    tem_mode:
+        Copy arrangement for critical tasks: temporal masking (the
+        paper's TEM) or spatial redundancy across cores.
+    critical_sections:
+        Shared-resource accesses inside one copy
+        (:class:`~repro.kernel.resources.CriticalSection` offsets in
+        computation ticks); must be ordered, non-overlapping and inside
+        the WCET.
     """
 
     name: str
@@ -211,6 +240,9 @@ class TaskSpec:
     criticality: Criticality = Criticality.CRITICAL
     offset: int = 0
     weakly_hard: Optional[WeaklyHardConstraint] = None
+    core: Optional[int] = None
+    tem_mode: TemMode = TemMode.TEMPORAL
+    critical_sections: Tuple[CriticalSection, ...] = ()
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -226,6 +258,10 @@ class TaskSpec:
             )
         if self.offset < 0:
             raise ConfigurationError(f"task {self.name!r}: offset must be non-negative")
+        if self.core is not None and self.core < 0:
+            raise ConfigurationError(f"task {self.name!r}: core must be non-negative")
+        if self.critical_sections:
+            validate_sections(self.critical_sections, self.wcet, self.name)
 
     @property
     def relative_deadline(self) -> int:

@@ -36,6 +36,7 @@ EXPECTED_IDS = {
     "workload_table": "E12",
     "availability_table": "E13",
     "weakly_hard": "E14",
+    "multicore": "E15",
 }
 
 
@@ -74,7 +75,7 @@ class TestDiscovery:
         indexes = [exp.index for exp in loaded]
         assert indexes == [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8a", "E8b",
-            "E9", "E10", "E11", "E12", "E13", "E14",
+            "E9", "E10", "E11", "E12", "E13", "E14", "E15",
         ]
 
     def test_section_titles_match_runner_sections(self, loaded):

@@ -69,12 +69,13 @@ class TestCli:
 class TestSectionIndex:
     def test_campaign_sections_receive_journal_paths(self, tmp_path):
         sections = build_sections(fast=True, jobs=2, timeout=9.0, resume=tmp_path)
-        assert len(sections) == 15
+        assert len(sections) == 16
         assert any(title.startswith("E5 ") for title in sections)
 
     def test_index_is_complete_without_resume(self):
         sections = build_sections(fast=True)
         markers = ("E1 ", "E2 ", "E3 ", "E4 ", "E5 ", "E6 ", "E7 ",
-                   "E8a", "E8b", "E9 ", "E10", "E11", "E12", "E13", "E14")
+                   "E8a", "E8b", "E9 ", "E10", "E11", "E12", "E13", "E14",
+                   "E15")
         for marker in markers:
             assert any(t.startswith(marker) for t in sections), marker

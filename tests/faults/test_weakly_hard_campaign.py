@@ -135,6 +135,73 @@ def test_sharded_kill_and_resume_matches_serial_scalar(
     assert _freeze(result) == serial
 
 
+class TestHeterogeneousAssignments:
+    """ISSUE 9, satellite 2: one campaign carrying per-task (m,k)
+    contracts — trial *i* takes ``assignments[i % len(assignments)]``."""
+
+    ASSIGNMENTS = ((0, 1), (1, 4), (2, 8))
+
+    def test_single_pair_is_bit_identical_to_homogeneous(self):
+        explicit = mk_fault_payloads(
+            EXPERIMENTS, seed=SEED, max_copies=MAX_COPIES,
+            prefill_miss_rate=MK["prefill_miss_rate"],
+            assignments=((MK["max_misses"], MK["window_jobs"]),),
+        )
+        assert explicit == _payloads()
+
+    def test_round_robin_and_per_trial_prefill_sizing(self):
+        payloads = mk_fault_payloads(
+            EXPERIMENTS, seed=SEED, max_copies=MAX_COPIES,
+            prefill_miss_rate=0.35, assignments=self.ASSIGNMENTS,
+        )
+        assert len(payloads) == EXPERIMENTS
+        for index, (_, m, k, prefill, _) in enumerate(payloads):
+            assert (m, k) == self.ASSIGNMENTS[index % len(self.ASSIGNMENTS)]
+            assert len(prefill) == k - 1
+        # The hard lanes really are hard and the widest window really
+        # carries random prefill bits somewhere in the stream.
+        assert any(sum(p[3]) > 0 for p in payloads if p[2] == 8)
+        assert all(p[3] == () for p in payloads if p[2] == 1)
+
+    def test_fault_stream_is_shared_with_the_homogeneous_campaign(self):
+        hetero = mk_fault_payloads(
+            EXPERIMENTS, seed=SEED, max_copies=MAX_COPIES,
+            prefill_miss_rate=0.35, assignments=self.ASSIGNMENTS,
+        )
+        assert [p[4] for p in hetero] == [p[4] for p in _payloads()]
+
+    def test_invalid_pair_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            mk_fault_payloads(8, assignments=((4, 4),))
+        with pytest.raises(ValueError):
+            mk_fault_payloads(8, assignments=())
+
+    def test_heterogeneous_batch_matches_serial(self):
+        payloads = mk_fault_payloads(
+            EXPERIMENTS, seed=SEED, max_copies=MAX_COPIES,
+            prefill_miss_rate=0.35, assignments=self.ASSIGNMENTS,
+        )
+        config = dict(master_seed=SEED, campaign=f"e14-hetero-n{EXPERIMENTS}")
+        with metrics.capture():
+            serial = CampaignSupervisor(
+                _mk_trial, SupervisorConfig(workers=0, **config)
+            ).run(payloads)
+        frozen = _freeze(serial)
+        # Mixed windows must yield mixed outcomes (or the test is vacuous).
+        assert frozen["mechanism_counts"].get(MK_BUDGET_MISS, 0) > 0
+        with metrics.capture():
+            batched = CampaignSupervisor(
+                _mk_trial,
+                SupervisorConfig(
+                    workers=0, batch_size=16,
+                    batch_runner=_mk_batch_runner, **config,
+                ),
+            ).run(payloads)
+        assert _freeze(batched) == frozen
+
+
 def test_batch_executor_windows_match_scalar(payloads):
     # Window accounting parity at the executor level: the lockstep lanes
     # must leave every trial's miss window in the exact state the scalar
