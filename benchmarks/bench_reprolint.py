@@ -1,0 +1,101 @@
+"""Benchmark — whole-program reprolint engine (PR 10 acceptance gates).
+
+Run:  pytest benchmarks/bench_reprolint.py -q -s [--json PATH]
+
+The incremental engine makes two promises worth gating so they cannot
+silently rot:
+
+* **warm incremental runs are cheap**: with a populated content-hash
+  cache and no file changes, a full-tree run must be at least 5x faster
+  than a cold run (per-file work is served from cache; only the
+  whole-program propagation reruns) — and bit-identical to it;
+* **the process pool pays for itself**: a cold per-file pass with
+  ``--jobs N`` must not be slower than the serial one on a ≥2-core
+  machine.  (The whole-program index build is serial by design, so the
+  pool is gated on the pass it actually parallelises; the full-tree
+  ratio would be an Amdahl's-law measurement of the index, not of the
+  pool.)
+
+Both sides of each ratio run back-to-back on the same machine over the
+*real* repository tree, best of ``BEST_OF`` runs, so absolute machine
+speed cancels out of the gates.
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+import common
+import repro.analysis.checkers  # noqa: F401  (registers the rule tables)
+from repro.analysis import run_analysis
+from repro.analysis.registry import checker_rule_ids
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+#: PR 10 acceptance: warm incremental run >= 5x faster than cold.
+REQUIRED_WARM_SPEEDUP = 5.0
+#: Pool startup slack: the pool must roughly pay for itself, not win big.
+PARALLEL_SLACK = 1.05
+BEST_OF = 2
+
+
+def _run(cache_path, jobs=1):
+    return run_analysis(REPO_ROOT, jobs=jobs, cache_path=cache_path)
+
+
+def test_benchmark_warm_incremental_vs_cold():
+    """Populated-cache full-tree run vs cold run: >=5x and bit-identical."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "reprolint-cache.json"
+
+        def cold():
+            if cache.exists():
+                cache.unlink()
+            return _run(cache)
+
+        reference = cold()  # also leaves a populated cache behind
+        warm = _run(cache)
+        assert warm.files_reanalyzed == 0
+        assert warm.findings == reference.findings
+
+        cold_s = common.best_of(BEST_OF, cold)
+        cold()  # repopulate: best_of left the cache freshly deleted+rebuilt
+        warm_s = common.best_of(BEST_OF + 1, lambda: _run(cache))
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    common.report(
+        "reprolint.warm_incremental",
+        wall_s=warm_s,
+        trials=reference.files_scanned,
+        cold_s=round(cold_s, 6),
+        speedup=round(speedup, 2),
+    )
+    assert speedup >= REQUIRED_WARM_SPEEDUP, (
+        f"warm incremental run only {speedup:.2f}x faster than cold "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s); "
+        f"required {REQUIRED_WARM_SPEEDUP}x"
+    )
+
+
+def test_benchmark_parallel_vs_serial_cold():
+    """Cold per-file pass with a worker pool vs serial, cache disabled."""
+    jobs = min(4, os.cpu_count() or 1)
+    rules = checker_rule_ids()  # per-file only: no serial index build
+
+    def cold(n):
+        return run_analysis(REPO_ROOT, rules=rules, jobs=n, cache_path=None)
+
+    serial_s = common.best_of(BEST_OF, lambda: cold(1))
+    parallel_s = common.best_of(BEST_OF, lambda: cold(jobs))
+    speedup = serial_s / max(parallel_s, 1e-9)
+    common.report(
+        "reprolint.parallel_cold",
+        wall_s=parallel_s,
+        jobs=jobs,
+        serial_s=round(serial_s, 6),
+        speedup=round(speedup, 2),
+    )
+    if jobs >= 2:
+        assert parallel_s <= serial_s * PARALLEL_SLACK, (
+            f"--jobs {jobs} cold run ({parallel_s:.3f}s) slower than serial "
+            f"({serial_s:.3f}s): the pool no longer pays for itself"
+        )

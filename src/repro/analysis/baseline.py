@@ -12,11 +12,18 @@ baseline is the successor of ``tools/check_globals.py``'s allowlist, and
 keeps its property that each exemption documents *why* the state of
 affairs is acceptable.
 
+The optional ``max_entries`` field is the ratchet's pawl: loading a
+baseline with more entries than its own ``max_entries`` is an error, so
+the file can never grow silently — adding an exemption forces an
+explicit, reviewable bump of the ceiling in the same diff.
+``--write-baseline`` always tightens it to the entry count it writes.
+
 File schema (JSON)::
 
     {
       "version": 1,
       "tool": "reprolint",
+      "max_entries": 25,
       "entries": [
         {"rule": "CTX001", "path": "src/repro/cpu/isa.py",
          "key": "OPCODES", "reason": "..."},
@@ -69,7 +76,11 @@ class BaselineEntry:
 class Baseline:
     """The set of baseline entries, with matching and staleness tracking."""
 
-    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+    def __init__(
+        self,
+        entries: Sequence[BaselineEntry] = (),
+        max_entries: "int | None" = None,
+    ) -> None:
         self._entries: Dict[Tuple[str, str, str], BaselineEntry] = {}
         for entry in entries:
             if not entry.reason.strip():
@@ -82,6 +93,13 @@ class Baseline:
                     f"duplicate baseline entry {entry.rule} {entry.path} {entry.key!r}"
                 )
             self._entries[entry.identity] = entry
+        self.max_entries = max_entries
+        if max_entries is not None and len(self._entries) > max_entries:
+            raise BaselineError(
+                f"baseline has {len(self._entries)} entries but max_entries is "
+                f"{max_entries} — the baseline only ratchets down; adding an "
+                "exemption requires an explicit max_entries bump in the same diff"
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -162,14 +180,22 @@ class Baseline:
                 rule=raw["rule"], path=raw["path"],
                 key=raw["key"], reason=raw["reason"],
             ))
-        return cls(entries)
+        max_entries = data.get("max_entries")
+        if max_entries is not None and not isinstance(max_entries, int):
+            raise BaselineError(
+                f"{origin}: max_entries must be an integer, got {max_entries!r}"
+            )
+        return cls(entries, max_entries=max_entries)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "version": BASELINE_VERSION,
             "tool": "reprolint",
-            "entries": [e.to_dict() for e in self.entries()],
         }
+        if self.max_entries is not None:
+            out["max_entries"] = self.max_entries
+        out["entries"] = [e.to_dict() for e in self.entries()]
+        return out
 
     def save(self, path: Path) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -197,7 +223,8 @@ def merged_with_findings(
             key=finding.key, reason=PLACEHOLDER_REASON,
         )
         entries.setdefault(entry.identity, entry)
-    return Baseline(list(entries.values()))
+    # Writing the baseline re-tightens the ratchet to exactly what it holds.
+    return Baseline(list(entries.values()), max_entries=len(entries))
 
 
 def stale_warnings(stale: Sequence[BaselineEntry]) -> List[Finding]:

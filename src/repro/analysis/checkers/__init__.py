@@ -3,7 +3,9 @@
 Importing this package registers every built-in checker with the plugin
 registry (:mod:`repro.analysis.registry`); third-party or experiment-local
 rules register the same way — subclass :class:`repro.analysis.Checker`
-and decorate with :func:`repro.analysis.register_checker`.
+(per-file) or :class:`repro.analysis.ProjectChecker` (whole-program) and
+decorate with :func:`repro.analysis.register_checker` /
+:func:`repro.analysis.register_project_checker`.
 
 Rule catalogue (``python -m repro.analysis --list-rules``):
 
@@ -13,10 +15,18 @@ DET002    no global-state or unseeded randomness (seeds flow from
           ``derive_seed`` / ``RunContext.root_rng``)
 DET003    no set iteration, OS-ordered listings or ``id()``-keyed
           sorting on result paths
+DET004    no call chain from simulation code reaches a nondeterminism
+          sink (whole-program)
 CTX001    no module-level mutable state (successor of
           ``tools/check_globals.py``)
 CTX002    no direct process-default singleton access from library code
 SIM001    integer-tick sim time; explicit event-tie priorities
+SEED001   RNG seeds descend from ``derive_seed`` / RunContext lineage
+          (whole-program)
+PKL001    nothing unpicklable crosses a worker spawn boundary
+          (whole-program)
+PAR001    scalar/batch twin endpoints keep matching signatures
+          (whole-program)
 SUP001    malformed suppression comment (engine-owned)
 SUP002    unused suppression comment (engine-owned)
 ========  ==============================================================
@@ -30,6 +40,10 @@ from . import (  # noqa: F401  (import for registration side effect)
     det001_wall_clock,
     det002_rng,
     det003_unordered,
+    det004_transitive,
+    par001_twin_parity,
+    pkl001_spawn_boundary,
+    seed001_rng_lineage,
     sim001_sim_time,
 )
 
@@ -38,13 +52,21 @@ from .ctx002_singletons import SingletonAccessChecker  # noqa: F401
 from .det001_wall_clock import WallClockChecker  # noqa: F401
 from .det002_rng import RngDisciplineChecker  # noqa: F401
 from .det003_unordered import UnorderedIterationChecker  # noqa: F401
+from .det004_transitive import TransitiveNondetChecker  # noqa: F401
+from .par001_twin_parity import TwinParityChecker  # noqa: F401
+from .pkl001_spawn_boundary import SpawnBoundaryChecker  # noqa: F401
+from .seed001_rng_lineage import RngLineageChecker  # noqa: F401
 from .sim001_sim_time import SimTimeChecker  # noqa: F401
 
 __all__ = [
     "ModuleStateChecker",
     "RngDisciplineChecker",
+    "RngLineageChecker",
     "SimTimeChecker",
     "SingletonAccessChecker",
+    "SpawnBoundaryChecker",
+    "TransitiveNondetChecker",
+    "TwinParityChecker",
     "UnorderedIterationChecker",
     "WallClockChecker",
 ]

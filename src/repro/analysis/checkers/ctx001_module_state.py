@@ -23,6 +23,23 @@ Flagged (at module top level, or ``global`` anywhere):
 * ``global`` statements (module-level rebinding from function scope).
 
 ``__all__`` is always allowed.
+
+Violating example::
+
+    _CACHE = {}                               # CTX001: module-level dict
+
+    def solve(problem):
+        if problem.key not in _CACHE:
+            _CACHE[problem.key] = _expensive(problem)
+        return _CACHE[problem.key]
+
+Sanctioned fix::
+
+    def solve(problem, ctx=None):
+        cache = (ctx or runtime.current()).solver_cache
+        if problem.key not in cache:
+            cache[problem.key] = _expensive(problem)
+        return cache[problem.key]
 """
 
 from __future__ import annotations

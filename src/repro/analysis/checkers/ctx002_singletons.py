@@ -15,6 +15,21 @@ that defines it, plus — for the context machinery — the runtime package
 itself and its tests).  Everywhere else must go through
 ``runtime.current()`` / ``runtime.activate(...)`` or the public accessor
 (``get_registry()``).
+
+Violating example::
+
+    from repro import runtime
+
+    def collect_metrics():
+        ctx = runtime.default_context()       # CTX002: pins the default
+        return ctx.metrics.snapshot()
+
+Sanctioned fix::
+
+    from repro import runtime
+
+    def collect_metrics():
+        return runtime.current().metrics.snapshot()
 """
 
 from __future__ import annotations

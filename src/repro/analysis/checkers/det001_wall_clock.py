@@ -13,6 +13,18 @@ simulation), so ``src/repro/obs/`` and ``src/repro/harness/`` are out of
 scope.  Instrumentation inside simulation modules that genuinely needs a
 host timer (e.g. the DES loop's one-sample-per-run metrics timer) carries
 an inline ``# reprolint: disable=DET001 -- <why>``.
+
+Violating example::
+
+    import time
+
+    def on_fault(self, fault):
+        self.last_fault_at = time.time()      # DET001: host clock in sim code
+
+Sanctioned fix::
+
+    def on_fault(self, fault):
+        self.last_fault_at = self.engine.now  # simulated ticks
 """
 
 from __future__ import annotations
@@ -22,25 +34,8 @@ from typing import Iterator
 
 from ..base import Checker, ModuleSource
 from ..findings import Finding
+from ..nondet import WALL_CLOCK_CALLS  # noqa: F401  (shared sink table)
 from ..registry import register_checker
-
-#: Resolved call targets that read a host clock.
-WALL_CLOCK_CALLS = frozenset({
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.process_time",
-    "time.process_time_ns",
-    "time.clock_gettime",
-    "time.clock_gettime_ns",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-})
 
 
 @register_checker

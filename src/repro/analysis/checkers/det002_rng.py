@@ -21,65 +21,34 @@ Seeded constructors (``default_rng(derive_seed(...))``,
 ``Random(seed)``) pass; this rule polices *where entropy enters*, not
 how it is spent.  Unlike most rules it also covers tests, examples and
 benchmarks — an unseeded test is a flaky test.
+
+Violating example::
+
+    import random
+
+    def jitter(base):
+        return base + random.random()         # DET002: global-state draw
+
+Sanctioned fix::
+
+    def jitter(base, rng):
+        return base + rng.random()            # caller passes a derived RNG
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator
 
 from ..base import Checker, ModuleSource
 from ..findings import Finding
+from ..nondet import (  # noqa: F401  (shared tables; see repro.analysis.nondet)
+    NUMPY_NON_DRAWS,
+    SEEDABLE_CONSTRUCTORS,
+    STDLIB_GLOBAL_FNS,
+    classify_rng_call as _classify,
+)
 from ..registry import register_checker
-
-#: ``random`` module functions that draw from (or mutate) global state.
-STDLIB_GLOBAL_FNS = frozenset({
-    "betavariate", "choice", "choices", "expovariate", "gammavariate",
-    "gauss", "getrandbits", "lognormvariate", "normalvariate",
-    "paretovariate", "randbytes", "randint", "random", "randrange",
-    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
-    "vonmisesvariate", "weibullvariate",
-})
-
-#: Constructors that are fine *when given a seed*.
-SEEDABLE_CONSTRUCTORS = frozenset({
-    "random.Random",
-    "random.SystemRandom",   # never acceptable, but caught as unseeded
-    "numpy.random.default_rng",
-    "numpy.random.RandomState",
-})
-
-#: numpy.random module-level names that are legitimate building blocks
-#: (explicit-seed machinery), not global-state draws.
-NUMPY_NON_DRAWS = frozenset({
-    "default_rng", "Generator", "RandomState", "SeedSequence",
-    "BitGenerator", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
-})
-
-
-def _classify(resolved: str, call: ast.Call) -> Optional[str]:
-    """The violation message for a resolved call, or None when clean."""
-    if resolved in SEEDABLE_CONSTRUCTORS:
-        if resolved == "random.SystemRandom":
-            return "OS-entropy RNG random.SystemRandom() is unreproducible"
-        if not call.args and not any(k.arg == "seed" for k in call.keywords):
-            return f"unseeded RNG construction {resolved}()"
-        return None
-    parts = resolved.split(".")
-    if parts[0] == "random" and len(parts) == 2 and parts[1] in STDLIB_GLOBAL_FNS:
-        if parts[1] in ("seed", "setstate"):
-            return f"global RNG seeding {resolved}() mutates process-wide state"
-        return f"draw from the global stdlib RNG: {resolved}()"
-    if (
-        len(parts) >= 3
-        and parts[0] == "numpy"
-        and parts[1] == "random"
-        and parts[2] not in NUMPY_NON_DRAWS
-    ):
-        if parts[2] == "seed":
-            return "global RNG seeding numpy.random.seed() mutates process-wide state"
-        return f"draw from the global numpy RNG: {resolved}()"
-    return None
 
 
 @register_checker

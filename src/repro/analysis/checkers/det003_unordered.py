@@ -22,6 +22,16 @@ Flagged (in ``src/repro/`` result paths):
 ``dict`` iteration is insertion-ordered and stays out of scope: whether
 insertion order is deterministic is a dataflow property this rule cannot
 see, and flagging every ``dict.values()`` would drown the signal.
+
+Violating example::
+
+    def failed_nodes(self):
+        return [n.name for n in self._failed]   # DET003: set iteration
+
+Sanctioned fix::
+
+    def failed_nodes(self):
+        return [n.name for n in sorted(self._failed, key=lambda n: n.name)]
 """
 
 from __future__ import annotations

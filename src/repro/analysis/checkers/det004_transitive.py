@@ -1,0 +1,174 @@
+"""DET004 — no call chain from simulation code reaches a nondeterminism sink.
+
+DET001/DET002 police *direct* sink calls; this whole-program rule closes
+the indirection loophole: a simulation function that calls a helper that
+calls ``time.time()`` is exactly as nondeterministic as one that reads
+the clock itself, but no per-file rule can see it.  The engine's
+approximate call graph (lexically resolved targets, re-exports chased,
+``self.method()`` one-step) is searched backwards from every unsuppressed
+sink; each function that can reach one gets a finding **at the call site
+of its first hop**, with the offending chain printed, so the reader can
+follow the path and the author can suppress at the precise edge that is
+known-benign.
+
+Noise control is part of the rule's semantics:
+
+* the **obs/harness/analysis layers are boundary-trusted** — host timers
+  and progress ETAs are their job, so sinks inside them do not taint
+  callers, and chains never propagate through them;
+* a sink site carrying a valid inline suppression (``DET001``/``DET002``
+  as appropriate, or ``DET004``) does not taint — excusing the site
+  excuses the chains through it;
+* functions with their *own* unsuppressed sink are DET001/DET002's
+  findings, not duplicated here.
+
+Violating example::
+
+    # src/repro/sim/helpers.py
+    def stamp():
+        return time.time()          # DET001 fires here...
+
+    # src/repro/sim/engine.py
+    def step(state):
+        state.t = stamp()           # ...and DET004 fires here:
+                                    # step -> stamp -> time.time
+
+Sanctioned fix: route the value through simulated time or the obs layer;
+or, for genuinely host-side instrumentation, suppress DET001 at the sink
+(which silences the whole chain) with a reason.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..callgraph import MODULE_BODY, ProjectIndex
+from ..findings import Finding
+from ..project import ProjectChecker
+from ..registry import register_project_checker
+
+#: Layers whose sinks are their job, not a leak: chains stop here.
+TRUSTED_PREFIXES = (
+    "src/repro/obs/",
+    "src/repro/harness/",
+    "src/repro/analysis/",
+)
+
+#: sink kind -> suppression rule that excuses the sink site.
+_SITE_RULE = MappingProxyType({
+    "wall_clock": "DET001",
+    "global_rng": "DET002",
+    "unseeded_rng": "DET002",
+})
+
+_KIND_LABEL = MappingProxyType({
+    "wall_clock": "wall-clock",
+    "global_rng": "global-RNG",
+    "unseeded_rng": "unseeded-RNG",
+})
+
+
+def _trusted(relpath: str) -> bool:
+    return any(relpath.startswith(p) for p in TRUSTED_PREFIXES)
+
+
+@register_project_checker
+class TransitiveNondetChecker(ProjectChecker):
+    rule_id = "DET004"
+    title = "no call chain from simulation code reaches a nondeterminism sink"
+    hint = (
+        "break the chain: route host timing/entropy through repro.obs or "
+        "derive_seed, or suppress DET001/DET002 at the sink site with a reason "
+        "(which silences every chain through it)"
+    )
+    invariant = (
+        "determinism is compositional — calling deterministic code through "
+        "any number of hops stays deterministic"
+    )
+    include = ("src/repro/",)
+    exclude = TRUSTED_PREFIXES
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        # Direct taint: functions with an unsuppressed sink outside the
+        # trusted layers.  Each maps to its first (sorted) sink.
+        direct: Dict[str, Dict[str, object]] = {}
+        callers: Dict[str, List[Tuple[str, int]]] = {}
+        for qualname, relpath, facts in index.functions():
+            if not _trusted(relpath):
+                sink = self._live_sink(index, relpath, facts.sinks)
+                if sink is not None:
+                    direct[qualname] = {**sink, "relpath": relpath}
+                for callee, line in index.call_edges(facts):
+                    callers.setdefault(callee, []).append((qualname, line))
+
+        # BFS backwards from the tainted functions: reach[f] = the first
+        # hop of f's shortest chain towards a sink.  Sorted frontier and
+        # sorted caller lists make the chosen witness chain deterministic.
+        reach: Dict[str, Tuple[str, int]] = {}
+        frontier = sorted(direct)
+        while frontier:
+            nxt: List[str] = []
+            for callee in frontier:
+                for caller, line in sorted(callers.get(callee, ())):
+                    if caller in reach or caller in direct:
+                        continue
+                    relpath, _ = index.lookup(caller) or ("", None)
+                    if _trusted(relpath):
+                        continue
+                    reach[caller] = (callee, line)
+                    nxt.append(caller)
+            frontier = sorted(nxt)
+
+        for qualname in sorted(reach):
+            entry = index.lookup(qualname)
+            if entry is None:
+                continue
+            relpath, _facts = entry
+            if not self.applies_to(relpath):
+                continue
+            callee, line = reach[qualname]
+            chain = self._chain(qualname, reach, direct)
+            sink = direct[chain[-1]]
+            label = _KIND_LABEL.get(str(sink["kind"]), str(sink["kind"]))
+            path = " -> ".join(_short(q) for q in chain)
+            yield self.finding(
+                relpath,
+                line,
+                f"{_short(qualname)} reaches {label} sink {sink['sink']}() "
+                f"via {path} (sink at {sink['relpath']}:{sink['line']})",
+                key=f"{qualname}->{sink['sink']}",
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _live_sink(
+        index: ProjectIndex, relpath: str, sinks: List[Dict[str, object]]
+    ) -> Optional[Dict[str, object]]:
+        """The first sink not excused by an inline suppression, or None."""
+        for sink in sinks:
+            line = int(sink["line"])  # type: ignore[arg-type]
+            site_rule = _SITE_RULE.get(str(sink["kind"]), "DET001")
+            if index.suppressed(relpath, line, site_rule):
+                continue
+            if index.suppressed(relpath, line, "DET004"):
+                continue
+            return sink
+        return None
+
+    @staticmethod
+    def _chain(
+        start: str, reach: Dict[str, Tuple[str, int]], direct: Dict[str, object]
+    ) -> List[str]:
+        chain = [start]
+        current = start
+        while current not in direct:
+            current = reach[current][0]
+            chain.append(current)
+        return chain
+
+
+def _short(qualname: str) -> str:
+    """Trim the shared ``repro.`` prefix for readable chains."""
+    name = qualname[len("repro."):] if qualname.startswith("repro.") else qualname
+    return name.replace(f".{MODULE_BODY}", " (module body)")

@@ -22,6 +22,16 @@ results.  Two code smells undermine this:
 The rule covers the tick-based layers (sim, kernel, node, net, apps,
 core, faults, cpu).  The hour-based reliability models use floats by
 design and are out of scope.
+
+Violating example::
+
+    if job.deadline < 5000.0:                 # SIM001: float vs tick compare
+        engine.schedule_at(t, handler)        # SIM001: implicit tie-break
+
+Sanctioned fix::
+
+    if job.deadline < ms(5):
+        engine.schedule_at(t, handler, priority=PRIORITY_KERNEL)
 """
 
 from __future__ import annotations

@@ -14,9 +14,10 @@ from typing import List, Optional
 from .baseline import (
     DEFAULT_BASELINE_PATH, Baseline, BaselineError, merged_with_findings,
 )
+from .cache import DEFAULT_CACHE_PATH
 from .engine import find_repo_root, run_analysis
-from .registry import all_rule_ids, is_known_rule, rule_descriptions
-from .report import exit_code, render_json, render_text
+from .registry import all_rule_ids, explain_rule, is_known_rule, rule_descriptions
+from .report import exit_code, render_json, render_sarif, render_text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,7 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -81,6 +82,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list every rule with its severity and protected invariant",
     )
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print a rule's invariant, a minimal violating example and the "
+             "sanctioned fix, then exit",
+    )
+    parser.add_argument(
+        "--cache", type=Path, default=None,
+        help=f"incremental cache file (default: {DEFAULT_CACHE_PATH} under "
+             "the root)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache (analyse every file from scratch)",
+    )
     return parser
 
 
@@ -110,6 +125,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         sys.stdout.write(_list_rules())
         return 0
 
+    if args.explain:
+        try:
+            sys.stdout.write(explain_rule(args.explain) + "\n")
+        except KeyError:
+            sys.stderr.write(
+                f"reprolint: unknown rule {args.explain!r} "
+                f"(known: {', '.join(all_rule_ids())})\n"
+            )
+            return 2
+        return 0
+
     rules: Optional[List[str]] = None
     if args.rules:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
@@ -129,6 +155,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         sys.stderr.write(f"reprolint: {exc}\n")
         return 2
 
+    cache_path: Optional[Path] = None
+    if not args.no_cache:
+        cache_path = args.cache or (root / DEFAULT_CACHE_PATH)
+
     result = run_analysis(
         root,
         paths=args.paths or None,
@@ -137,6 +167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=_resolve_jobs(args.jobs),
         changed_only=args.changed_only,
         base_ref=args.base,
+        cache_path=cache_path,
     )
 
     if args.write_baseline:
@@ -150,10 +181,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
-    report = (
-        render_json(result) if args.format == "json"
-        else render_text(result, show_baselined=args.show_baselined)
-    )
+    if args.format == "json":
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result)
+    else:
+        report = render_text(result, show_baselined=args.show_baselined)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(report, encoding="utf-8")

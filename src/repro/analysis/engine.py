@@ -1,39 +1,64 @@
-"""The analysis engine: discovery, per-file parallel analysis, the ratchet.
+"""The analysis engine: discovery, incremental per-file + project analysis.
 
 One :func:`run_analysis` call is one lint pass:
 
 1. **Discover** Python files under the requested roots (default:
    ``src/repro``, ``tests``, ``examples``, ``benchmarks``, ``tools``),
    skipping ``__pycache__`` and the checker test fixtures (which are
-   deliberate violations).  With ``changed_only=True`` the file list is
-   narrowed to files touched since the git merge-base, so the gate stays
-   fast as the tree grows.
-2. **Analyse** each file independently — parse once, run every in-scope
-   checker, apply inline suppressions — optionally across a process pool
-   (per-file analysis shares nothing, so it parallelises embarrassingly;
-   results are stable-sorted afterwards so worker scheduling never shows
-   in the report).
-3. **Apply the baseline**: covered findings pass (marked ``baselined``),
+   deliberate violations).
+2. **Link the project**: every file under ``src/repro`` is summarised
+   (:mod:`repro.analysis.callgraph`) — from the incremental cache when
+   its content hash matches, parsed otherwise — and the summaries are
+   linked into a :class:`ProjectIndex`.  The index is always built over
+   the *whole* of ``src/repro``, regardless of which paths were
+   requested: whole-program rules need the whole program, and it is what
+   makes analysing a subset of files return exactly the slice of a full
+   run.
+3. **Narrow** (``changed_only=True``): the changed-since-merge-base set
+   is expanded to its reverse-dependency closure — touching
+   ``harness/seeds.py`` re-analyses everything that can observe the
+   change — then the work list is filtered to it.
+4. **Analyse** each file — cached findings by content hash, a process
+   pool for the misses — then run the whole-program checkers over the
+   index, filter their findings to the analysed set, and honour inline
+   suppressions through the index (summaries record suppression lines,
+   so even a cache-hit file keeps its exemptions).
+5. **Apply the baseline**: covered findings pass (marked ``baselined``),
    uncovered *error* findings fail the gate, and stale baseline entries
    are surfaced as warnings so the baseline only ratchets down.
+
+Results are stable-sorted at every merge point, so neither worker
+scheduling nor cache state ever shows in the report: a warm incremental
+run is bit-identical to a cold full run.
 """
 
 from __future__ import annotations
 
+import ast
 import dataclasses
 import subprocess
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .base import Checker, ModuleSource
 from .baseline import Baseline, BaselineEntry
+from .cache import AnalysisCache, content_sha, rules_fingerprint
+from .callgraph import ModuleSummary, ProjectIndex, extract_summary
 from .findings import ERROR, Finding, sort_findings
-from .registry import build_checkers, checker_rule_ids
+from .registry import (
+    build_checkers,
+    build_project_checkers,
+    checker_rule_ids,
+    project_rule_ids,
+)
 from .suppressions import apply_suppressions, parse_suppressions
 
 #: Roots scanned when no explicit paths are given.
 DEFAULT_ROOTS = ("src/repro", "tests", "examples", "benchmarks", "tools")
+
+#: The root the project index is always built over.
+PROJECT_ROOT = "src/repro"
 
 #: Repo-relative prefixes never scanned.  The fixture tree contains
 #: intentional violations (the checkers' positive test cases).
@@ -172,6 +197,48 @@ def _analyze_one(args: Tuple[str, str, Tuple[str, ...]]) -> List[Finding]:
 
 
 # ----------------------------------------------------------------------
+# Project index construction
+# ----------------------------------------------------------------------
+def summarize_source(relpath: str, data: bytes) -> ModuleSummary:
+    """Summary of one file's content; unparsable files get an empty summary
+    (the per-file pass reports them as SYNTAX)."""
+    try:
+        source = data.decode("utf-8")
+        tree = ast.parse(source, filename=relpath)
+    except (SyntaxError, UnicodeDecodeError, ValueError):
+        return ModuleSummary(relpath=relpath, module=None)
+    return extract_summary(relpath, source, tree)
+
+
+def build_project_index(
+    root: Path,
+    cache: Optional[AnalysisCache] = None,
+    shas: Optional[Dict[str, str]] = None,
+) -> ProjectIndex:
+    """Link the whole of ``src/repro`` into a :class:`ProjectIndex`.
+
+    Summaries come from *cache* when the content hash matches; *shas*
+    (when given) collects the observed ``relpath -> sha`` map so callers
+    can reuse the hashes for the findings cache.
+    """
+    if cache is None:
+        cache = AnalysisCache()
+    summaries: List[ModuleSummary] = []
+    if (root / PROJECT_ROOT).exists():
+        for path, rel in discover_files(root, [PROJECT_ROOT]):
+            data = path.read_bytes()
+            sha = content_sha(data)
+            if shas is not None:
+                shas[rel] = sha
+            summary = cache.get_summary(rel, sha)
+            if summary is None:
+                summary = summarize_source(rel, data)
+                cache.put_summary(rel, sha, summary)
+            summaries.append(summary)
+    return ProjectIndex(summaries)
+
+
+# ----------------------------------------------------------------------
 # The full pass
 # ----------------------------------------------------------------------
 @dataclasses.dataclass
@@ -188,6 +255,10 @@ class AnalysisResult:
     files_scanned: int
     #: Rule ids that ran.
     rules: List[str]
+    #: Files whose per-file findings were recomputed this run.
+    files_reanalyzed: int = 0
+    #: Files served from the incremental cache.
+    files_from_cache: int = 0
 
     @property
     def errors(self) -> List[Finding]:
@@ -211,38 +282,101 @@ def run_analysis(
     jobs: int = 1,
     changed_only: bool = False,
     base_ref: Optional[str] = None,
+    cache_path: Optional[Path] = None,
 ) -> AnalysisResult:
-    """Run the configured checkers over the tree and apply the baseline."""
+    """Run the configured checkers over the tree and apply the baseline.
+
+    ``cache_path=None`` (the library default) disables the incremental
+    cache entirely; the CLI passes the repo-root cache file.
+    """
+    root = Path(root).resolve()  # relpaths must be computed against an
+    # absolute root or discovery falls back to machine-dependent paths
     checkers = build_checkers(rules)
+    project_checkers = build_project_checkers(rules)
     rule_ids = tuple(c.rule_id for c in checkers)
+    fingerprint = rules_fingerprint(rule_ids)
     files = discover_files(root, paths)
+    cache = AnalysisCache.load(cache_path)
+    shas: Dict[str, str] = {}
+
+    index = build_project_index(root, cache, shas) if project_checkers else None
+
     if changed_only:
         changed = changed_files(root, base_ref)
         if changed is not None:
-            narrowed = set(changed)
+            narrowed: Set[str] = set(changed)
+            if index is not None:
+                # A change to a module is observable by everything that
+                # (transitively) imports it: expand before narrowing.
+                narrowed = index.reverse_closure(sorted(narrowed))
             files = [(p, rel) for p, rel in files if rel in narrowed]
+
     all_findings: List[Finding] = []
-    if jobs > 1 and len(files) > 1:
-        work = [(str(p), rel, rule_ids) for p, rel in files]
+    misses: List[Tuple[Path, str, str]] = []
+    for path, rel in files:
+        sha = shas.get(rel)
+        if sha is None:
+            sha = content_sha(path.read_bytes())
+            shas[rel] = sha
+        cached = cache.get_findings(rel, sha, fingerprint)
+        if cached is not None:
+            all_findings.extend(cached)
+        else:
+            misses.append((path, rel, sha))
+    if jobs > 1 and len(misses) > 1:
+        work = [(str(p), rel, rule_ids) for p, rel, _ in misses]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for result in pool.map(_analyze_one, work, chunksize=8):
+            for (_, rel, sha), result in zip(
+                misses, pool.map(_analyze_one, work, chunksize=8)
+            ):
+                cache.put_findings(rel, sha, fingerprint, result)
                 all_findings.extend(result)
     else:
-        for path, rel in files:
-            all_findings.extend(analyze_file(path, rel, checkers))
+        for path, rel, sha in misses:
+            result = analyze_file(path, rel, checkers)
+            cache.put_findings(rel, sha, fingerprint, result)
+            all_findings.extend(result)
+
+    if index is not None:
+        analyzed = {rel for _, rel in files}
+        for project_checker in project_checkers:
+            for finding in project_checker.check_project(index):
+                if finding.path not in analyzed:
+                    continue
+                if index.suppressed(finding.path, finding.line, finding.rule):
+                    continue
+                all_findings.append(finding)
+
+    cache.save(keep=set(shas))
     all_findings = sort_findings(all_findings)
     if baseline is None:
         baseline = Baseline()
     new, covered, stale = baseline.apply(all_findings)
+    active = (
+        sorted(set(rule_ids) | {c.rule_id for c in project_checkers})
+        if rules is None
+        else sorted(set(rules))
+    )
+    # An entry is only provably stale when this run actually looked where
+    # it points: a narrowed run (paths / --changed-only / --rules) must
+    # not report entries for unanalysed files or inactive rules as fixed.
+    analyzed_rels = {rel for _, rel in files}
+    active_set = set(active)
+    stale = [
+        e for e in stale
+        if e.path in analyzed_rels and e.rule in active_set
+    ]
     return AnalysisResult(
         findings=sort_findings(new),
         baselined=sort_findings(covered),
         stale_entries=stale,
         files_scanned=len(files),
-        rules=sorted(rule_ids) if rules is None else sorted(set(rules)),
+        rules=active,
+        files_reanalyzed=len(misses),
+        files_from_cache=len(files) - len(misses),
     )
 
 
 def default_rules() -> List[str]:
-    """All registered checker rule ids (what a bare run executes)."""
-    return checker_rule_ids()
+    """All registered rule ids — per-file and project (what a bare run runs)."""
+    return sorted(set(checker_rule_ids()) | set(project_rule_ids()))

@@ -1,0 +1,123 @@
+"""Shared nondeterminism-sink tables and RNG call classification.
+
+Three rules reason about the same families of calls — DET001 (direct
+wall-clock reads), DET002 (direct global/unseeded randomness) and DET004
+(call chains that *reach* either kind of sink) — and the whole-program
+summary extractor (:mod:`repro.analysis.callgraph`) records sink calls
+into its per-module summaries.  Keeping the tables in one leaf module
+(no intra-package imports) means a sink added for one rule is a sink for
+all of them, and the checkers and the extractor can never drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+#: Resolved call targets that read a host clock.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: ``random`` module functions that draw from (or mutate) global state.
+STDLIB_GLOBAL_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+#: Constructors that are fine *when given a seed*.
+SEEDABLE_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "random.SystemRandom",   # never acceptable, but caught as unseeded
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+})
+
+#: numpy.random module-level names that are legitimate building blocks
+#: (explicit-seed machinery), not global-state draws.
+NUMPY_NON_DRAWS = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+
+
+def is_rng_constructor(resolved: str) -> bool:
+    """True when *resolved* constructs an RNG stream (seeded or not)."""
+    return resolved in SEEDABLE_CONSTRUCTORS
+
+
+def is_unseeded_constructor(resolved: str, call: ast.Call) -> bool:
+    """True when *call* constructs an RNG with no seed (OS entropy)."""
+    if resolved not in SEEDABLE_CONSTRUCTORS:
+        return False
+    if resolved == "random.SystemRandom":
+        return True
+    return not call.args and not any(k.arg == "seed" for k in call.keywords)
+
+
+def global_rng_sink(resolved: str) -> Optional[str]:
+    """Why *resolved* touches process-global RNG state, or None if it doesn't.
+
+    Covers global-state draws (``random.random``, ``numpy.random.normal``)
+    and global seeding (``random.seed``, ``numpy.random.seed``) — the
+    calls whose outcome depends on hidden process-wide state.  Seeded and
+    unseeded *constructors* are deliberately excluded: they are judged by
+    :func:`is_unseeded_constructor` and the SEED001 lineage rules instead.
+    """
+    parts = resolved.split(".")
+    if parts[0] == "random" and len(parts) == 2 and parts[1] in STDLIB_GLOBAL_FNS:
+        if parts[1] in ("seed", "setstate"):
+            return f"global RNG seeding {resolved}() mutates process-wide state"
+        return f"draw from the global stdlib RNG: {resolved}()"
+    if (
+        len(parts) >= 3
+        and parts[0] == "numpy"
+        and parts[1] == "random"
+        and parts[2] not in NUMPY_NON_DRAWS
+    ):
+        if parts[2] == "seed":
+            return "global RNG seeding numpy.random.seed() mutates process-wide state"
+        return f"draw from the global numpy RNG: {resolved}()"
+    return None
+
+
+def classify_rng_call(resolved: str, call: ast.Call) -> Optional[str]:
+    """The DET002 violation message for a resolved call, or None when clean."""
+    if resolved in SEEDABLE_CONSTRUCTORS:
+        if resolved == "random.SystemRandom":
+            return "OS-entropy RNG random.SystemRandom() is unreproducible"
+        if is_unseeded_constructor(resolved, call):
+            return f"unseeded RNG construction {resolved}()"
+        return None
+    return global_rng_sink(resolved)
+
+
+def sink_kind(resolved: str, call: ast.Call) -> Optional[str]:
+    """The DET004 taint kind of a resolved call, or None when it is clean.
+
+    Kinds: ``wall_clock`` (host clock read), ``global_rng`` (global-state
+    draw or seeding), ``unseeded_rng`` (OS-entropy RNG construction).
+    """
+    if resolved in WALL_CLOCK_CALLS:
+        return "wall_clock"
+    if global_rng_sink(resolved) is not None:
+        return "global_rng"
+    if is_unseeded_constructor(resolved, call):
+        return "unseeded_rng"
+    return None

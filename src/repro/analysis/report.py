@@ -1,10 +1,18 @@
-"""Report rendering: human text and machine JSON.
+"""Report rendering: human text, machine JSON, and SARIF 2.1.0.
 
-Both formats are **stable**: repo-relative POSIX paths, findings sorted by
+All formats are **stable**: repo-relative POSIX paths, findings sorted by
 ``(file, line, col, rule, key)``, baseline entries sorted by
 ``(path, rule, key)`` — so two runs over the same tree produce
 byte-identical reports on any machine, and CI artifacts diff cleanly
 across runs.
+
+The SARIF output targets code-scanning UIs (GitHub's
+``upload-sarif`` action): every rule that ran is described in the
+driver's rule table, every finding carries a line-independent
+``partialFingerprint`` (the same ``(rule, path, key)`` identity the
+baseline matches on, so alert identity survives unrelated edits), and
+baselined findings are emitted with an ``external`` suppression rather
+than dropped — the UI shows them as reviewed, not as new.
 """
 
 from __future__ import annotations
@@ -14,9 +22,17 @@ from typing import Any, Dict, List
 
 from .engine import AnalysisResult
 from .findings import ERROR, Finding
+from .registry import rule_descriptions
 
 #: Schema identifier carried by every JSON report.
 REPORT_SCHEMA = "reprolint-v1"
+
+#: The SARIF version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: AnalysisResult, *, show_baselined: bool = False) -> str:
@@ -96,7 +112,82 @@ def exit_code(result: AnalysisResult) -> int:
     return 0 if result.ok else 1
 
 
+# ----------------------------------------------------------------------
+# SARIF 2.1.0
+# ----------------------------------------------------------------------
+def _sarif_result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error" if finding.severity == ERROR else "warning",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        # The baseline identity — line-independent, so code-scanning alert
+        # identity survives edits that only shift code.
+        "partialFingerprints": {
+            "reprolintKey/v1": f"{finding.rule}:{finding.path}:{finding.key}",
+        },
+    }
+    if finding.baselined:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "covered by analysis/baseline.json",
+        }]
+    return result
+
+
+def render_sarif_dict(result: AnalysisResult) -> Dict[str, Any]:
+    """The analysis result as a SARIF 2.1.0 log (plain dict)."""
+    descriptions = rule_descriptions()
+    rules = []
+    for rule_id in result.rules:
+        info = descriptions.get(rule_id, {})
+        rule: Dict[str, Any] = {
+            "id": rule_id,
+            "shortDescription": {"text": info.get("title", rule_id)},
+            "defaultConfiguration": {
+                "level": "error" if info.get("severity", ERROR) == ERROR
+                else "warning",
+            },
+        }
+        if info.get("invariant"):
+            rule["fullDescription"] = {"text": f"Protects: {info['invariant']}"}
+        rules.append(rule)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": [
+                _sarif_result(f)
+                for f in (*result.findings, *result.baselined)
+            ],
+        }],
+    }
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    return json.dumps(render_sarif_dict(result), indent=2) + "\n"
+
+
 __all__ = [
-    "REPORT_SCHEMA", "render_text", "render_json", "render_json_dict",
+    "REPORT_SCHEMA", "SARIF_VERSION", "render_text", "render_json",
+    "render_json_dict", "render_sarif", "render_sarif_dict",
     "parse_json_report", "exit_code", "ERROR",
 ]

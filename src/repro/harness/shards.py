@@ -224,7 +224,7 @@ def _shard_runner_main(
         journal_path=journal_path,
         campaign=f"{config.campaign}/shard{spec.shard_id}",
         trial_offset=spec.start,
-        after_trial=after_trial,
+        after_trial=after_trial,  # reprolint: disable=PKL001 -- shard runner is serial (workers=0 above): the lease-heartbeat hook never crosses a process boundary
         progress=None,
         chaos=None,  # pool directives are meaningless in a serial runner
         budget_s=None,  # the coordinator owns the campaign budget

@@ -1,0 +1,7 @@
+"""DET004 negative fixture: calls a function whose sink is suppressed."""
+
+from repro.sim.helpers import stamp
+
+
+def step(state):
+    return stamp()

@@ -1,0 +1,8 @@
+"""DET004 negative fixture: the sink site is suppressed, so chains through
+it are excused too."""
+
+import time
+
+
+def stamp():
+    return time.time()  # reprolint: disable=DET001 -- host-side metrics timer, not on a result path

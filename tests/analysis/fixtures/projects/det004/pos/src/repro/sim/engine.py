@@ -1,0 +1,11 @@
+"""DET004 positive fixture: reaches the wall-clock sink through call hops."""
+
+from repro.sim.helpers import stamp
+
+
+def record(state):
+    return stamp()
+
+
+def step(state):
+    return record(state)

@@ -1,0 +1,7 @@
+"""DET004 positive fixture: the sink lives here (a DET001 site)."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,9 @@
+"""PAR001 negative fixture: batch twin in lock-step with the scalar twin."""
+
+
+class BatchTemExecutor:
+    def run_experiments(self, faults, miss_windows=None):
+        return list(faults)
+
+    def run_campaign(self, faults):
+        return self.run_experiments(faults)

@@ -1,0 +1,9 @@
+"""PAR001 negative fixture: scalar twin in lock-step with the batch twin."""
+
+
+class TemInjectionHarness:
+    def run_experiment(self, fault, miss_window=None):
+        return (fault, miss_window)
+
+    def run_campaign(self, faults):
+        return [self.run_experiment(f) for f in faults]

@@ -1,0 +1,10 @@
+"""PAR001 positive fixture: the batch twin, missing the scalar's new
+``policy`` parameter."""
+
+
+class BatchTemExecutor:
+    def run_experiments(self, faults, miss_windows=None):
+        return list(faults)
+
+    def run_campaign(self, faults):
+        return self.run_experiments(faults)

@@ -1,0 +1,10 @@
+"""PAR001 positive fixture: the scalar twin grew a parameter the batch
+twin cannot express (deliberately skewed signature)."""
+
+
+class TemInjectionHarness:
+    def run_experiment(self, fault, miss_window=None, policy=None):
+        return (fault, miss_window, policy)
+
+    def run_campaign(self, faults):
+        return [self.run_experiment(f) for f in faults]

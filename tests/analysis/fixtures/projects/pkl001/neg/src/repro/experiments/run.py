@@ -1,0 +1,24 @@
+"""PKL001 negative fixture: module-level callables cross the boundary, and
+one known-serial nested hook is suppressed where it is rebound."""
+
+import dataclasses
+
+from repro.harness import SupervisorConfig
+
+
+def on_trial(res):
+    pass
+
+
+def build():
+    return SupervisorConfig(workers=4, after_trial=on_trial)
+
+
+def rebind_serial(config):
+    def hook(res):
+        pass
+
+    return dataclasses.replace(
+        config,
+        after_trial=hook,  # reprolint: disable=PKL001 -- serial workers=0 runner; the hook never crosses a process boundary
+    )

@@ -1,0 +1,15 @@
+"""PKL001 fixture stand-in for the real supervisor (same qualified names)."""
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SupervisorConfig:
+    workers: int = 0
+    after_trial: Optional[Callable[[int], None]] = None
+    progress: Optional[Callable[[int], None]] = None
+
+
+def run_experiment_campaign(trial_fn, payloads, config) -> Any:
+    return [trial_fn(p) for p in payloads]

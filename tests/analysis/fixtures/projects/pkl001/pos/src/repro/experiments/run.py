@@ -1,0 +1,20 @@
+"""PKL001 positive fixture: a lambda and a nested def cross the boundary.
+
+``SupervisorConfig`` is reached through the ``repro.harness`` re-export,
+so the checker's canonicalisation is exercised too.
+"""
+
+import dataclasses
+
+from repro.harness import SupervisorConfig
+
+
+def build(results):
+    return SupervisorConfig(workers=4, after_trial=lambda res: results.append(res))
+
+
+def rebind(config):
+    def hook(res):
+        pass
+
+    return dataclasses.replace(config, after_trial=hook)

@@ -1,0 +1,1 @@
+from .supervisor import SupervisorConfig, run_experiment_campaign  # noqa: F401

@@ -1,0 +1,17 @@
+"""SEED001 negative fixture: sanctioned and caller-derived seed lineage."""
+
+import numpy as np
+
+from repro.harness.seeds import derive_seed
+
+
+def make(master_seed, trial_id):
+    return np.random.default_rng(derive_seed(master_seed, "trial", trial_id))
+
+
+def from_param(seed):
+    return np.random.default_rng(seed)
+
+
+def from_context(ctx):
+    return np.random.default_rng(ctx.root_seed)

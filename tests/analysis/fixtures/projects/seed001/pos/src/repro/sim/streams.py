@@ -1,0 +1,21 @@
+"""SEED001 positive fixture: literal seed, module-constant seed, and an RNG
+captured by a closure handed across a worker boundary."""
+
+import numpy as np
+
+from repro.harness.supervisor import run_experiment_campaign
+
+_SEED = 1234
+
+
+def make_literal():
+    return np.random.default_rng(7)
+
+
+def make_global():
+    return np.random.default_rng(_SEED)
+
+
+def campaign(config, payloads):
+    rng = np.random.default_rng(config.root_seed)
+    return run_experiment_campaign(lambda payload: rng.normal(), payloads, config)

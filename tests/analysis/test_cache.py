@@ -1,0 +1,188 @@
+"""The incremental cache: content-hash keying, salt, atomicity, pruning.
+
+Two layers under test.  The :class:`AnalysisCache` unit behaviour
+(keying, invalidation, persistence), and the engine integration —
+a warm ``run_analysis`` must serve unchanged files from cache, a
+``touch`` (mtime-only change) must still hit, and a content change
+must re-analyse exactly the changed file.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import AnalysisCache, content_sha, run_analysis
+from repro.analysis.cache import _salt, rules_fingerprint
+from repro.analysis.findings import Finding
+
+from .conftest import write_module
+
+
+def finding(rule="DET001", path="src/repro/m.py", line=3):
+    return Finding(
+        rule=rule, path=path, line=line, col=0,
+        message="msg", key="k", severity="error",
+    )
+
+
+# ----------------------------------------------------------------------
+# Unit behaviour
+# ----------------------------------------------------------------------
+class TestAnalysisCacheUnit:
+    def test_round_trip_findings(self, tmp_path):
+        cache = AnalysisCache(tmp_path / "c.json")
+        found = [finding()]
+        cache.put_findings("src/repro/m.py", "sha1", "DET001", found)
+        cache.save()
+        again = AnalysisCache.load(tmp_path / "c.json")
+        assert again.get_findings("src/repro/m.py", "sha1", "DET001") == found
+        assert again.hits == 1
+
+    def test_content_sha_mismatch_misses(self, tmp_path):
+        cache = AnalysisCache(tmp_path / "c.json")
+        cache.put_findings("src/repro/m.py", "sha1", "DET001", [])
+        assert cache.get_findings("src/repro/m.py", "sha2", "DET001") is None
+        assert cache.misses == 1
+
+    def test_rules_fingerprint_mismatch_misses(self, tmp_path):
+        cache = AnalysisCache(tmp_path / "c.json")
+        cache.put_findings("src/repro/m.py", "sha1", "DET001", [finding()])
+        assert cache.get_findings("src/repro/m.py", "sha1", "DET001,DET002") is None
+
+    def test_new_sha_resets_every_derived_artifact(self, tmp_path):
+        from repro.analysis import extract_summary
+        import ast
+
+        cache = AnalysisCache(tmp_path / "c.json")
+        src = "def f():\n    return 1\n"
+        summary = extract_summary("src/repro/m.py", src, ast.parse(src))
+        cache.put_summary("src/repro/m.py", "sha1", summary)
+        cache.put_findings("src/repro/m.py", "sha2", "DET001", [])
+        # Writing findings under sha2 killed the sha1 summary.
+        assert cache.get_summary("src/repro/m.py", "sha1") is None
+        assert cache.get_summary("src/repro/m.py", "sha2") is None
+
+    def test_salt_mismatch_drops_cache_wholesale(self, tmp_path):
+        path = tmp_path / "c.json"
+        cache = AnalysisCache(path)
+        cache.put_findings("src/repro/m.py", "sha1", "DET001", [finding()])
+        cache.save()
+        data = json.loads(path.read_text())
+        data["salt"] = "v0/summary0/checkers0"
+        path.write_text(json.dumps(data))
+        again = AnalysisCache.load(path)
+        assert again.get_findings("src/repro/m.py", "sha1", "DET001") is None
+
+    def test_corrupt_json_starts_empty(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{not json")
+        cache = AnalysisCache.load(path)
+        assert cache.get_findings("src/repro/m.py", "x", "DET001") is None
+
+    def test_save_prunes_vanished_files(self, tmp_path):
+        path = tmp_path / "c.json"
+        cache = AnalysisCache(path)
+        cache.put_findings("src/repro/kept.py", "s1", "DET001", [])
+        cache.put_findings("src/repro/gone.py", "s2", "DET001", [])
+        cache.save(keep={"src/repro/kept.py"})
+        again = AnalysisCache.load(path)
+        assert again.get_findings("src/repro/kept.py", "s1", "DET001") == []
+        assert again.get_findings("src/repro/gone.py", "s2", "DET001") is None
+
+    def test_clean_cache_does_not_write(self, tmp_path):
+        path = tmp_path / "c.json"
+        AnalysisCache(path).save()
+        assert not path.exists()
+
+    def test_none_path_cache_is_inert(self):
+        cache = AnalysisCache(None)
+        cache.put_findings("src/repro/m.py", "sha1", "DET001", [finding()])
+        cache.save()  # no-op, no path to write
+        assert cache.get_findings("src/repro/m.py", "sha1", "DET001") == [
+            finding()
+        ]
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "c.json"
+        cache = AnalysisCache(path)
+        cache.put_findings("src/repro/m.py", "sha1", "DET001", [])
+        cache.save()
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert json.loads(path.read_text())["salt"] == _salt()
+
+    def test_content_sha_is_pure_content(self):
+        assert content_sha(b"abc") == content_sha(b"abc")
+        assert content_sha(b"abc") != content_sha(b"abd")
+
+    def test_rules_fingerprint_is_order_and_dup_insensitive(self):
+        assert rules_fingerprint(["B", "A", "B"]) == rules_fingerprint(["A", "B"])
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+BAD = "import time\ndef f():\n    return time.time()\n"
+OK = "def f():\n    return 1\n"
+
+
+@pytest.fixture
+def cached_repo(tmp_repo):
+    write_module(tmp_repo, "src/repro/one.py", BAD)
+    write_module(tmp_repo, "src/repro/two.py", OK)
+    return tmp_repo
+
+
+class TestEngineIntegration:
+    RULES = ["DET001", "DET004"]
+
+    def _run(self, root, **kw):
+        return run_analysis(
+            root, rules=self.RULES, cache_path=root / ".cache.json", **kw
+        )
+
+    def test_warm_run_is_bit_identical_and_fully_cached(self, cached_repo):
+        cold = self._run(cached_repo)
+        assert cold.files_from_cache == 0
+        warm = self._run(cached_repo)
+        assert warm.findings == cold.findings
+        assert warm.files_reanalyzed == 0
+        assert warm.files_from_cache == cold.files_scanned
+
+    def test_mtime_only_change_still_hits(self, cached_repo):
+        self._run(cached_repo)
+        target = cached_repo / "src/repro/one.py"
+        os.utime(target, (0, 0))  # classic touch: content identical
+        warm = self._run(cached_repo)
+        assert warm.files_reanalyzed == 0
+
+    def test_content_change_reanalyses_only_that_file(self, cached_repo):
+        cold = self._run(cached_repo)
+        write_module(cached_repo, "src/repro/two.py", OK + "\n# comment\n")
+        warm = self._run(cached_repo)
+        assert warm.files_reanalyzed == 1
+        assert warm.files_from_cache == cold.files_scanned - 1
+        assert warm.findings == cold.findings
+
+    def test_content_change_changes_findings(self, cached_repo):
+        self._run(cached_repo)
+        write_module(cached_repo, "src/repro/two.py", BAD)
+        warm = self._run(cached_repo)
+        assert sorted(f.path for f in warm.findings if f.rule == "DET001") == [
+            "src/repro/one.py", "src/repro/two.py"
+        ]
+
+    def test_rule_set_change_does_not_serve_stale_findings(self, cached_repo):
+        run_analysis(
+            cached_repo, rules=["DET002"],
+            cache_path=cached_repo / ".cache.json",
+        )
+        narrow = self._run(cached_repo)
+        assert any(f.rule == "DET001" for f in narrow.findings)
+
+    def test_no_cache_path_always_reanalyses(self, cached_repo):
+        first = run_analysis(cached_repo, rules=self.RULES)
+        second = run_analysis(cached_repo, rules=self.RULES)
+        assert first.files_from_cache == second.files_from_cache == 0
+        assert not (cached_repo / ".reprolint-cache.json").exists()

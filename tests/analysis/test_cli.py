@@ -112,3 +112,71 @@ class TestToolShims:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "deprecated" in proc.stderr
+
+
+class TestExplain:
+    def test_every_rule_explains(self, tmp_path):
+        import repro.analysis.checkers  # noqa: F401 — registers everything
+        from repro.analysis.registry import all_rule_ids, explain_rule
+
+        for rule in all_rule_ids():
+            text = explain_rule(rule)
+            assert rule in text
+            assert "protects:" in text
+            assert "Violating example" in text, rule
+            assert "Sanctioned fix" in text, rule
+
+    def test_explain_prints_invariant_example_and_fix(self, tmp_path):
+        proc = reprolint("--explain", "SEED001", cwd=tmp_path)
+        assert proc.returncode == 0
+        assert "SEED001" in proc.stdout
+        assert "Violating example::" in proc.stdout
+        assert "Sanctioned fix::" in proc.stdout
+
+    def test_explain_whole_program_rules_say_so(self, tmp_path):
+        proc = reprolint("--explain", "DET004", cwd=tmp_path)
+        assert proc.returncode == 0
+        assert "whole-program" in proc.stdout
+
+    def test_explain_unknown_rule_is_usage_error(self, tmp_path):
+        proc = reprolint("--explain", "NOPE999", cwd=tmp_path)
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+
+
+class TestSarifOutput:
+    def test_sarif_format_emits_valid_log(self, tmp_repo):
+        write_module(tmp_repo, "src/repro/sim/bad.py", BAD_RNG)
+        out = tmp_repo / "reprolint.sarif"
+        proc = reprolint(
+            "--format", "sarif", "--output", str(out), "--jobs", "1",
+            cwd=tmp_repo,
+        )
+        assert proc.returncode == 1  # findings still gate the exit code
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert results[0]["ruleId"] == "DET002"
+        rule_ids = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"DET004", "SEED001", "PKL001", "PAR001"} <= rule_ids
+
+
+class TestCacheFlags:
+    def test_default_run_writes_repo_root_cache(self, tmp_repo):
+        write_module(tmp_repo, "src/repro/sim/ok.py", CLEAN)
+        assert reprolint("--jobs", "1", cwd=tmp_repo).returncode == 0
+        assert (tmp_repo / ".reprolint-cache.json").exists()
+
+    def test_no_cache_leaves_no_file(self, tmp_repo):
+        write_module(tmp_repo, "src/repro/sim/ok.py", CLEAN)
+        assert reprolint("--no-cache", "--jobs", "1",
+                         cwd=tmp_repo).returncode == 0
+        assert not (tmp_repo / ".reprolint-cache.json").exists()
+
+    def test_cache_path_override(self, tmp_repo):
+        write_module(tmp_repo, "src/repro/sim/ok.py", CLEAN)
+        target = tmp_repo / "build" / "lint-cache.json"
+        proc = reprolint("--cache", str(target), "--jobs", "1", cwd=tmp_repo)
+        assert proc.returncode == 0
+        assert target.exists()
+        assert not (tmp_repo / ".reprolint-cache.json").exists()

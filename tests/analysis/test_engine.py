@@ -117,3 +117,32 @@ class TestChangedOnly:
         result = run_analysis(tmp_repo, changed_only=True, base_ref="main")
         assert result.files_scanned == 1  # scanned everything, not nothing
         assert not result.ok
+
+
+class TestStaleScoping:
+    """Staleness is only judged where the run actually looked."""
+
+    ENTRY = BaselineEntry(
+        "DET002", "src/repro/sim/bad.py", "random.random", "legacy draw"
+    )
+
+    def test_full_run_reports_genuinely_fixed_entry(self, tmp_repo):
+        write_module(tmp_repo, "src/repro/sim/bad.py", CLEAN)  # fixed
+        result = run_analysis(tmp_repo, baseline=Baseline([self.ENTRY]))
+        assert [e.key for e in result.stale_entries] == ["random.random"]
+
+    def test_narrowed_paths_do_not_report_unanalysed_files(self, tmp_repo):
+        write_module(tmp_repo, "src/repro/sim/bad.py", BAD_RNG)
+        write_module(tmp_repo, "src/repro/sim/other.py", CLEAN)
+        result = run_analysis(
+            tmp_repo, paths=["src/repro/sim/other.py"],
+            baseline=Baseline([self.ENTRY]),
+        )
+        assert result.stale_entries == []
+
+    def test_narrowed_rules_do_not_report_inactive_rules(self, tmp_repo):
+        write_module(tmp_repo, "src/repro/sim/bad.py", BAD_RNG)
+        result = run_analysis(
+            tmp_repo, rules=["DET001"], baseline=Baseline([self.ENTRY])
+        )
+        assert result.stale_entries == []

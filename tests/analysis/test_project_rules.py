@@ -1,0 +1,142 @@
+"""The whole-program rules (DET004, SEED001, PKL001, PAR001) over the
+committed fixture project trees in ``fixtures/projects/``.
+
+Each tree is a minimal repo (its own ``src/repro``) passed directly as
+the analysis root, so these tests exercise the full engine path:
+summaries, linking, the project pass and inline suppressions through
+the index.
+"""
+
+from pathlib import Path
+
+from .conftest import write_module
+
+from repro.analysis import run_analysis
+
+PROJECTS = Path(__file__).parent / "fixtures" / "projects"
+
+
+def _run(tree: Path, rule: str):
+    result = run_analysis(PROJECTS / tree, rules=[rule])
+    return result.findings
+
+
+# ----------------------------------------------------------------------
+# DET004 — transitive nondeterminism
+# ----------------------------------------------------------------------
+class TestDet004:
+    def test_pos_flags_every_transitive_caller(self):
+        findings = _run(Path("det004/pos"), "DET004")
+        assert [f.rule for f in findings] == ["DET004", "DET004"]
+        by_message = {f.message for f in findings}
+        # Both hops are reported, each with its chain printed.
+        assert any(
+            "sim.engine.record -> sim.helpers.stamp" in m for m in by_message
+        )
+        assert any(
+            "sim.engine.step -> sim.engine.record -> sim.helpers.stamp" in m
+            for m in by_message
+        )
+        # The sink location is named so the chain is actionable.
+        assert all("src/repro/sim/helpers.py:7" in m for m in by_message)
+
+    def test_pos_anchors_at_the_first_hop_call_site(self):
+        findings = _run(Path("det004/pos"), "DET004")
+        paths = {(f.path, f.line) for f in findings}
+        # record's call to stamp() is on line 7; step's call to record() on 11.
+        assert paths == {
+            ("src/repro/sim/engine.py", 7),
+            ("src/repro/sim/engine.py", 11),
+        }
+
+    def test_direct_sink_is_not_a_det004_finding(self):
+        findings = _run(Path("det004/pos"), "DET004")
+        assert all(f.path != "src/repro/sim/helpers.py" for f in findings)
+
+    def test_neg_suppressed_sink_excuses_the_chain(self):
+        assert _run(Path("det004/neg"), "DET004") == []
+
+
+# ----------------------------------------------------------------------
+# SEED001 — RNG seed lineage
+# ----------------------------------------------------------------------
+class TestSeed001:
+    def test_pos_literal_global_and_closure(self):
+        findings = _run(Path("seed001/pos"), "SEED001")
+        keys = sorted(f.key for f in findings)
+        assert keys == [
+            "closure:<lambda>",
+            "numpy.random.default_rng:global:_SEED",
+            "numpy.random.default_rng:literal",
+        ]
+
+    def test_pos_messages_name_the_lineage_break(self):
+        findings = _run(Path("seed001/pos"), "SEED001")
+        by_key = {f.key: f.message for f in findings}
+        assert "literal" in by_key["numpy.random.default_rng:literal"]
+        assert "_SEED" in by_key["numpy.random.default_rng:global:_SEED"]
+        assert "rng" in by_key["closure:<lambda>"]
+
+    def test_neg_sanctioned_and_derived_lineage_pass(self):
+        assert _run(Path("seed001/neg"), "SEED001") == []
+
+
+# ----------------------------------------------------------------------
+# PKL001 — spawn-boundary picklability
+# ----------------------------------------------------------------------
+class TestPkl001:
+    def test_pos_lambda_and_nested_def(self):
+        findings = _run(Path("pkl001/pos"), "PKL001")
+        keys = sorted(f.key for f in findings)
+        assert keys == [
+            "SupervisorConfig:after_trial:lambda",
+            "dataclasses.replace:after_trial:localdef",
+        ]
+        # The re-export through repro.harness/__init__ was canonicalised.
+        assert all(f.path == "src/repro/experiments/run.py" for f in findings)
+
+    def test_neg_module_level_callable_and_suppressed_hook(self):
+        assert _run(Path("pkl001/neg"), "PKL001") == []
+
+
+# ----------------------------------------------------------------------
+# PAR001 — scalar/batch twin parity
+# ----------------------------------------------------------------------
+class TestPar001:
+    def test_pos_skewed_signature(self):
+        findings = _run(Path("par001/pos"), "PAR001")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == "src/repro/faults/batch_campaign.py"
+        assert "scalar-only parameter(s): policy" in finding.message
+        assert "run_experiments" in finding.message
+
+    def test_neg_matching_twins(self):
+        assert _run(Path("par001/neg"), "PAR001") == []
+
+    def test_missing_endpoint_is_a_finding(self, tmp_repo):
+        write_module(
+            tmp_repo,
+            "src/repro/faults/campaign.py",
+            "class TemInjectionHarness:\n"
+            "    def run_experiment(self, fault, miss_window=None):\n"
+            "        return fault\n"
+            "    def run_campaign(self, faults):\n"
+            "        return list(faults)\n",
+        )
+        # batch_campaign.py exists but the executor was renamed away.
+        write_module(
+            tmp_repo,
+            "src/repro/faults/batch_campaign.py",
+            "class RenamedExecutor:\n"
+            "    def run_experiments(self, faults, miss_windows=None):\n"
+            "        return list(faults)\n",
+        )
+        findings = run_analysis(tmp_repo, rules=["PAR001"]).findings
+        assert len(findings) == 2  # one per declared pair
+        assert all("missing" in f.message for f in findings)
+        assert all(f.path == "src/repro/faults/campaign.py" for f in findings)
+
+    def test_absent_pair_is_silent(self, tmp_repo):
+        write_module(tmp_repo, "src/repro/other.py", "def f():\n    return 1\n")
+        assert run_analysis(tmp_repo, rules=["PAR001"]).findings == []

@@ -9,7 +9,7 @@ from repro.analysis.engine import AnalysisResult
 from repro.analysis.findings import ERROR, WARNING, Finding, sort_findings
 from repro.analysis.report import (
     REPORT_SCHEMA, exit_code, parse_json_report, render_json, render_json_dict,
-    render_text,
+    render_sarif, render_sarif_dict, render_text,
 )
 
 
@@ -133,3 +133,69 @@ class TestExitCode:
             stale=[BaselineEntry("CTX001", "src/repro/x.py", "GONE", "r")],
         )
         assert exit_code(r) == 0
+
+
+class TestSarifReport:
+    def _log(self, **kw):
+        return render_sarif_dict(result(**kw))
+
+    def test_skeleton_version_and_schema(self):
+        log = self._log()
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        assert len(log["runs"]) == 1
+
+    def test_driver_declares_every_active_rule(self):
+        log = self._log()
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert [r["id"] for r in driver["rules"]] == ["CTX001", "DET001"]
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+
+    def test_result_location_and_level(self):
+        log = self._log(findings=[finding(line=3, col=4)])
+        sarif_result = log["runs"][0]["results"][0]
+        assert sarif_result["ruleId"] == "DET001"
+        assert sarif_result["level"] == "error"
+        loc = sarif_result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/sim/a.py"
+        assert loc["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        # SARIF columns are 1-based; Finding.col is 0-based.
+        assert loc["region"] == {"startLine": 3, "startColumn": 5}
+
+    def test_warning_level(self):
+        log = self._log(findings=[finding(severity=WARNING)])
+        assert log["runs"][0]["results"][0]["level"] == "warning"
+
+    def test_fingerprint_matches_baseline_identity(self):
+        log = self._log(findings=[finding()])
+        prints = log["runs"][0]["results"][0]["partialFingerprints"]
+        # Line-independent, same identity the JSON baseline uses.
+        assert prints == {
+            "reprolintKey/v1": "DET001:src/repro/sim/a.py:time.time"
+        }
+
+    def test_baselined_findings_carry_suppressions(self):
+        log = self._log(
+            findings=[finding(key="live")],
+            baselined=[finding(key="old", baselined=True)],
+        )
+        results = log["runs"][0]["results"]
+        assert len(results) == 2
+        by_key = {
+            r["partialFingerprints"]["reprolintKey/v1"]: r for r in results
+        }
+        live = by_key["DET001:src/repro/sim/a.py:live"]
+        old = by_key["DET001:src/repro/sim/a.py:old"]
+        assert "suppressions" not in live
+        assert old["suppressions"] == [{
+            "kind": "external",
+            "justification": "covered by analysis/baseline.json",
+        }]
+
+    def test_render_sarif_is_valid_deterministic_json(self):
+        r = result(findings=[finding()])
+        text = render_sarif(r)
+        assert json.loads(text) == render_sarif_dict(r)
+        assert render_sarif(r) == render_sarif(r)

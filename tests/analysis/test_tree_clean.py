@@ -25,6 +25,15 @@ def test_repository_is_reprolint_clean():
     assert result.files_scanned > 100  # the scan actually covered the tree
 
 
+def test_committed_baseline_is_ratcheted_tight():
+    # The pawl must be present and exactly at the current entry count:
+    # adding an exemption then requires a deliberate max_entries bump in
+    # the same diff, so the baseline can never grow silently.
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_PATH)
+    assert baseline.max_entries is not None
+    assert baseline.max_entries == len(baseline)
+
+
 def test_committed_baseline_entries_all_still_match():
     # Every baseline entry must cover a live finding; fixed violations
     # must be removed from the baseline (the ratchet only goes down).
